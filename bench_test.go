@@ -1,0 +1,127 @@
+// Benchmarks: one target per reproduced paper artefact (see DESIGN.md's
+// per-experiment index). Each bench regenerates its experiment — tables,
+// figures and paper-vs-measured checks — in quick mode, and fails if any
+// check regresses. Run with:
+//
+//	go test -bench=. -benchmem
+package diversity_test
+
+import (
+	"testing"
+
+	"diversity/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and fails the bench
+// if a reproduction check regresses.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Config{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !res.Passed() {
+			b.Fatalf("%s: reproduction checks failed:\n%s", id, res.Summary())
+		}
+	}
+}
+
+// BenchmarkE01Moments regenerates Section 3 eqs (1)-(2): PFD moments,
+// model vs Monte Carlo, across the scenario library.
+func BenchmarkE01Moments(b *testing.B) { benchExperiment(b, "E01") }
+
+// BenchmarkE02MeanBound regenerates Section 3.1.1 eq (4): the guaranteed
+// mean-PFD gain bound mu2 <= pmax*mu1 across pmax regimes.
+func BenchmarkE02MeanBound(b *testing.B) { benchExperiment(b, "E02") }
+
+// BenchmarkE03SigmaBound regenerates Section 3.1.2 eqs (5)-(9): the sigma
+// ordering, its golden-ratio precondition, and the bound factor.
+func BenchmarkE03SigmaBound(b *testing.B) { benchExperiment(b, "E03") }
+
+// BenchmarkE04NoCommonFault regenerates Section 4.1 eq (10): the
+// no-common-fault risk ratio, analytic vs Monte Carlo, plus footnote 5.
+func BenchmarkE04NoCommonFault(b *testing.B) { benchExperiment(b, "E04") }
+
+// BenchmarkE05SingleFaultImprovement regenerates Section 4.2.1/Appendix A:
+// stationary points and the sign reversal of the gain trend (with the
+// ratio-vs-p1 figure).
+func BenchmarkE05SingleFaultImprovement(b *testing.B) { benchExperiment(b, "E05") }
+
+// BenchmarkE06ProportionalImprovement regenerates Section 4.2.2/Appendix
+// B: monotonicity of the gain under proportional improvement.
+func BenchmarkE06ProportionalImprovement(b *testing.B) { benchExperiment(b, "E06") }
+
+// BenchmarkE07PmaxTable regenerates the paper's Section-5.1 table
+// (pmax -> sqrt(pmax(1+pmax))).
+func BenchmarkE07PmaxTable(b *testing.B) { benchExperiment(b, "E07") }
+
+// BenchmarkE08WorkedExample regenerates the Section-5.1 worked example
+// (bounds 0.011 / ~0.001 / ~0.004).
+func BenchmarkE08WorkedExample(b *testing.B) { benchExperiment(b, "E08") }
+
+// BenchmarkE09NormalApprox regenerates the Section-5 normal-approximation
+// study: CLT quality and percentile coverage vs fault count.
+func BenchmarkE09NormalApprox(b *testing.B) { benchExperiment(b, "E09") }
+
+// BenchmarkE10BoundTrends regenerates the Section-5.2 conjectures on
+// bound-gain trends under process improvement.
+func BenchmarkE10BoundTrends(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11DemandSpace regenerates Fig. 2: failure regions in a 2-D
+// demand space and PFD additivity over disjoint regions.
+func BenchmarkE11DemandSpace(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12ProtectionSystem regenerates Fig. 1: the dual-channel
+// 1-out-of-2 protection-system discrete-event simulation.
+func BenchmarkE12ProtectionSystem(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Correlation regenerates the Section-6.1 sensitivity study:
+// correlated development mistakes.
+func BenchmarkE13Correlation(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Overlap regenerates the Section-6.2 sensitivity study:
+// overlapping failure regions and the pessimism of disjointness.
+func BenchmarkE14Overlap(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15KnightLeveson regenerates the Section-7 Knight-Leveson
+// qualitative check on the synthetic replica.
+func BenchmarkE15KnightLeveson(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16ELLM regenerates the EL/LM baseline re-derivations.
+func BenchmarkE16ELLM(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17Bayes regenerates the Bayesian-assessment extension.
+func BenchmarkE17Bayes(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18ForcedDiversity regenerates the forced-diversity extension:
+// two development processes over one fault universe, AM-GM guarantee.
+func BenchmarkE18ForcedDiversity(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19NVersion regenerates the N-version extension: 1-out-of-m
+// and 2-out-of-3 majority architectures vs Monte Carlo.
+func BenchmarkE19NVersion(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20TestingTrade regenerates the statistical-testing /
+// budget-trade extension (refs [1,6,7,13]).
+func BenchmarkE20TestingTrade(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21FunctionalDiversity regenerates the functional-diversity
+// demand-space study (Fig. 1 caption).
+func BenchmarkE21FunctionalDiversity(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkE22Calibration regenerates the assessor-calibration loop:
+// pmax bounds estimated from synthetic past-project evidence.
+func BenchmarkE22Calibration(b *testing.B) { benchExperiment(b, "E22") }
+
+// BenchmarkE23Adjudicator regenerates the imperfect-adjudication study:
+// the voter's own PFD floors the diversity gain.
+func BenchmarkE23Adjudicator(b *testing.B) { benchExperiment(b, "E23") }
+
+// BenchmarkE24FaultMerging regenerates the Section-6.1 merged-fault
+// equivalence for perfectly correlated mistakes.
+func BenchmarkE24FaultMerging(b *testing.B) { benchExperiment(b, "E24") }
+
+// BenchmarkE25ProfileSensitivity regenerates the demand-profile
+// sensitivity study of the q_i parameters.
+func BenchmarkE25ProfileSensitivity(b *testing.B) { benchExperiment(b, "E25") }

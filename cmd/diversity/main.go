@@ -1,0 +1,207 @@
+// Command diversity computes the paper's assessor-facing reliability
+// quantities for a fault-set model: PFD moments, the guaranteed gain
+// bounds (formulas 4, 9, 11, 12), the no-common-fault risk ratio
+// (equation 10), and confidence bounds under the Section-5 normal
+// approximation — optionally with the exact PFD distribution quantiles.
+//
+// Usage:
+//
+//	diversity -model model.json [-k 1.0] [-confidence 0.99] [-scenario name] [-seed 1]
+//
+// Either -model (a JSON file, "-" for stdin) or -scenario
+// (safety-grade | many-small-faults | commercial-grade) selects the fault
+// set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"diversity/internal/faultmodel"
+	"diversity/internal/modelfile"
+	"diversity/internal/report"
+	"diversity/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "diversity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	flags := flag.NewFlagSet("diversity", flag.ContinueOnError)
+	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
+	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade")
+	k := flags.Float64("k", 1.0, "sigma multiplier for the confidence bounds")
+	confidence := flags.Float64("confidence", 0.99, "confidence level for the normal-approximation bound")
+	seed := flags.Uint64("seed", 1, "seed for scenario generation")
+	adjudicator := flags.Float64("adjudicator", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if *adjudicator < 0 || *adjudicator > 1 {
+		return fmt.Errorf("adjudicator PFD %v must be a probability", *adjudicator)
+	}
+
+	fs, name, err := selectModel(*modelPath, *scenarioName, *seed)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = "unnamed model"
+	}
+
+	rep, err := fs.Gain(*k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Model: %s (%d potential faults, pmax = %s, sum q = %s)\n\n",
+		name, fs.N(), report.Fmt(fs.PMax()), report.Fmt(fs.SumQ()))
+
+	tbl, err := report.NewTable("PFD moments (eqs 1-2)", "quantity", "1 version", "1-out-of-2")
+	if err != nil {
+		return err
+	}
+	if err := tbl.AddRow("mean PFD", report.Fmt(rep.Mu1), report.Fmt(rep.Mu2)); err != nil {
+		return err
+	}
+	if err := tbl.AddRow("std dev", report.Fmt(rep.Sigma1), report.Fmt(rep.Sigma2)); err != nil {
+		return err
+	}
+	if err := tbl.AddRow(fmt.Sprintf("bound mu+%.2g*sigma", *k), report.Fmt(rep.Bound1), report.Fmt(rep.Bound2)); err != nil {
+		return err
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	bounds, err := report.NewTable("Assessor bounds and gains", "quantity", "value", "paper result")
+	if err != nil {
+		return err
+	}
+	factor, err := faultmodel.SigmaBoundFactor(fs.PMax())
+	if err != nil {
+		return err
+	}
+	gainRows := []struct{ name, value, source string }{
+		{name: "guaranteed mean gain (1/pmax)", value: report.Fmt(1 / fs.PMax()), source: "eq (4)"},
+		{name: "sigma bound factor sqrt(pmax(1+pmax))", value: report.Fmt(factor), source: "eq (9)"},
+		{name: "two-version bound from moments", value: report.Fmt(rep.Bound11), source: "formula (11)"},
+		{name: "two-version bound from one-version bound", value: report.Fmt(rep.Bound12), source: "formula (12)"},
+		{name: "realised bound ratio", value: report.Fmt(rep.BoundRatio), source: "Section 5.2"},
+		{name: "realised bound difference", value: report.Fmt(rep.BoundDiff), source: "Section 5.2"},
+	}
+	if ratio, err := fs.RiskRatio(); err == nil {
+		gainRows = append(gainRows, struct{ name, value, source string }{
+			name: "risk ratio P(N2>0)/P(N1>0)", value: report.Fmt(ratio), source: "eq (10)",
+		})
+	}
+	gainRows = append(gainRows, struct{ name, value, source string }{
+		name: "success ratio P(N2=0)/P(N1=0)", value: report.Fmt(fs.SuccessRatio()), source: "footnote 5",
+	})
+	for _, row := range gainRows {
+		if err := bounds.AddRow(row.name, row.value, row.source); err != nil {
+			return err
+		}
+	}
+	if err := bounds.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	conf, err := report.NewTable(
+		fmt.Sprintf("Bounds at %.4g%% confidence (normal approximation)", *confidence*100),
+		"system", "bound", "exact-distribution quantile")
+	if err != nil {
+		return err
+	}
+	for _, m := range []int{1, 2} {
+		bound, err := fs.ConfidenceBoundAt(m, *confidence)
+		if err != nil {
+			return err
+		}
+		exactText := "n/a (too many faults)"
+		if fs.N() <= faultmodel.MaxExactFaults {
+			dist, err := fs.ExactPFD(m)
+			if err != nil {
+				return err
+			}
+			q, err := dist.Quantile(*confidence)
+			if err != nil {
+				return err
+			}
+			exactText = report.Fmt(q)
+		}
+		label := "1 version"
+		if m == 2 {
+			label = "1-out-of-2"
+		}
+		if err := conf.AddRow(label, report.Fmt(bound), exactText); err != nil {
+			return err
+		}
+	}
+	if err := conf.Render(out); err != nil {
+		return err
+	}
+
+	if *adjudicator > 0 {
+		fmt.Fprintln(out)
+		totalSingle := 1 - (1-rep.Mu1)*(1-*adjudicator)
+		totalPair := 1 - (1-rep.Mu2)*(1-*adjudicator)
+		adj, err := report.NewTable(
+			fmt.Sprintf("Total mean PFD with adjudicator PFD %s (extension of the paper's perfect-adjudication assumption)", report.Fmt(*adjudicator)),
+			"system", "software-only", "with adjudicator")
+		if err != nil {
+			return err
+		}
+		if err := adj.AddRow("1 version", report.Fmt(rep.Mu1), report.Fmt(totalSingle)); err != nil {
+			return err
+		}
+		if err := adj.AddRow("1-out-of-2", report.Fmt(rep.Mu2), report.Fmt(totalPair)); err != nil {
+			return err
+		}
+		if err := adj.Render(out); err != nil {
+			return err
+		}
+		if totalPair > 0 {
+			fmt.Fprintf(out, "total gain from diversity: %s (software-only: %s)\n",
+				report.Fmt(totalSingle/totalPair), report.Fmt(rep.Mu1/rep.Mu2))
+		}
+	}
+	return nil
+}
+
+func selectModel(modelPath, scenarioName string, seed uint64) (*faultmodel.FaultSet, string, error) {
+	switch {
+	case modelPath != "" && scenarioName != "":
+		return nil, "", fmt.Errorf("specify either -model or -scenario, not both")
+	case modelPath != "":
+		return modelfile.Load(modelPath)
+	case scenarioName != "":
+		sc, err := scenarioByName(scenarioName, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return sc.FaultSet, sc.Name, nil
+	default:
+		return nil, "", fmt.Errorf("a model is required: pass -model <file> or -scenario <name>")
+	}
+}
+
+func scenarioByName(name string, seed uint64) (scenario.Scenario, error) {
+	switch name {
+	case "safety-grade":
+		return scenario.SafetyGrade(seed)
+	case "many-small-faults":
+		return scenario.ManySmallFaults(seed)
+	case "commercial-grade":
+		return scenario.CommercialGrade(seed)
+	default:
+		return scenario.Scenario{}, fmt.Errorf("unknown scenario %q (want safety-grade, many-small-faults or commercial-grade)", name)
+	}
+}

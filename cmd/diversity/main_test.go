@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeModel(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRunWithModelFile(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"name": "unit", "faults": [{"p": 0.1, "q": 0.01}, {"p": 0.05, "q": 0.02}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Model: unit", "PFD moments", "eq (4)", "formula (11)", "formula (12)",
+		"risk ratio", "99% confidence",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunWithScenario(t *testing.T) {
+	t.Parallel()
+
+	for _, name := range []string{"safety-grade", "many-small-faults", "commercial-grade"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var out strings.Builder
+			if err := run([]string{"-scenario", name}, &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out.String(), "Model: "+name) {
+				t.Errorf("output missing scenario name:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no model succeeded, want error")
+	}
+	if err := run([]string{"-scenario", "bogus"}, &out); err == nil {
+		t.Error("unknown scenario succeeded, want error")
+	}
+	if err := run([]string{"-model", "x", "-scenario", "safety-grade"}, &out); err == nil {
+		t.Error("both -model and -scenario succeeded, want error")
+	}
+	if err := run([]string{"-model", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Error("missing model file succeeded, want error")
+	}
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
+	if err := run([]string{"-model", path, "-confidence", "0.3"}, &out); err == nil {
+		t.Error("confidence below the median succeeded, want error")
+	}
+}
+
+func TestRunCustomK(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path, "-k", "2.33"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "mu+2.3*sigma") {
+		t.Errorf("output does not reflect custom k:\n%s", out.String())
+	}
+}
+
+func TestRunWithAdjudicator(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path, "-adjudicator", "0.0001"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"with adjudicator", "total gain from diversity"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if err := run([]string{"-model", path, "-adjudicator", "2"}, &out); err == nil {
+		t.Error("invalid adjudicator PFD succeeded, want error")
+	}
+}

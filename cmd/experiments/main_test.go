@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, id := range []string{"E01", "E07", "E17"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	code, err := run([]string{"-id", "E08", "-quick"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"E08", "Worked example", "[PASS]", "all 1 experiment(s) passed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	code, err := run([]string{"-id", "E07, E02", "-quick"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "all 2 experiment(s) passed") {
+		t.Errorf("output missing pass summary:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if _, err := run([]string{"-id", "E99"}, &out); err == nil {
+		t.Error("unknown experiment succeeded, want error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if _, err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag succeeded, want error")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	code, err := run([]string{"-id", "E07,E08", "-quick", "-markdown"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d:\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs measured",
+		"## E07 —",
+		"## E08 —",
+		"- **[PASS]",
+		"```text",
+		"## Deviations and reproduction notes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("markdown output missing %q", want)
+		}
+	}
+	if strings.Contains(text, "experiment(s) passed") {
+		t.Error("markdown mode leaked the plain-text footer")
+	}
+}

@@ -1,0 +1,250 @@
+// Command mcsim runs Monte-Carlo simulations of the fault creation
+// process: it develops many version pairs (or larger version groups),
+// assembles them into 1-out-of-m or majority-voted systems, and reports
+// the simulated PFD populations next to the model's analytic predictions.
+//
+// Usage:
+//
+//	mcsim -scenario commercial-grade -reps 200000 [-versions 2] [-arch 1oom]
+//	mcsim -model model.json -reps 100000 -correlation 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+	"diversity/internal/modelfile"
+	"diversity/internal/montecarlo"
+	"diversity/internal/report"
+	"diversity/internal/scenario"
+	"diversity/internal/stats"
+	"diversity/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	flags := flag.NewFlagSet("mcsim", flag.ContinueOnError)
+	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
+	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade")
+	reps := flags.Int("reps", 100000, "number of replications")
+	versions := flags.Int("versions", 2, "versions per replication")
+	archName := flags.String("arch", "1oom", "system architecture: 1oom | majority")
+	workers := flags.Int("workers", 0, "worker goroutines (0 = all cores)")
+	seed := flags.Uint64("seed", 1, "random seed")
+	correlation := flags.Float64("correlation", 0, "common-cause probability (0 = the paper's independent model)")
+	boost := flags.Float64("boost", 3, "common-cause boost factor (with -correlation > 0)")
+	rare := flags.Bool("rare", false, "estimate P(system carries any fault) by importance sampling (for safety-grade regimes)")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+
+	fs, name, err := selectModel(*modelPath, *scenarioName, *seed)
+	if err != nil {
+		return err
+	}
+	var arch system.Architecture
+	switch *archName {
+	case "1oom":
+		arch = system.Arch1OutOfM
+	case "majority":
+		arch = system.ArchMajority
+	default:
+		return fmt.Errorf("unknown architecture %q (want 1oom or majority)", *archName)
+	}
+	if *rare {
+		return runRare(out, fs, name, *versions, *reps, *seed)
+	}
+	var proc devsim.Process
+	if *correlation > 0 {
+		proc, err = devsim.NewCommonCauseProcess(fs, *correlation, *boost)
+		if err != nil {
+			return err
+		}
+	} else {
+		proc = devsim.NewIndependentProcess(fs)
+	}
+
+	res, err := montecarlo.Run(montecarlo.Config{
+		Process:  proc,
+		Versions: *versions,
+		Arch:     arch,
+		Reps:     *reps,
+		Workers:  *workers,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if name == "" {
+		name = "unnamed model"
+	}
+	fmt.Fprintf(out, "Model: %s — %d replications of %d versions (%s adjudication)\n\n",
+		name, *reps, *versions, arch)
+
+	verStats, err := stats.Summarize(res.VersionPFD)
+	if err != nil {
+		return err
+	}
+	sysStats, err := stats.Summarize(res.SystemPFD)
+	if err != nil {
+		return err
+	}
+	tbl, err := report.NewTable("Simulated PFD populations",
+		"quantity", "version", "system", "model (version)", "model (system)")
+	if err != nil {
+		return err
+	}
+	mu1, err := fs.MeanPFD(1)
+	if err != nil {
+		return err
+	}
+	sigma1, err := fs.SigmaPFD(1)
+	if err != nil {
+		return err
+	}
+	modelMu2, modelSigma2 := "n/a", "n/a"
+	if *versions >= 1 && arch == system.Arch1OutOfM {
+		mu, err := fs.MeanPFD(*versions)
+		if err != nil {
+			return err
+		}
+		sg, err := fs.SigmaPFD(*versions)
+		if err != nil {
+			return err
+		}
+		modelMu2, modelSigma2 = report.Fmt(mu), report.Fmt(sg)
+	}
+	rows := [][5]string{
+		{"mean", report.Fmt(verStats.Mean), report.Fmt(sysStats.Mean), report.Fmt(mu1), modelMu2},
+		{"std dev", report.Fmt(verStats.StdDev), report.Fmt(sysStats.StdDev), report.Fmt(sigma1), modelSigma2},
+		{"median", report.Fmt(verStats.Median), report.Fmt(sysStats.Median), "", ""},
+		{"95th pct", report.Fmt(verStats.Q95), report.Fmt(sysStats.Q95), "", ""},
+		{"99th pct", report.Fmt(verStats.Q99), report.Fmt(sysStats.Q99), "", ""},
+		{"max", report.Fmt(verStats.Max), report.Fmt(sysStats.Max), "", ""},
+	}
+	for _, row := range rows {
+		if err := tbl.AddRow(row[0], row[1], row[2], row[3], row[4]); err != nil {
+			return err
+		}
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	events, err := report.NewTable("Fault-free outcomes", "event", "count", "frequency", "model")
+	if err != nil {
+		return err
+	}
+	noFault1, err := fs.PNoFault(1)
+	if err != nil {
+		return err
+	}
+	modelSys := "n/a"
+	if arch == system.Arch1OutOfM {
+		v, err := fs.PNoFault(*versions)
+		if err != nil {
+			return err
+		}
+		modelSys = report.Fmt(v)
+	}
+	if err := events.AddRow("version fault-free", fmt.Sprintf("%d", res.VersionFaultFree),
+		report.Fmt(float64(res.VersionFaultFree)/float64(*reps)), report.Fmt(noFault1)); err != nil {
+		return err
+	}
+	if err := events.AddRow("system fault-free", fmt.Sprintf("%d", res.SystemFaultFree),
+		report.Fmt(float64(res.SystemFaultFree)/float64(*reps)), modelSys); err != nil {
+		return err
+	}
+	if err := events.Render(out); err != nil {
+		return err
+	}
+
+	if ratio, err := res.RiskRatio(); err == nil {
+		fmt.Fprintf(out, "\nEmpirical risk ratio P(N_sys>0)/P(N1>0) = %s", report.Fmt(ratio))
+		if modelRatio, err := fs.RiskRatio(); err == nil && arch == system.Arch1OutOfM && *versions == 2 {
+			fmt.Fprintf(out, " (model eq (10): %s)", report.Fmt(modelRatio))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runRare estimates P(N_m > 0) with importance sampling and prints it
+// against the naive estimator and the closed form.
+func runRare(out io.Writer, fs *faultmodel.FaultSet, name string, versions, reps int, seed uint64) error {
+	if name == "" {
+		name = "unnamed model"
+	}
+	truth, err := fs.PAnyFault(versions)
+	if err != nil {
+		return err
+	}
+	is, err := montecarlo.EstimateRareSystemFault(fs, versions, reps, seed, 0.3)
+	if err != nil {
+		return err
+	}
+	naive, err := montecarlo.EstimateNaiveSystemFault(fs, versions, reps, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Model: %s — rare-event estimation of P(N_%d > 0) over %d replications\n\n", name, versions, reps)
+	tbl, err := report.NewTable("P(system carries any defeating fault)",
+		"method", "estimate", "std err", "hit fraction")
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		est  montecarlo.RareEventEstimate
+	}{
+		{name: "importance sampling", est: is},
+		{name: "naive Monte Carlo", est: naive},
+	}
+	for _, row := range rows {
+		if err := tbl.AddRow(row.name, report.Fmt(row.est.Probability),
+			report.Fmt(row.est.StdErr), report.Fmt(row.est.HitFraction)); err != nil {
+			return err
+		}
+	}
+	if err := tbl.AddRow("closed form (eq 10 numerator)", report.Fmt(truth), "", ""); err != nil {
+		return err
+	}
+	return tbl.Render(out)
+}
+
+func selectModel(modelPath, scenarioName string, seed uint64) (*faultmodel.FaultSet, string, error) {
+	switch {
+	case modelPath != "" && scenarioName != "":
+		return nil, "", fmt.Errorf("specify either -model or -scenario, not both")
+	case modelPath != "":
+		return modelfile.Load(modelPath)
+	case scenarioName != "":
+		switch scenarioName {
+		case "safety-grade":
+			sc, err := scenario.SafetyGrade(seed)
+			return sc.FaultSet, sc.Name, err
+		case "many-small-faults":
+			sc, err := scenario.ManySmallFaults(seed)
+			return sc.FaultSet, sc.Name, err
+		case "commercial-grade":
+			sc, err := scenario.CommercialGrade(seed)
+			return sc.FaultSet, sc.Name, err
+		default:
+			return nil, "", fmt.Errorf("unknown scenario %q", scenarioName)
+		}
+	default:
+		return nil, "", fmt.Errorf("a model is required: pass -model <file> or -scenario <name>")
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeModel(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRunBasicSimulation(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"name": "sim", "faults": [{"p": 0.3, "q": 0.05}, {"p": 0.2, "q": 0.1}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path, "-reps", "20000", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Model: sim", "20000 replications", "Simulated PFD populations",
+		"Fault-free outcomes", "risk ratio",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMajority(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.3, "q": 0.05}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path, "-reps", "5000", "-versions", "3", "-arch", "majority"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "majority adjudication") {
+		t.Errorf("output missing architecture:\n%s", out.String())
+	}
+}
+
+func TestRunWithCorrelation(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.05}, {"p": 0.1, "q": 0.05}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path, "-reps", "5000", "-correlation", "0.2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Simulated PFD populations") {
+		t.Errorf("correlated run produced no table:\n%s", out.String())
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if err := run([]string{"-scenario", "commercial-grade", "-reps", "5000"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "commercial-grade") {
+		t.Errorf("output missing scenario:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no model succeeded, want error")
+	}
+	if err := run([]string{"-scenario", "bogus"}, &out); err == nil {
+		t.Error("unknown scenario succeeded, want error")
+	}
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.05}]}`)
+	if err := run([]string{"-model", path, "-arch", "bogus"}, &out); err == nil {
+		t.Error("unknown architecture succeeded, want error")
+	}
+	if err := run([]string{"-model", path, "-reps", "0"}, &out); err == nil {
+		t.Error("zero reps succeeded, want error")
+	}
+	if err := run([]string{"-model", path, "-correlation", "2"}, &out); err == nil {
+		t.Error("invalid correlation succeeded, want error")
+	}
+}
+
+func TestRunRareEstimation(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"name": "rare", "faults": [{"p": 0.003, "q": 0.001}, {"p": 0.002, "q": 0.002}]}`)
+	var out strings.Builder
+	if err := run([]string{"-model", path, "-reps", "20000", "-rare"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"rare-event estimation", "importance sampling", "naive Monte Carlo", "closed form"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Processimprovement: the paper's Section-4.2 question — does a better
+// development process make diversity more or less worthwhile?
+//
+// The example traces the risk ratio P(N2>0)/P(N1>0) (equation 10; smaller
+// means diversity buys more) along two kinds of process improvement:
+//
+//   - proportional: every fault becomes less likely by the same factor
+//     (Appendix B proves the gain from diversity always grows);
+//   - targeted: only one fault class improves (Appendix A shows the gain
+//     can shrink — the counterintuitive result).
+//
+// Run with:
+//
+//	go run ./examples/processimprovement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("processimprovement: ")
+
+	fs, err := diversity.New([]diversity.Fault{
+		{P: 0.30, Q: 0.05}, // a common blind spot
+		{P: 0.10, Q: 0.05}, // a moderate fault class
+		{P: 0.01, Q: 0.05}, // an already-rare fault class
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	amounts := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95}
+
+	fmt.Println("proportional improvement (all faults; Appendix B: ratio must fall):")
+	printTrajectory(fs, diversity.ProportionalImprovement{}, amounts)
+
+	fmt.Println("\ntargeted improvement of the COMMON fault (p=0.30):")
+	printTrajectory(fs, diversity.SingleFaultImprovement{Index: 0}, amounts)
+
+	fmt.Println("\ntargeted improvement of the RARE fault (p=0.01):")
+	fmt.Println("  (watch the ratio RISE: the paper's counterintuitive regime —")
+	fmt.Println("   polishing an already-unlikely fault class erodes what diversity buys)")
+	printTrajectory(fs, diversity.SingleFaultImprovement{Index: 2}, amounts)
+
+	// Where is the boundary? Appendix A's stationary point for the
+	// two-fault case.
+	fmt.Println("\nAppendix A stationary points p1z(p2) — improving a fault below")
+	fmt.Println("its stationary point reduces the gain from diversity:")
+	for _, p2 := range []float64{0.05, 0.1, 0.3, 0.5} {
+		p1z, err := diversity.TwoFaultStationaryP1(p2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  p2 = %-4v -> p1z = %.5f\n", p2, p1z)
+	}
+}
+
+func printTrajectory(fs *diversity.FaultSet, imp diversity.Improvement, amounts []float64) {
+	points, err := diversity.TraceImprovement(fs, imp, amounts, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  improvement   P(N1>0)   P(N2>0)    risk ratio   bound ratio")
+	for _, pt := range points {
+		fmt.Printf("  %10.0f%%   %.4f    %.6f   %.5f      %.2f\n",
+			pt.Amount*100, pt.PAnyFault1, pt.PAnyFault2, pt.RiskRatio, pt.Gain.BoundRatio)
+	}
+}

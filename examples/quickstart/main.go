@@ -1,0 +1,92 @@
+// Quickstart: define a small fault-creation model, read off the paper's
+// headline quantities, and cross-check them with a Monte-Carlo simulation.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// A ten-fault universe: an assessor's belief about which development
+	// mistakes are possible (presence probability p) and how much of the
+	// demand space each would break (region probability q).
+	fs, err := diversity.New([]diversity.Fault{
+		{P: 0.10, Q: 0.004},
+		{P: 0.08, Q: 0.002},
+		{P: 0.05, Q: 0.008},
+		{P: 0.05, Q: 0.001},
+		{P: 0.03, Q: 0.010},
+		{P: 0.02, Q: 0.003},
+		{P: 0.02, Q: 0.001},
+		{P: 0.01, Q: 0.020},
+		{P: 0.01, Q: 0.002},
+		{P: 0.005, Q: 0.015},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's equations (1)-(2): moments of the PFD of one version
+	// and of the 1-out-of-2 diverse pair.
+	mu1 := must(fs.MeanPFD(1))
+	mu2 := must(fs.MeanPFD(2))
+	sigma1 := must(fs.SigmaPFD(1))
+	sigma2 := must(fs.SigmaPFD(2))
+	fmt.Printf("one version:   mean PFD %.3e, sigma %.3e\n", mu1, sigma1)
+	fmt.Printf("1-out-of-2:    mean PFD %.3e, sigma %.3e\n", mu2, sigma2)
+	fmt.Printf("mean gain:     %.1fx (eq (4) guarantees at least %.1fx)\n\n",
+		mu1/mu2, 1/fs.PMax())
+
+	// Section 4: the probability that the diverse pair shares no fault
+	// at all, and the risk ratio of equation (10).
+	fmt.Printf("P(version fault-free)  = %.4f\n", must(fs.PNoFault(1)))
+	fmt.Printf("P(no common fault)     = %.4f\n", must(fs.PNoFault(2)))
+	fmt.Printf("risk ratio (eq 10)     = %.4f (small = diversity helps)\n\n", must(fs.RiskRatio()))
+
+	// Section 5: confidence bounds under the normal approximation. The
+	// 99%% level corresponds to mu + 2.33 sigma.
+	bound1 := must(fs.ConfidenceBoundAt(1, 0.99))
+	bound2 := must(fs.ConfidenceBoundAt(2, 0.99))
+	fmt.Printf("99%% bound, one version: %.3e\n", bound1)
+	fmt.Printf("99%% bound, 1-out-of-2:  %.3e\n", bound2)
+	b11 := must2(diversity.TwoVersionBoundFromMoments(mu1, sigma1, fs.PMax(), 2.33))
+	fmt.Printf("formula (11) bound from one-version data: %.3e\n\n", b11)
+
+	// Cross-check by simulating 100k independent development pairs.
+	mc, err := diversity.MonteCarlo(diversity.MonteCarloConfig{
+		Process:  diversity.NewIndependentProcess(fs),
+		Versions: 2,
+		Reps:     100000,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monte Carlo over %d pairs:\n", mc.Reps)
+	fmt.Printf("  empirical P(no common fault) = %.4f\n",
+		float64(mc.SystemFaultFree)/float64(mc.Reps))
+	ratio, err := mc.RiskRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  empirical risk ratio         = %.4f\n", ratio)
+}
+
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func must2(v float64, err error) float64 { return must(v, err) }

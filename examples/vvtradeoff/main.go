@@ -1,0 +1,93 @@
+// Vvtradeoff: should a project spend its verification budget on testing
+// one version harder, or on developing a second, diverse version? This is
+// the "N-version design versus one good version" debate the paper's
+// introduction engages (Hatton, IEEE Software 1997; the authors' replies),
+// made concrete with the fault-creation model and a statistical-testing
+// improvement: a fault with region probability q survives T test demands
+// with probability (1-q)^T.
+//
+// Run with:
+//
+//	go run ./examples/vvtradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diversity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vvtradeoff: ")
+
+	universes := []struct {
+		name   string
+		faults []diversity.Fault
+		note   string
+	}{
+		{
+			name: "large-region faults (testing finds them)",
+			faults: []diversity.Fault{
+				{P: 0.5, Q: 0.01},
+				{P: 0.3, Q: 0.02},
+			},
+			note: "testing scrubs these quickly: the well-tested single version wins once\n  the second development's overhead costs more than the p->p^2 factor buys",
+		},
+		{
+			name: "tiny-region faults (testing is blind)",
+			faults: []diversity.Fault{
+				{P: 0.2, Q: 2e-6}, {P: 0.2, Q: 1e-6}, {P: 0.2, Q: 3e-6},
+				{P: 0.2, Q: 2e-6}, {P: 0.2, Q: 1e-6}, {P: 0.2, Q: 2e-6},
+			},
+			note: "no realistic budget hits these regions: only diversity's squaring of\n  the presence probabilities helps",
+		},
+	}
+	const overhead = 500.0
+	budgets := []float64{600, 1000, 2000, 5000, 20000}
+
+	for _, u := range universes {
+		fs, err := diversity.New(u.faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("universe: %s\n", u.name)
+		fmt.Printf("  budget   single (all tests)  diverse (overhead %g)  winner\n", overhead)
+		for _, budget := range budgets {
+			single, diverse, err := diversity.BudgetTrade(fs, budget, overhead)
+			if err != nil {
+				log.Fatal(err)
+			}
+			winner := "diverse"
+			if single < diverse {
+				winner = "single"
+			}
+			fmt.Printf("  %6.0f   %.6e        %.6e           %s\n", budget, single, diverse, winner)
+		}
+		fmt.Printf("  -> %s\n\n", u.note)
+	}
+
+	fmt.Println("testing also bends the gain from diversity itself (Section 4.2.1):")
+	fs, err := diversity.New([]diversity.Fault{
+		{P: 0.3, Q: 0.05},
+		{P: 0.2, Q: 0.0001},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  test demands   risk ratio P(N2>0)/P(N1>0)")
+	for _, demands := range []float64{0, 10, 40, 80, 160, 320} {
+		tested, err := diversity.ApplyTesting(fs, demands)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio, err := tested.RiskRatio()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %12.0f   %.4f\n", demands, ratio)
+	}
+	fmt.Println("  the ratio falls, then RISES: after testing removes the big faults,")
+	fmt.Println("  the leftover rare faults are the regime where diversity buys least.")
+}

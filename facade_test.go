@@ -1,0 +1,269 @@
+package diversity_test
+
+import (
+	"math"
+	"testing"
+
+	"diversity"
+)
+
+// TestFacadeSimulationSurface exercises every simulation re-export in the
+// public facade, guarding against drift between the facade and the
+// internal packages.
+func TestFacadeSimulationSurface(t *testing.T) {
+	t.Parallel()
+
+	box, err := diversity.NewBox(diversity.Point{0.1, 0.1}, diversity.Point{0.3, 0.4})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	if !box.Contains(diversity.Point{0.2, 0.2}) {
+		t.Error("box does not contain interior point")
+	}
+	ball, err := diversity.NewBall(diversity.Point{0.5, 0.5}, 0.1)
+	if err != nil {
+		t.Fatalf("NewBall: %v", err)
+	}
+	if !ball.Contains(diversity.Point{0.5, 0.55}) {
+		t.Error("ball does not contain interior point")
+	}
+	profile, err := diversity.NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	version, err := diversity.NewGeomVersion(2, box, ball)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	if version.NumRegions() != 2 {
+		t.Errorf("NumRegions = %d, want 2", version.NumRegions())
+	}
+
+	fs, err := diversity.Uniform(3, 0.4, 0.1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	layout, err := diversity.StripLayout(fs)
+	if err != nil {
+		t.Fatalf("StripLayout: %v", err)
+	}
+	proc := diversity.NewIndependentProcess(fs)
+	stream := diversity.NewStream(5)
+	vA, vB := proc.Develop(stream), proc.Develop(stream)
+	chA, err := diversity.BuildChannel(layout, vA.Has)
+	if err != nil {
+		t.Fatalf("BuildChannel: %v", err)
+	}
+	chB, err := diversity.BuildChannel(layout, vB.Has)
+	if err != nil {
+		t.Fatalf("BuildChannel: %v", err)
+	}
+	mission, err := diversity.RunPlant(diversity.PlantConfig{
+		MissionTime: 5000,
+		DemandRate:  1,
+		Profile:     profile,
+		ChannelA:    chA,
+		ChannelB:    chB,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatalf("RunPlant: %v", err)
+	}
+	want, err := diversity.CommonPFD(fs, vA, vB)
+	if err != nil {
+		t.Fatalf("CommonPFD: %v", err)
+	}
+	if mission.Demands > 0 && math.Abs(mission.SystemPFD()-want) > 0.05 {
+		t.Errorf("mission PFD %v far from model %v", mission.SystemPFD(), want)
+	}
+}
+
+func TestFacadeKnightLevesonAndImprovements(t *testing.T) {
+	t.Parallel()
+
+	out, err := diversity.RunKnightLeveson(diversity.KnightLevesonConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("RunKnightLeveson: %v", err)
+	}
+	if len(out.VersionPFDs) != 27 {
+		t.Errorf("replica produced %d versions, want 27", len(out.VersionPFDs))
+	}
+
+	fs, err := diversity.Uniform(3, 0.3, 0.05)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	points, err := diversity.TraceImprovement(fs, diversity.ProportionalImprovement{}, []float64{0, 0.5}, 1)
+	if err != nil {
+		t.Fatalf("TraceImprovement: %v", err)
+	}
+	if len(points) != 2 || points[1].RiskRatio >= points[0].RiskRatio {
+		t.Errorf("improvement trace wrong: %+v", points)
+	}
+	_, err = diversity.TraceImprovement(fs, diversity.SingleFaultImprovement{Index: 0}, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatalf("TraceImprovement single: %v", err)
+	}
+	_, err = diversity.TraceImprovement(fs, diversity.FaultClassImprovement{Indices: []int{0, 1}}, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatalf("TraceImprovement class: %v", err)
+	}
+	_, err = diversity.TraceImprovement(fs, diversity.StatisticalTesting{Demands: 100}, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatalf("TraceImprovement testing: %v", err)
+	}
+	tested, err := diversity.ApplyTesting(fs, 50)
+	if err != nil {
+		t.Fatalf("ApplyTesting: %v", err)
+	}
+	if tested.Fault(0).P >= fs.Fault(0).P {
+		t.Error("testing did not reduce presence probability")
+	}
+}
+
+func TestFacadeELAndLM(t *testing.T) {
+	t.Parallel()
+
+	fs, err := diversity.Uniform(2, 0.2, 0.1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	el, err := diversity.ELFromFaultSet(fs)
+	if err != nil {
+		t.Fatalf("ELFromFaultSet: %v", err)
+	}
+	mu1EL, err := el.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	mu1, err := fs.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	if math.Abs(mu1EL-mu1) > 1e-14 {
+		t.Errorf("EL mean %v != model mean %v", mu1EL, mu1)
+	}
+	lm, err := diversity.NewLittlewoodMiller(
+		[]float64{0.5, 0.5}, []float64{0.1, 0}, []float64{0, 0.1})
+	if err != nil {
+		t.Fatalf("NewLittlewoodMiller: %v", err)
+	}
+	if lm.MeanPFDSystem() != 0 {
+		t.Errorf("anti-correlated LM system mean = %v, want 0", lm.MeanPFDSystem())
+	}
+}
+
+func TestFacadeCalibration(t *testing.T) {
+	t.Parallel()
+
+	bound, err := diversity.EstimatePmax(diversity.Observations{
+		Versions: 20,
+		Counts:   []int{2, 0, 1},
+	}, 0.9)
+	if err != nil {
+		t.Fatalf("EstimatePmax: %v", err)
+	}
+	if bound.Bound <= 0.1 || bound.Bound >= 1 {
+		t.Errorf("pmax bound %v implausible for 2/20 occurrences", bound.Bound)
+	}
+	// The bound can drive the paper's formulas directly.
+	b12, err := diversity.TwoVersionBoundFromBound(0.011, bound.Bound)
+	if err != nil {
+		t.Fatalf("TwoVersionBoundFromBound: %v", err)
+	}
+	if b12 <= 0 || b12 >= 0.011 {
+		t.Errorf("calibrated formula-12 bound %v out of range", b12)
+	}
+}
+
+func TestFacadeBudgetTradeAndTwoProcess(t *testing.T) {
+	t.Parallel()
+
+	fs, err := diversity.Uniform(2, 0.3, 0.01)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	single, diverse, err := diversity.BudgetTrade(fs, 1000, 0)
+	if err != nil {
+		t.Fatalf("BudgetTrade: %v", err)
+	}
+	if diverse > single {
+		t.Errorf("zero-overhead diverse %v above single %v", diverse, single)
+	}
+	a, err := diversity.FromSlices([]float64{0.3, 0.1}, []float64{0.01, 0.02})
+	if err != nil {
+		t.Fatalf("FromSlices: %v", err)
+	}
+	b, err := diversity.FromSlices([]float64{0.1, 0.3}, []float64{0.01, 0.02})
+	if err != nil {
+		t.Fatalf("FromSlices: %v", err)
+	}
+	tp, err := diversity.NewTwoProcess(a, b)
+	if err != nil {
+		t.Fatalf("NewTwoProcess: %v", err)
+	}
+	ratio, _, _, err := tp.ForcedAdvantage()
+	if err != nil {
+		t.Fatalf("ForcedAdvantage: %v", err)
+	}
+	if ratio <= 1 {
+		t.Errorf("anti-correlated advantage %v, want > 1", ratio)
+	}
+}
+
+func TestFacadeStationaryAndExact(t *testing.T) {
+	t.Parallel()
+
+	fs, err := diversity.FromSlices([]float64{0.5, 0.2}, []float64{0.1, 0.1})
+	if err != nil {
+		t.Fatalf("FromSlices: %v", err)
+	}
+	p1z, err := fs.StationaryP(0)
+	if err != nil {
+		t.Fatalf("StationaryP: %v", err)
+	}
+	want, err := diversity.TwoFaultStationaryP1(0.2)
+	if err != nil {
+		t.Fatalf("TwoFaultStationaryP1: %v", err)
+	}
+	if math.Abs(p1z-want) > 1e-9 {
+		t.Errorf("general stationary %v vs closed form %v", p1z, want)
+	}
+	if fs.N() > diversity.MaxExactFaults {
+		t.Fatal("fixture exceeds MaxExactFaults")
+	}
+	dist, err := fs.ExactPFD(2)
+	if err != nil {
+		t.Fatalf("ExactPFD: %v", err)
+	}
+	merged, err := fs.MergeFaults(0, 1, 0.5)
+	if err != nil {
+		t.Fatalf("MergeFaults: %v", err)
+	}
+	if merged.N() != 1 || math.Abs(merged.Fault(0).Q-0.2) > 1e-15 {
+		t.Errorf("merged set wrong: %+v", merged.Faults())
+	}
+	if dist.Len() < 2 {
+		t.Errorf("exact distribution has %d support points", dist.Len())
+	}
+}
+
+func TestFacadeDemandsForClaim(t *testing.T) {
+	t.Parallel()
+
+	fs, err := diversity.New([]diversity.Fault{{P: 0.4, Q: 0.01}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	prior, err := diversity.PriorFromModel(fs, 256)
+	if err != nil {
+		t.Fatalf("PriorFromModel: %v", err)
+	}
+	demands, err := diversity.DemandsForClaim(prior, 0.001, 0.95, 1_000_000)
+	if err != nil {
+		t.Fatalf("DemandsForClaim: %v", err)
+	}
+	if demands <= 0 {
+		t.Errorf("demands = %d, want positive", demands)
+	}
+}

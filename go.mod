@@ -1,0 +1,3 @@
+module diversity
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package bayes implements the extension the paper proposes in its
+// conclusions: using the fault-creation model as a physically motivated
+// prior for Bayesian assessment of a specific diverse system from its
+// observed operational behaviour (reference [14] of the paper), instead of
+// priors "chosen for computational convenience only".
+//
+// The prior over the system PFD is the model's discrete distribution
+// (exact subset enumeration or lattice convolution). Observing the system
+// survive T demands with f failures multiplies each support point's
+// probability by the binomial likelihood θ^f·(1-θ)^(T-f); the posterior is
+// renormalised and queried for means, quantiles and exceedance
+// probabilities — the quantities a safety assessor reports.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversity/internal/faultmodel"
+)
+
+// Posterior is a discrete posterior distribution over PFD values.
+type Posterior struct {
+	values []float64
+	probs  []float64
+}
+
+// Update conditions a model-derived prior on operational evidence:
+// `failures` system failures in `demands` independent demands. It returns
+// an error for invalid counts, a nil prior, or evidence impossible under
+// the prior (e.g. failures observed when the prior puts all mass on
+// PFD = 0).
+func Update(prior *faultmodel.Distribution, demands, failures int) (*Posterior, error) {
+	if prior == nil {
+		return nil, errors.New("bayes: prior must not be nil")
+	}
+	if demands < 0 {
+		return nil, fmt.Errorf("bayes: demand count %d must be non-negative", demands)
+	}
+	if failures < 0 || failures > demands {
+		return nil, fmt.Errorf("bayes: failure count %d must be in [0, %d]", failures, demands)
+	}
+	values, probs := prior.Support()
+
+	// Work with log-likelihoods and subtract the maximum before
+	// exponentiating: with T ~ 1e6 demands the raw likelihoods underflow
+	// long before the posterior does.
+	logLik := make([]float64, len(values))
+	maxLL := math.Inf(-1)
+	for i, theta := range values {
+		ll := binomialLogLikelihood(theta, demands, failures)
+		logLik[i] = ll
+		if probs[i] > 0 && ll > maxLL {
+			maxLL = ll
+		}
+	}
+	if math.IsInf(maxLL, -1) {
+		return nil, errors.New("bayes: evidence impossible under the prior")
+	}
+	post := &Posterior{
+		values: values,
+		probs:  make([]float64, len(values)),
+	}
+	total := 0.0
+	for i := range values {
+		if probs[i] == 0 || math.IsInf(logLik[i], -1) {
+			continue
+		}
+		w := probs[i] * math.Exp(logLik[i]-maxLL)
+		post.probs[i] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("bayes: evidence impossible under the prior")
+	}
+	for i := range post.probs {
+		post.probs[i] /= total
+	}
+	return post, nil
+}
+
+// binomialLogLikelihood returns log P(f failures in T demands | PFD θ),
+// dropping the θ-independent binomial coefficient.
+func binomialLogLikelihood(theta float64, demands, failures int) float64 {
+	switch {
+	case theta < 0 || theta > 1:
+		return math.Inf(-1)
+	case failures == 0:
+		if theta == 1 && demands > 0 {
+			return math.Inf(-1)
+		}
+		return float64(demands) * math.Log1p(-theta)
+	case theta == 0:
+		return math.Inf(-1) // failures observed but θ = 0
+	case theta == 1:
+		if failures == demands {
+			return 0
+		}
+		return math.Inf(-1)
+	default:
+		return float64(failures)*math.Log(theta) + float64(demands-failures)*math.Log1p(-theta)
+	}
+}
+
+// Mean returns the posterior mean PFD.
+func (p *Posterior) Mean() float64 {
+	sum := 0.0
+	for i, v := range p.values {
+		sum += v * p.probs[i]
+	}
+	return sum
+}
+
+// Quantile returns the smallest support value x with P(Θ <= x) >= q.
+// It returns an error if q is outside [0, 1].
+func (p *Posterior) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("bayes: quantile requires q in [0, 1], got %v", q)
+	}
+	cum := 0.0
+	for i, v := range p.values {
+		cum += p.probs[i]
+		if cum >= q-1e-15 {
+			return v, nil
+		}
+	}
+	return p.values[len(p.values)-1], nil
+}
+
+// ProbBelow returns the posterior probability that the PFD is at most x —
+// the assessor's confidence that the system meets a required bound ϑR.
+func (p *Posterior) ProbBelow(x float64) float64 {
+	sum := 0.0
+	for i, v := range p.values {
+		if v <= x {
+			sum += p.probs[i]
+		}
+	}
+	return sum
+}
+
+// ProbZero returns the posterior probability that the system has no
+// defeating fault at all (PFD exactly 0) — the Section-4 measure after
+// operational evidence.
+func (p *Posterior) ProbZero() float64 {
+	sum := 0.0
+	for i, v := range p.values {
+		if v == 0 {
+			sum += p.probs[i]
+		}
+	}
+	return sum
+}
+
+// DemandsForClaim answers the assessor's planning question: how many
+// consecutive failure-free demands must be observed before the posterior
+// probability that the PFD is at most `bound` reaches `confidence`? It
+// returns the smallest such demand count (by binary search over Update),
+// or an error if the claim is unreachable — i.e. even unlimited
+// failure-free evidence cannot push enough mass below the bound, which
+// happens exactly when the prior puts no mass on PFD = 0 or below the
+// bound... in this discrete-prior setting, when the mass at PFD <= bound
+// is zero. maxDemands caps the search (and the promise the answer makes).
+func DemandsForClaim(prior *faultmodel.Distribution, bound, confidence float64, maxDemands int) (int, error) {
+	if prior == nil {
+		return 0, errors.New("bayes: prior must not be nil")
+	}
+	if math.IsNaN(bound) || bound < 0 {
+		return 0, fmt.Errorf("bayes: PFD bound %v must be non-negative", bound)
+	}
+	if math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("bayes: confidence %v must be in (0, 1)", confidence)
+	}
+	if maxDemands < 0 {
+		return 0, fmt.Errorf("bayes: maximum demand count %d must be non-negative", maxDemands)
+	}
+	achieves := func(demands int) (bool, error) {
+		post, err := Update(prior, demands, 0)
+		if err != nil {
+			return false, err
+		}
+		return post.ProbBelow(bound) >= confidence, nil
+	}
+	ok, err := achieves(0)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return 0, nil
+	}
+	ok, err = achieves(maxDemands)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("bayes: claim P(PFD <= %v) >= %v not reachable within %d failure-free demands", bound, confidence, maxDemands)
+	}
+	lo, hi := 0, maxDemands
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := achieves(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// PriorFromModel builds the prior over the two-version system PFD from a
+// fault set: exactly when the universe is small enough, otherwise on a
+// lattice with the given number of bins.
+func PriorFromModel(fs *faultmodel.FaultSet, bins int) (*faultmodel.Distribution, error) {
+	if fs == nil {
+		return nil, errors.New("bayes: fault set must not be nil")
+	}
+	if fs.N() <= faultmodel.MaxExactFaults {
+		return fs.ExactPFD(2)
+	}
+	return fs.LatticePFD(2, bins)
+}
+
+// EnsemblePrior builds a prior that also carries PARAMETER uncertainty:
+// the assessor is unsure of the fault universe itself, so `generate`
+// produces equally plausible fault sets (e.g. scenario draws with
+// different seeds) and the prior is the equal-weight mixture of their
+// system-PFD distributions. The paper's Section 3 concedes that "all
+// parameters are unknown and unmeasurable in practice"; an ensemble prior
+// is the honest Bayesian translation of that ignorance.
+func EnsemblePrior(generate func(seed uint64) (*faultmodel.FaultSet, error), members, bins int) (*faultmodel.Distribution, error) {
+	if generate == nil {
+		return nil, errors.New("bayes: generator must not be nil")
+	}
+	if members < 1 {
+		return nil, fmt.Errorf("bayes: ensemble size %d must be positive", members)
+	}
+	var values, probs []float64
+	weight := 1 / float64(members)
+	for seed := uint64(0); seed < uint64(members); seed++ {
+		fs, err := generate(seed)
+		if err != nil {
+			return nil, fmt.Errorf("bayes: generating ensemble member %d: %w", seed, err)
+		}
+		member, err := PriorFromModel(fs, bins)
+		if err != nil {
+			return nil, fmt.Errorf("bayes: member %d prior: %w", seed, err)
+		}
+		vs, ps := member.Support()
+		for i := range vs {
+			values = append(values, vs[i])
+			probs = append(probs, ps[i]*weight)
+		}
+	}
+	return faultmodel.NewDistribution(values, probs)
+}

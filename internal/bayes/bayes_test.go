@@ -1,0 +1,332 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/faultmodel"
+)
+
+func mustFaultSet(t *testing.T, faults []faultmodel.Fault) *faultmodel.FaultSet {
+	t.Helper()
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	return fs
+}
+
+func prior(t *testing.T, fs *faultmodel.FaultSet) *faultmodel.Distribution {
+	t.Helper()
+	d, err := PriorFromModel(fs, 512)
+	if err != nil {
+		t.Fatalf("PriorFromModel: %v", err)
+	}
+	return d
+}
+
+func TestUpdateValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.3, Q: 0.1}})
+	d := prior(t, fs)
+	if _, err := Update(nil, 10, 0); err == nil {
+		t.Error("nil prior succeeded, want error")
+	}
+	if _, err := Update(d, -1, 0); err == nil {
+		t.Error("negative demands succeeded, want error")
+	}
+	if _, err := Update(d, 10, 11); err == nil {
+		t.Error("failures > demands succeeded, want error")
+	}
+}
+
+func TestUpdateNoEvidenceIsPrior(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.3, Q: 0.1}, {P: 0.2, Q: 0.05}})
+	d := prior(t, fs)
+	post, err := Update(d, 0, 0)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if math.Abs(post.Mean()-d.Mean()) > 1e-12 {
+		t.Errorf("posterior mean %v != prior mean %v with no evidence", post.Mean(), d.Mean())
+	}
+}
+
+// TestUpdateFailureFreeOperationShiftsMassDown: surviving many demands
+// must reduce the posterior mean and raise the probability of a
+// fault-free system.
+func TestUpdateFailureFreeOperationShiftsMassDown(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.01}, {P: 0.3, Q: 0.002}})
+	d := prior(t, fs)
+	priorZero := 0.0
+	{
+		values, probs := d.Support()
+		for i, v := range values {
+			if v == 0 {
+				priorZero += probs[i]
+			}
+		}
+	}
+	prevMean := d.Mean()
+	prevZero := priorZero
+	for _, demands := range []int{100, 1000, 10000} {
+		post, err := Update(d, demands, 0)
+		if err != nil {
+			t.Fatalf("Update(%d, 0): %v", demands, err)
+		}
+		if post.Mean() >= prevMean {
+			t.Errorf("T=%d: posterior mean %v not below previous %v", demands, post.Mean(), prevMean)
+		}
+		if post.ProbZero() <= prevZero {
+			t.Errorf("T=%d: P(PFD=0) %v not above previous %v", demands, post.ProbZero(), prevZero)
+		}
+		prevMean = post.Mean()
+		prevZero = post.ProbZero()
+	}
+}
+
+// TestUpdateLongFailureFreeOperationConcentratesOnZero: with enormous
+// failure-free exposure, essentially all posterior mass sits on PFD = 0
+// (the only support point that never fails).
+func TestUpdateLongFailureFreeOperationConcentratesOnZero(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.01}})
+	d := prior(t, fs)
+	post, err := Update(d, 10_000_000, 0)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if post.ProbZero() < 0.999999 {
+		t.Errorf("P(PFD=0 | 1e7 clean demands) = %v, want ~1", post.ProbZero())
+	}
+}
+
+func TestUpdateObservedFailuresEliminateZero(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.01}, {P: 0.3, Q: 0.02}})
+	d := prior(t, fs)
+	post, err := Update(d, 1000, 3)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if post.ProbZero() != 0 {
+		t.Errorf("P(PFD=0) = %v after observed failures, want 0", post.ProbZero())
+	}
+	// The posterior should concentrate near the empirical rate 0.003,
+	// which the support points 0.01, 0.02, 0.03 bracket from above:
+	// the smallest positive support point (0.01) should dominate.
+	q50, err := post.Quantile(0.5)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if q50 != 0.01 {
+		t.Errorf("posterior median = %v, want 0.01", q50)
+	}
+}
+
+func TestUpdateImpossibleEvidence(t *testing.T) {
+	t.Parallel()
+
+	// Prior: the system certainly has no fault (p=0): observing a
+	// failure is impossible.
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0, Q: 0.1}})
+	d := prior(t, fs)
+	if _, err := Update(d, 10, 1); err == nil {
+		t.Error("impossible evidence succeeded, want error")
+	}
+}
+
+func TestPosteriorQuantileAndProbBelow(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.5, Q: 0.1}})
+	d := prior(t, fs) // support {0, 0.1} at 0.75/0.25 for the pair system
+	post, err := Update(d, 0, 0)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if got := post.ProbBelow(0.05); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("ProbBelow(0.05) = %v, want 0.75", got)
+	}
+	if got := post.ProbBelow(0.1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ProbBelow(0.1) = %v, want 1", got)
+	}
+	q, err := post.Quantile(0.5)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if q != 0 {
+		t.Errorf("median = %v, want 0", q)
+	}
+	q, err = post.Quantile(0.9)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if q != 0.1 {
+		t.Errorf("90th percentile = %v, want 0.1", q)
+	}
+	if _, err := post.Quantile(1.5); err == nil {
+		t.Error("Quantile(1.5) succeeded, want error")
+	}
+}
+
+func TestPriorFromModelLargeUniverseUsesLattice(t *testing.T) {
+	t.Parallel()
+
+	faults := make([]faultmodel.Fault, faultmodel.MaxExactFaults+5)
+	for i := range faults {
+		faults[i] = faultmodel.Fault{P: 0.1, Q: 0.5 / float64(len(faults))}
+	}
+	fs := mustFaultSet(t, faults)
+	d, err := PriorFromModel(fs, 256)
+	if err != nil {
+		t.Fatalf("PriorFromModel: %v", err)
+	}
+	mu2, err := fs.MeanPFD(2)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	if math.Abs(d.Mean()-mu2) > 1e-9 {
+		t.Errorf("lattice prior mean %v, model %v", d.Mean(), mu2)
+	}
+	if _, err := PriorFromModel(nil, 256); err == nil {
+		t.Error("nil fault set succeeded, want error")
+	}
+}
+
+func TestDemandsForClaim(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.01}})
+	d := prior(t, fs)
+	// Claim: PFD <= 0.001 (i.e. effectively PFD = 0 in this two-point
+	// prior) at 99% confidence. Prior mass below: 0.6·... for the pair
+	// system P(no common fault) = 1-0.16 = 0.84 < 0.99, so some testing
+	// is needed.
+	demands, err := DemandsForClaim(d, 0.001, 0.99, 10_000_000)
+	if err != nil {
+		t.Fatalf("DemandsForClaim: %v", err)
+	}
+	if demands <= 0 {
+		t.Fatalf("demands = %d, want positive", demands)
+	}
+	// Verify minimality: the claim holds at `demands` and not at
+	// `demands-1`.
+	post, err := Update(d, demands, 0)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if post.ProbBelow(0.001) < 0.99 {
+		t.Errorf("claim not achieved at the returned count %d", demands)
+	}
+	post, err = Update(d, demands-1, 0)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if post.ProbBelow(0.001) >= 0.99 {
+		t.Errorf("claim already achieved at %d-1; returned count not minimal", demands)
+	}
+}
+
+func TestDemandsForClaimImmediate(t *testing.T) {
+	t.Parallel()
+
+	// A prior already satisfying the claim needs zero demands.
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.01, Q: 0.01}})
+	d := prior(t, fs)
+	demands, err := DemandsForClaim(d, 0.001, 0.99, 1000)
+	if err != nil {
+		t.Fatalf("DemandsForClaim: %v", err)
+	}
+	if demands != 0 {
+		t.Errorf("demands = %d, want 0 (prior P(PFD=0) = 0.9999)", demands)
+	}
+}
+
+func TestDemandsForClaimUnreachable(t *testing.T) {
+	t.Parallel()
+
+	// The system certainly has the fault: no amount of failure-free
+	// operation is expected, and the claim below its PFD is unreachable.
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 1, Q: 0.01}})
+	d := prior(t, fs)
+	if _, err := DemandsForClaim(d, 0.001, 0.99, 100000); err == nil {
+		t.Error("unreachable claim succeeded, want error")
+	}
+}
+
+func TestDemandsForClaimValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.01}})
+	d := prior(t, fs)
+	if _, err := DemandsForClaim(nil, 0.001, 0.99, 100); err == nil {
+		t.Error("nil prior succeeded, want error")
+	}
+	if _, err := DemandsForClaim(d, -1, 0.99, 100); err == nil {
+		t.Error("negative bound succeeded, want error")
+	}
+	if _, err := DemandsForClaim(d, 0.001, 1.5, 100); err == nil {
+		t.Error("invalid confidence succeeded, want error")
+	}
+	if _, err := DemandsForClaim(d, 0.001, 0.99, -1); err == nil {
+		t.Error("negative cap succeeded, want error")
+	}
+}
+
+func TestEnsemblePrior(t *testing.T) {
+	t.Parallel()
+
+	// Two deterministic members with known means.
+	generate := func(seed uint64) (*faultmodel.FaultSet, error) {
+		if seed == 0 {
+			return faultmodel.New([]faultmodel.Fault{{P: 0.5, Q: 0.1}})
+		}
+		return faultmodel.New([]faultmodel.Fault{{P: 0.1, Q: 0.2}})
+	}
+	prior, err := EnsemblePrior(generate, 2, 128)
+	if err != nil {
+		t.Fatalf("EnsemblePrior: %v", err)
+	}
+	// Member means: 0.25*0.1 = 0.025 and 0.01*0.2 = 0.002. Ensemble mean
+	// is their average.
+	want := (0.025 + 0.002) / 2
+	if math.Abs(prior.Mean()-want) > 1e-12 {
+		t.Errorf("ensemble mean %v, want %v", prior.Mean(), want)
+	}
+	// The ensemble is a valid prior for updating.
+	post, err := Update(prior, 1000, 0)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if post.Mean() >= prior.Mean() {
+		t.Errorf("posterior mean %v not below prior mean %v", post.Mean(), prior.Mean())
+	}
+}
+
+func TestEnsemblePriorValidation(t *testing.T) {
+	t.Parallel()
+
+	gen := func(seed uint64) (*faultmodel.FaultSet, error) {
+		return faultmodel.New([]faultmodel.Fault{{P: 0.5, Q: 0.1}})
+	}
+	if _, err := EnsemblePrior(nil, 2, 128); err == nil {
+		t.Error("nil generator succeeded, want error")
+	}
+	if _, err := EnsemblePrior(gen, 0, 128); err == nil {
+		t.Error("zero members succeeded, want error")
+	}
+	failing := func(seed uint64) (*faultmodel.FaultSet, error) {
+		return nil, faultmodel.ErrEmptyFaultSet
+	}
+	if _, err := EnsemblePrior(failing, 2, 128); err == nil {
+		t.Error("failing generator succeeded, want error")
+	}
+}

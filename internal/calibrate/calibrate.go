@@ -1,0 +1,127 @@
+// Package calibrate estimates the fault-creation model's parameters from
+// the kind of evidence real assessors hold: counts of how often each fault
+// class appeared across versions developed in past, comparable projects
+// (the paper's Section 6.3: "assessors will derive beliefs about these
+// parameters from their own experience of faults found ... in
+// circumstances considered similar").
+//
+// The central output is an upper confidence bound on pmax — the one
+// parameter the paper's headline formulas (4), (9), (11), (12) need. Each
+// fault class's presence count across n observed versions is Binomial(n,
+// p_i); the package forms a per-class upper confidence limit by inverting
+// the binomial tail (Clopper–Pearson), Bonferroni-adjusted so that the
+// MAXIMUM over classes is a simultaneous bound: with probability at least
+// `level`, every true p_i lies below its limit, hence pmax below the
+// reported bound.
+package calibrate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversity/internal/stats"
+)
+
+// Observations holds fault-occurrence evidence from past projects:
+// Versions developed versions were examined, and fault class i was found
+// in Counts[i] of them.
+type Observations struct {
+	// Versions is the number of observed versions (> 0).
+	Versions int
+	// Counts[i] is the number of observed versions containing fault
+	// class i; each must lie in [0, Versions].
+	Counts []int
+}
+
+// validate checks the observation shape.
+func (o Observations) validate() error {
+	if o.Versions < 1 {
+		return fmt.Errorf("calibrate: observed version count %d must be positive", o.Versions)
+	}
+	if len(o.Counts) == 0 {
+		return errors.New("calibrate: at least one fault class is required")
+	}
+	for i, c := range o.Counts {
+		if c < 0 || c > o.Versions {
+			return fmt.Errorf("calibrate: fault class %d count %d outside [0, %d]", i, c, o.Versions)
+		}
+	}
+	return nil
+}
+
+// EstimateP returns the maximum-likelihood estimates p̂_i = Counts[i]/Versions.
+func EstimateP(o Observations) ([]float64, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	est := make([]float64, len(o.Counts))
+	for i, c := range o.Counts {
+		est[i] = float64(c) / float64(o.Versions)
+	}
+	return est, nil
+}
+
+// UpperP returns the one-sided Clopper–Pearson upper confidence limit for
+// one fault class: the largest p consistent with seeing at most `count`
+// occurrences in `versions` versions at the given confidence. For
+// count = versions the limit is 1.
+func UpperP(count, versions int, confidence float64) (float64, error) {
+	if versions < 1 {
+		return 0, fmt.Errorf("calibrate: version count %d must be positive", versions)
+	}
+	if count < 0 || count > versions {
+		return 0, fmt.Errorf("calibrate: count %d outside [0, %d]", count, versions)
+	}
+	if math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("calibrate: confidence %v must be in (0, 1)", confidence)
+	}
+	if count == versions {
+		return 1, nil
+	}
+	// The exact upper limit is the (confidence) quantile of
+	// Beta(count+1, versions-count).
+	beta, err := stats.NewBeta(float64(count)+1, float64(versions-count))
+	if err != nil {
+		return 0, err
+	}
+	return beta.Quantile(confidence)
+}
+
+// PmaxBound is a simultaneous upper confidence bound on pmax.
+type PmaxBound struct {
+	// Bound is the simultaneous upper limit: P(pmax <= Bound) >= Level.
+	Bound float64
+	// PerClass holds the Bonferroni-adjusted per-class upper limits.
+	PerClass []float64
+	// Level is the nominal simultaneous confidence.
+	Level float64
+}
+
+// UpperPmax returns a simultaneous upper confidence bound on
+// pmax = max_i p_i at the given confidence level, via Bonferroni-adjusted
+// Clopper–Pearson limits: each class gets a one-sided limit at level
+// 1-(1-level)/k, so the union of undercoverage events has probability at
+// most 1-level.
+func UpperPmax(o Observations, level float64) (PmaxBound, error) {
+	if err := o.validate(); err != nil {
+		return PmaxBound{}, err
+	}
+	if math.IsNaN(level) || level <= 0 || level >= 1 {
+		return PmaxBound{}, fmt.Errorf("calibrate: confidence level %v must be in (0, 1)", level)
+	}
+	k := len(o.Counts)
+	perClassConf := 1 - (1-level)/float64(k)
+	bound := PmaxBound{PerClass: make([]float64, k), Level: level}
+	for i, c := range o.Counts {
+		u, err := UpperP(c, o.Versions, perClassConf)
+		if err != nil {
+			return PmaxBound{}, err
+		}
+		bound.PerClass[i] = u
+		if u > bound.Bound {
+			bound.Bound = u
+		}
+	}
+	return bound, nil
+}

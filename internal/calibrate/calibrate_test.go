@@ -1,0 +1,166 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/randx"
+)
+
+func TestEstimateP(t *testing.T) {
+	t.Parallel()
+
+	est, err := EstimateP(Observations{Versions: 20, Counts: []int{2, 0, 20}})
+	if err != nil {
+		t.Fatalf("EstimateP: %v", err)
+	}
+	want := []float64{0.1, 0, 1}
+	for i := range want {
+		if math.Abs(est[i]-want[i]) > 1e-15 {
+			t.Errorf("estimate %d = %v, want %v", i, est[i], want[i])
+		}
+	}
+}
+
+func TestObservationsValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name string
+		obs  Observations
+	}{
+		{name: "zero versions", obs: Observations{Versions: 0, Counts: []int{1}}},
+		{name: "no classes", obs: Observations{Versions: 5}},
+		{name: "negative count", obs: Observations{Versions: 5, Counts: []int{-1}}},
+		{name: "count above versions", obs: Observations{Versions: 5, Counts: []int{6}}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := EstimateP(tt.obs); err == nil {
+				t.Errorf("EstimateP(%+v) succeeded, want error", tt.obs)
+			}
+			if _, err := UpperPmax(tt.obs, 0.95); err == nil {
+				t.Errorf("UpperPmax(%+v) succeeded, want error", tt.obs)
+			}
+		})
+	}
+}
+
+func TestUpperPKnownValues(t *testing.T) {
+	t.Parallel()
+
+	// Zero occurrences in n versions: the 95% upper limit is
+	// 1-(0.05)^{1/n} ("rule of three" neighbourhood).
+	u, err := UpperP(0, 30, 0.95)
+	if err != nil {
+		t.Fatalf("UpperP: %v", err)
+	}
+	want := 1 - math.Pow(0.05, 1.0/30)
+	if math.Abs(u-want) > 1e-9 {
+		t.Errorf("UpperP(0, 30) = %v, want %v", u, want)
+	}
+	// All occurrences: limit is 1.
+	u, err = UpperP(30, 30, 0.95)
+	if err != nil {
+		t.Fatalf("UpperP: %v", err)
+	}
+	if u != 1 {
+		t.Errorf("UpperP(30, 30) = %v, want 1", u)
+	}
+	// The limit is above the MLE.
+	u, err = UpperP(3, 30, 0.95)
+	if err != nil {
+		t.Fatalf("UpperP: %v", err)
+	}
+	if u <= 0.1 {
+		t.Errorf("UpperP(3, 30) = %v, want above the MLE 0.1", u)
+	}
+	if _, err := UpperP(1, 10, 1.5); err == nil {
+		t.Error("invalid confidence succeeded, want error")
+	}
+}
+
+func TestUpperPMonotoneInCount(t *testing.T) {
+	t.Parallel()
+
+	prev := -1.0
+	for c := 0; c <= 20; c++ {
+		u, err := UpperP(c, 20, 0.9)
+		if err != nil {
+			t.Fatalf("UpperP(%d, 20): %v", c, err)
+		}
+		if u <= prev {
+			t.Fatalf("UpperP not increasing at count %d: %v <= %v", c, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestUpperPmaxDominatesPerClass(t *testing.T) {
+	t.Parallel()
+
+	obs := Observations{Versions: 25, Counts: []int{0, 2, 5, 1}}
+	bound, err := UpperPmax(obs, 0.95)
+	if err != nil {
+		t.Fatalf("UpperPmax: %v", err)
+	}
+	if len(bound.PerClass) != 4 {
+		t.Fatalf("PerClass has %d entries, want 4", len(bound.PerClass))
+	}
+	maxPer := 0.0
+	for _, u := range bound.PerClass {
+		if u > maxPer {
+			maxPer = u
+		}
+	}
+	if bound.Bound != maxPer {
+		t.Errorf("Bound = %v, want max per-class %v", bound.Bound, maxPer)
+	}
+	if bound.Level != 0.95 {
+		t.Errorf("Level = %v, want 0.95", bound.Level)
+	}
+	// The class with the most occurrences dominates.
+	if bound.PerClass[2] != maxPer {
+		t.Errorf("expected class 2 (5/25) to dominate: %v", bound.PerClass)
+	}
+	if _, err := UpperPmax(obs, 0); err == nil {
+		t.Error("level 0 succeeded, want error")
+	}
+}
+
+// TestUpperPmaxCoverage: the simultaneous bound must cover the true pmax
+// at least `level` of the time over repeated synthetic calibrations.
+func TestUpperPmaxCoverage(t *testing.T) {
+	t.Parallel()
+
+	truePs := []float64{0.15, 0.08, 0.02, 0.01, 0.005}
+	truePmax := 0.15
+	const (
+		versions = 12
+		trials   = 2000
+		level    = 0.9
+	)
+	r := randx.NewStream(7)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		counts := make([]int, len(truePs))
+		for i, p := range truePs {
+			counts[i] = r.Binomial(versions, p)
+		}
+		bound, err := UpperPmax(Observations{Versions: versions, Counts: counts}, level)
+		if err != nil {
+			t.Fatalf("UpperPmax: %v", err)
+		}
+		if bound.Bound >= truePmax {
+			covered++
+		}
+	}
+	coverage := float64(covered) / trials
+	// Bonferroni + Clopper-Pearson are conservative: coverage should be
+	// at least the nominal level (with a small slack for MC noise).
+	if coverage < level-0.02 {
+		t.Errorf("simultaneous coverage %.3f below nominal %.2f", coverage, level)
+	}
+}

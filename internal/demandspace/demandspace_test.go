@@ -1,0 +1,420 @@
+package demandspace
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/randx"
+)
+
+func TestNewBoxValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		lo, hi Point
+	}{
+		{name: "mismatched dims", lo: Point{0}, hi: Point{1, 1}},
+		{name: "empty", lo: Point{}, hi: Point{}},
+		{name: "inverted", lo: Point{0.5}, hi: Point{0.2}},
+		{name: "below zero", lo: Point{-0.1}, hi: Point{0.5}},
+		{name: "above one", lo: Point{0.5}, hi: Point{1.5}},
+		{name: "NaN", lo: Point{math.NaN()}, hi: Point{0.5}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := NewBox(tt.lo, tt.hi); err == nil {
+				t.Errorf("NewBox(%v, %v) succeeded, want error", tt.lo, tt.hi)
+			}
+		})
+	}
+}
+
+func TestBoxContainsAndVolume(t *testing.T) {
+	t.Parallel()
+
+	b, err := NewBox(Point{0.2, 0.3}, Point{0.5, 0.8})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	if !b.Contains(Point{0.3, 0.5}) {
+		t.Error("interior point not contained")
+	}
+	if !b.Contains(Point{0.2, 0.3}) || !b.Contains(Point{0.5, 0.8}) {
+		t.Error("boundary points not contained")
+	}
+	if b.Contains(Point{0.1, 0.5}) || b.Contains(Point{0.3, 0.9}) {
+		t.Error("exterior point contained")
+	}
+	if b.Contains(Point{0.3}) {
+		t.Error("wrong-dimension point contained")
+	}
+	if got, want := b.Volume(), 0.3*0.5; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Volume = %v, want %v", got, want)
+	}
+	if b.Dim() != 2 {
+		t.Errorf("Dim = %d, want 2", b.Dim())
+	}
+}
+
+func TestBallContains(t *testing.T) {
+	t.Parallel()
+
+	ball, err := NewBall(Point{0.5, 0.5}, 0.2)
+	if err != nil {
+		t.Fatalf("NewBall: %v", err)
+	}
+	if !ball.Contains(Point{0.5, 0.5}) || !ball.Contains(Point{0.65, 0.5}) {
+		t.Error("points inside ball not contained")
+	}
+	if ball.Contains(Point{0.5, 0.75}) {
+		t.Error("point outside ball contained")
+	}
+	if ball.Contains(Point{0.5}) {
+		t.Error("wrong-dimension point contained")
+	}
+	if _, err := NewBall(Point{1.5}, 0.1); err == nil {
+		t.Error("centre outside hypercube succeeded, want error")
+	}
+	if _, err := NewBall(Point{0.5}, 0); err == nil {
+		t.Error("zero radius succeeded, want error")
+	}
+	if _, err := NewBall(Point{}, 0.1); err == nil {
+		t.Error("empty centre succeeded, want error")
+	}
+}
+
+func TestUnionAndCellArray(t *testing.T) {
+	t.Parallel()
+
+	bounds, err := NewBox(Point{0, 0}, Point{1, 1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	cells, err := CellArray(bounds, 2, 2, 0.5)
+	if err != nil {
+		t.Fatalf("CellArray: %v", err)
+	}
+	if len(cells.Parts) != 4 {
+		t.Fatalf("CellArray produced %d parts, want 4", len(cells.Parts))
+	}
+	// Cell (0,0) covers [0, 0.25] x [0, 0.25].
+	if !cells.Contains(Point{0.1, 0.1}) {
+		t.Error("point inside first cell not contained")
+	}
+	// The gap between cells is not covered.
+	if cells.Contains(Point{0.3, 0.3}) {
+		t.Error("gap point contained")
+	}
+	if cells.Dim() != 2 {
+		t.Errorf("Dim = %d, want 2", cells.Dim())
+	}
+	if _, err := NewUnion(); err == nil {
+		t.Error("empty union succeeded, want error")
+	}
+	oneD, err := NewBox(Point{0}, Point{1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	if _, err := NewUnion(bounds, oneD); err == nil {
+		t.Error("mixed-dimension union succeeded, want error")
+	}
+	if _, err := CellArray(oneD, 2, 2, 0.5); err == nil {
+		t.Error("1-D cell array succeeded, want error")
+	}
+	if _, err := CellArray(bounds, 0, 2, 0.5); err == nil {
+		t.Error("zero rows succeeded, want error")
+	}
+	if _, err := CellArray(bounds, 2, 2, 1.5); err == nil {
+		t.Error("cell fraction > 1 succeeded, want error")
+	}
+}
+
+func TestMeasureRegionUniformMatchesVolume(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	box, err := NewBox(Point{0.1, 0.2}, Point{0.4, 0.9})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	r := randx.NewStream(3)
+	got, se, err := MeasureRegion(r, profile, box, 200000)
+	if err != nil {
+		t.Fatalf("MeasureRegion: %v", err)
+	}
+	want := box.Volume()
+	if math.Abs(got-want) > 5*se+1e-9 {
+		t.Errorf("measure = %v ± %v, want %v", got, se, want)
+	}
+}
+
+func TestMeasureRegionBallArea(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	ball, err := NewBall(Point{0.5, 0.5}, 0.25)
+	if err != nil {
+		t.Fatalf("NewBall: %v", err)
+	}
+	r := randx.NewStream(5)
+	got, se, err := MeasureRegion(r, profile, ball, 200000)
+	if err != nil {
+		t.Fatalf("MeasureRegion: %v", err)
+	}
+	want := math.Pi * 0.25 * 0.25
+	if math.Abs(got-want) > 5*se+1e-9 {
+		t.Errorf("ball measure = %v ± %v, want %v", got, se, want)
+	}
+}
+
+func TestMeasureRegionValidation(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	box, err := NewBox(Point{0.1}, Point{0.4})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	r := randx.NewStream(1)
+	if _, _, err := MeasureRegion(r, profile, box, 100); err == nil {
+		t.Error("dimension mismatch succeeded, want error")
+	}
+	box2, err := NewBox(Point{0.1, 0.1}, Point{0.4, 0.4})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	if _, _, err := MeasureRegion(r, profile, box2, 0); err == nil {
+		t.Error("zero samples succeeded, want error")
+	}
+	if _, _, err := MeasureRegion(r, nil, box2, 10); err == nil {
+		t.Error("nil profile succeeded, want error")
+	}
+}
+
+func TestPeakedProfileConcentratesMass(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewPeakedProfile(2, []PeakComponent{
+		{Weight: 1, Center: Point{0.2, 0.2}, Spread: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("NewPeakedProfile: %v", err)
+	}
+	nearMode, err := NewBox(Point{0.05, 0.05}, Point{0.35, 0.35})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	r := randx.NewStream(7)
+	got, _, err := MeasureRegion(r, profile, nearMode, 50000)
+	if err != nil {
+		t.Fatalf("MeasureRegion: %v", err)
+	}
+	// ±3 sigma around the mode: nearly all mass, far above the box's
+	// uniform measure of 0.09.
+	if got < 0.95 {
+		t.Errorf("mass near mode = %v, want > 0.95", got)
+	}
+}
+
+func TestPeakedProfileValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewPeakedProfile(0, nil); err == nil {
+		t.Error("zero dimension succeeded, want error")
+	}
+	if _, err := NewPeakedProfile(2, nil); err == nil {
+		t.Error("no components succeeded, want error")
+	}
+	if _, err := NewPeakedProfile(2, []PeakComponent{{Weight: 1, Center: Point{0.5}, Spread: 0.1}}); err == nil {
+		t.Error("mismatched centre succeeded, want error")
+	}
+	if _, err := NewPeakedProfile(1, []PeakComponent{{Weight: 1, Center: Point{0.5}, Spread: 0}}); err == nil {
+		t.Error("zero spread succeeded, want error")
+	}
+	if _, err := NewPeakedProfile(1, []PeakComponent{{Weight: 0, Center: Point{0.5}, Spread: 0.1}}); err == nil {
+		t.Error("zero total weight succeeded, want error")
+	}
+}
+
+func TestSimulatePairDisjointRegions(t *testing.T) {
+	t.Parallel()
+
+	// Version A fails on [0, 0.1] x [0, 1], version B on [0.05, 0.15] x
+	// [0, 1]: intersection is [0.05, 0.1] with measure 0.05.
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	boxA, err := NewBox(Point{0, 0}, Point{0.1, 1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	boxB, err := NewBox(Point{0.05, 0}, Point{0.15, 1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	a, err := NewGeomVersion(2, boxA)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	b, err := NewGeomVersion(2, boxB)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	r := randx.NewStream(11)
+	res, err := SimulatePair(r, profile, a, b, 300000)
+	if err != nil {
+		t.Fatalf("SimulatePair: %v", err)
+	}
+	if math.Abs(res.PFDA()-0.1) > 0.005 {
+		t.Errorf("PFD(A) = %v, want ~0.1", res.PFDA())
+	}
+	if math.Abs(res.PFDB()-0.1) > 0.005 {
+		t.Errorf("PFD(B) = %v, want ~0.1", res.PFDB())
+	}
+	if math.Abs(res.SystemPFD()-0.05) > 0.005 {
+		t.Errorf("system PFD = %v, want ~0.05 (intersection measure)", res.SystemPFD())
+	}
+}
+
+func TestSimulatePairFaultFreeVersionNeverFails(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	box, err := NewBox(Point{0, 0}, Point{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	faulty, err := NewGeomVersion(2, box)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	clean, err := NewGeomVersion(2)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	if clean.NumRegions() != 0 {
+		t.Fatalf("clean version has %d regions", clean.NumRegions())
+	}
+	r := randx.NewStream(13)
+	res, err := SimulatePair(r, profile, faulty, clean, 10000)
+	if err != nil {
+		t.Fatalf("SimulatePair: %v", err)
+	}
+	if res.FailuresB != 0 || res.SystemFailures != 0 {
+		t.Errorf("fault-free version failed: B=%d system=%d", res.FailuresB, res.SystemFailures)
+	}
+}
+
+func TestSimulatePairValidation(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	v2, err := NewGeomVersion(2)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	v3, err := NewGeomVersion(3)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	r := randx.NewStream(1)
+	if _, err := SimulatePair(r, profile, v2, v3, 10); err == nil {
+		t.Error("dimension mismatch succeeded, want error")
+	}
+	if _, err := SimulatePair(r, profile, v2, v2, 0); err == nil {
+		t.Error("zero demands succeeded, want error")
+	}
+	if _, err := SimulatePair(r, nil, v2, v2, 10); err == nil {
+		t.Error("nil profile succeeded, want error")
+	}
+	if _, err := NewGeomVersion(0); err == nil {
+		t.Error("zero-dimension version succeeded, want error")
+	}
+	oneD, err := NewBox(Point{0}, Point{1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	if _, err := NewGeomVersion(2, oneD); err == nil {
+		t.Error("region dimension mismatch succeeded, want error")
+	}
+}
+
+func TestMeasureOverlapPessimism(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	// Two boxes overlapping on half their area.
+	boxA, err := NewBox(Point{0.0, 0.0}, Point{0.2, 0.5})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	boxB, err := NewBox(Point{0.1, 0.0}, Point{0.3, 0.5})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	r := randx.NewStream(17)
+	rep, err := MeasureOverlap(r, profile, []Region{boxA, boxB}, 200000)
+	if err != nil {
+		t.Fatalf("MeasureOverlap: %v", err)
+	}
+	// Sum = 0.1+0.1 = 0.2; union = 0.15; pessimism = 0.05.
+	if math.Abs(rep.SumOfMeasures-0.2) > 0.01 {
+		t.Errorf("sum of measures = %v, want ~0.2", rep.SumOfMeasures)
+	}
+	if math.Abs(rep.UnionMeasure-0.15) > 0.01 {
+		t.Errorf("union measure = %v, want ~0.15", rep.UnionMeasure)
+	}
+	if math.Abs(rep.Pessimism-0.05) > 0.01 {
+		t.Errorf("pessimism = %v, want ~0.05", rep.Pessimism)
+	}
+	if _, err := MeasureOverlap(r, profile, nil, 100); err == nil {
+		t.Error("no regions succeeded, want error")
+	}
+}
+
+func TestMeasureOverlapDisjointHasNoPessimism(t *testing.T) {
+	t.Parallel()
+
+	profile, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	boxA, err := NewBox(Point{0.0, 0.0}, Point{0.2, 0.5})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	boxB, err := NewBox(Point{0.5, 0.5}, Point{0.7, 1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	r := randx.NewStream(19)
+	rep, err := MeasureOverlap(r, profile, []Region{boxA, boxB}, 200000)
+	if err != nil {
+		t.Fatalf("MeasureOverlap: %v", err)
+	}
+	if math.Abs(rep.Pessimism) > 0.01 {
+		t.Errorf("pessimism for disjoint regions = %v, want ~0", rep.Pessimism)
+	}
+}

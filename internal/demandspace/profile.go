@@ -1,0 +1,136 @@
+package demandspace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversity/internal/randx"
+)
+
+// Profile is a probability distribution of demands over the unit
+// hypercube. Each demand on the protection system is an independent draw
+// from the profile (the paper's "probability of each demand happening
+// during operation").
+type Profile interface {
+	// Sample fills out (of length Dim) with one demand.
+	Sample(r *randx.Stream, out Point)
+	// Dim returns the demand-space dimensionality.
+	Dim() int
+}
+
+// UniformProfile draws demands uniformly over the hypercube.
+type UniformProfile struct {
+	// D is the dimensionality; must be positive.
+	D int
+}
+
+var _ Profile = UniformProfile{}
+
+// NewUniformProfile returns a uniform profile of dimension d.
+func NewUniformProfile(d int) (UniformProfile, error) {
+	if d < 1 {
+		return UniformProfile{}, fmt.Errorf("demandspace: profile dimension %d must be positive", d)
+	}
+	return UniformProfile{D: d}, nil
+}
+
+// Sample implements Profile.
+func (u UniformProfile) Sample(r *randx.Stream, out Point) {
+	for i := range out {
+		out[i] = r.Float64()
+	}
+}
+
+// Dim implements Profile.
+func (u UniformProfile) Dim() int { return u.D }
+
+// PeakComponent is one mode of a PeakedProfile.
+type PeakComponent struct {
+	// Weight is the component's mixture weight (need not be normalised).
+	Weight float64
+	// Center is the mode location in the hypercube.
+	Center Point
+	// Spread is the per-coordinate standard deviation of the truncated
+	// Gaussian around the centre.
+	Spread float64
+}
+
+// PeakedProfile is a mixture of truncated Gaussians: plant operation
+// concentrates demands around typical states, so failure regions in
+// rarely visited corners have small q_i even when geometrically large.
+type PeakedProfile struct {
+	d          int
+	components []PeakComponent
+	picker     *randx.Categorical
+}
+
+var _ Profile = (*PeakedProfile)(nil)
+
+// NewPeakedProfile builds a mixture profile of dimension d.
+func NewPeakedProfile(d int, components []PeakComponent) (*PeakedProfile, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("demandspace: profile dimension %d must be positive", d)
+	}
+	if len(components) == 0 {
+		return nil, errors.New("demandspace: peaked profile requires at least one component")
+	}
+	weights := make([]float64, len(components))
+	for i, c := range components {
+		if len(c.Center) != d {
+			return nil, fmt.Errorf("demandspace: component %d centre has dimension %d, want %d", i, len(c.Center), d)
+		}
+		if math.IsNaN(c.Spread) || c.Spread <= 0 {
+			return nil, fmt.Errorf("demandspace: component %d spread %v must be positive", i, c.Spread)
+		}
+		weights[i] = c.Weight
+	}
+	picker, err := randx.NewCategorical(weights)
+	if err != nil {
+		return nil, fmt.Errorf("demandspace: component weights: %w", err)
+	}
+	return &PeakedProfile{d: d, components: components, picker: picker}, nil
+}
+
+// Sample implements Profile: it picks a component and draws a truncated
+// (by rejection) Gaussian around its centre.
+func (p *PeakedProfile) Sample(r *randx.Stream, out Point) {
+	c := p.components[p.picker.Draw(r)]
+	for i := range out {
+		for {
+			v := c.Center[i] + c.Spread*r.Normal()
+			if v >= 0 && v <= 1 {
+				out[i] = v
+				break
+			}
+		}
+	}
+}
+
+// Dim implements Profile.
+func (p *PeakedProfile) Dim() int { return p.d }
+
+// MeasureRegion estimates the profile probability of a region — the
+// model's q_i — by Monte-Carlo integration with the given number of
+// sample demands. It returns the estimate and its standard error.
+func MeasureRegion(r *randx.Stream, profile Profile, region Region, samples int) (estimate, stdErr float64, err error) {
+	if profile == nil || region == nil {
+		return 0, 0, errors.New("demandspace: profile and region must not be nil")
+	}
+	if samples < 1 {
+		return 0, 0, fmt.Errorf("demandspace: sample count %d must be positive", samples)
+	}
+	if profile.Dim() != region.Dim() {
+		return 0, 0, fmt.Errorf("demandspace: profile dimension %d does not match region dimension %d", profile.Dim(), region.Dim())
+	}
+	point := make(Point, profile.Dim())
+	hits := 0
+	for i := 0; i < samples; i++ {
+		profile.Sample(r, point)
+		if region.Contains(point) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(samples)
+	return p, math.Sqrt(p * (1 - p) / float64(samples)), nil
+}

@@ -1,0 +1,205 @@
+// Package demandspace simulates the paper's demand space (Section 2.1 and
+// Fig. 2): the set of all possible demands on the protection system, with
+// failure regions as subsets of it.
+//
+// A demand is a point in the unit hypercube [0,1]^d (each coordinate a
+// normalised plant state variable). Failure regions take the shapes
+// reported for real programs — axis-aligned boxes, balls, thin slabs and
+// disconnected unions such as arrays of small cells. A demand profile
+// defines the probability distribution of demands; region probabilities
+// (the model's q_i) are the profile measure of each region, estimated by
+// Monte-Carlo integration.
+//
+// The package exists to validate the coarser fault-level model against a
+// geometric ground truth: experiment E11 confirms that simulated PFDs
+// equal the summed region measures when regions are disjoint, and
+// experiment E14 quantifies the pessimism of the disjointness assumption
+// when they are allowed to overlap (paper Section 6.2).
+package demandspace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is a demand: one point in the unit hypercube.
+type Point []float64
+
+// Region is a measurable subset of the demand space.
+type Region interface {
+	// Contains reports whether the demand lies in the region.
+	Contains(p Point) bool
+	// Dim returns the dimensionality the region is defined for.
+	Dim() int
+}
+
+// Box is an axis-aligned hyper-rectangle [Lo_i, Hi_i] in every coordinate.
+type Box struct {
+	Lo, Hi Point
+}
+
+var _ Region = Box{}
+
+// NewBox returns a Box, validating that lo and hi have equal lengths, at
+// least one dimension, and lo <= hi coordinate-wise within [0, 1].
+func NewBox(lo, hi Point) (Box, error) {
+	if len(lo) != len(hi) {
+		return Box{}, fmt.Errorf("demandspace: box corner dimensions differ: %d vs %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Box{}, errors.New("demandspace: box requires at least one dimension")
+	}
+	for i := range lo {
+		if math.IsNaN(lo[i]) || math.IsNaN(hi[i]) || lo[i] < 0 || hi[i] > 1 || lo[i] > hi[i] {
+			return Box{}, fmt.Errorf("demandspace: invalid box extent [%v, %v] in dimension %d", lo[i], hi[i], i)
+		}
+	}
+	return Box{Lo: lo, Hi: hi}, nil
+}
+
+// Contains implements Region.
+func (b Box) Contains(p Point) bool {
+	if len(p) != len(b.Lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < b.Lo[i] || p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim implements Region.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Volume returns the Lebesgue volume of the box — its probability under a
+// uniform profile.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Lo {
+		v *= b.Hi[i] - b.Lo[i]
+	}
+	return v
+}
+
+// Ball is a Euclidean ball with the given centre and radius.
+type Ball struct {
+	Center Point
+	Radius float64
+}
+
+var _ Region = Ball{}
+
+// NewBall returns a Ball, validating the centre lies in the hypercube and
+// the radius is positive.
+func NewBall(center Point, radius float64) (Ball, error) {
+	if len(center) == 0 {
+		return Ball{}, errors.New("demandspace: ball requires at least one dimension")
+	}
+	for i, c := range center {
+		if math.IsNaN(c) || c < 0 || c > 1 {
+			return Ball{}, fmt.Errorf("demandspace: ball centre coordinate %d = %v outside [0, 1]", i, c)
+		}
+	}
+	if math.IsNaN(radius) || radius <= 0 {
+		return Ball{}, fmt.Errorf("demandspace: ball radius %v must be positive", radius)
+	}
+	return Ball{Center: center, Radius: radius}, nil
+}
+
+// Contains implements Region.
+func (b Ball) Contains(p Point) bool {
+	if len(p) != len(b.Center) {
+		return false
+	}
+	sum := 0.0
+	for i := range p {
+		d := p[i] - b.Center[i]
+		sum += d * d
+	}
+	return sum <= b.Radius*b.Radius
+}
+
+// Dim implements Region.
+func (b Ball) Dim() int { return len(b.Center) }
+
+// Union is a composite region: the union of its parts. It models the
+// non-connected failure regions reported in the literature the paper
+// cites (arrays of separate points or lines, Fig. 2 caption).
+type Union struct {
+	Parts []Region
+}
+
+var _ Region = Union{}
+
+// NewUnion returns the union of parts, validating that there is at least
+// one part and all parts share a dimension.
+func NewUnion(parts ...Region) (Union, error) {
+	if len(parts) == 0 {
+		return Union{}, errors.New("demandspace: union requires at least one part")
+	}
+	d := parts[0].Dim()
+	for i, part := range parts[1:] {
+		if part.Dim() != d {
+			return Union{}, fmt.Errorf("demandspace: union part %d has dimension %d, want %d", i+1, part.Dim(), d)
+		}
+	}
+	return Union{Parts: parts}, nil
+}
+
+// Contains implements Region.
+func (u Union) Contains(p Point) bool {
+	for _, part := range u.Parts {
+		if part.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dim implements Region.
+func (u Union) Dim() int {
+	if len(u.Parts) == 0 {
+		return 0
+	}
+	return u.Parts[0].Dim()
+}
+
+// CellArray builds the Fig. 2 style disconnected region: a rows x cols
+// array of small boxes spread over a bounding box in the first two
+// dimensions of a 2-D space. cellFrac in (0, 1] is the fraction of each
+// grid pitch covered by a cell.
+func CellArray(bounds Box, rows, cols int, cellFrac float64) (Union, error) {
+	if bounds.Dim() != 2 {
+		return Union{}, fmt.Errorf("demandspace: cell array requires a 2-D bounding box, got %d-D", bounds.Dim())
+	}
+	if rows < 1 || cols < 1 {
+		return Union{}, fmt.Errorf("demandspace: cell array needs positive rows and cols, got %dx%d", rows, cols)
+	}
+	if math.IsNaN(cellFrac) || cellFrac <= 0 || cellFrac > 1 {
+		return Union{}, fmt.Errorf("demandspace: cell fraction %v must be in (0, 1]", cellFrac)
+	}
+	pitchX := (bounds.Hi[0] - bounds.Lo[0]) / float64(cols)
+	pitchY := (bounds.Hi[1] - bounds.Lo[1]) / float64(rows)
+	parts := make([]Region, 0, rows*cols)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			lo := Point{
+				bounds.Lo[0] + float64(col)*pitchX,
+				bounds.Lo[1] + float64(row)*pitchY,
+			}
+			hi := Point{
+				lo[0] + pitchX*cellFrac,
+				lo[1] + pitchY*cellFrac,
+			}
+			cell, err := NewBox(lo, hi)
+			if err != nil {
+				return Union{}, fmt.Errorf("demandspace: cell (%d, %d): %w", row, col, err)
+			}
+			parts = append(parts, cell)
+		}
+	}
+	return NewUnion(parts...)
+}

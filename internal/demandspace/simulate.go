@@ -1,0 +1,144 @@
+package demandspace
+
+import (
+	"errors"
+	"fmt"
+
+	"diversity/internal/randx"
+)
+
+// GeomVersion is a program version at geometric granularity: the union of
+// the failure regions of the faults it contains. A version fails on a
+// demand exactly when the demand lies in one of its regions.
+type GeomVersion struct {
+	regions []Region
+	d       int
+}
+
+// NewGeomVersion builds a version from failure regions; a version with no
+// regions (fault-free) is valid and never fails. d is the demand-space
+// dimension, needed because an empty version has no regions to infer it
+// from.
+func NewGeomVersion(d int, regions ...Region) (*GeomVersion, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("demandspace: version dimension %d must be positive", d)
+	}
+	for i, region := range regions {
+		if region.Dim() != d {
+			return nil, fmt.Errorf("demandspace: region %d has dimension %d, want %d", i, region.Dim(), d)
+		}
+	}
+	v := &GeomVersion{regions: make([]Region, len(regions)), d: d}
+	copy(v.regions, regions)
+	return v, nil
+}
+
+// FailsOn reports whether the version fails on the demand.
+func (v *GeomVersion) FailsOn(p Point) bool {
+	for _, region := range v.regions {
+		if region.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumRegions returns the number of failure regions in the version.
+func (v *GeomVersion) NumRegions() int { return len(v.regions) }
+
+// Dim returns the demand-space dimension.
+func (v *GeomVersion) Dim() int { return v.d }
+
+// SimResult holds demand-by-demand failure statistics for a pair of
+// versions operated as a 1-out-of-2 system.
+type SimResult struct {
+	// Demands is the number of simulated demands.
+	Demands int
+	// FailuresA and FailuresB count individual version failures.
+	FailuresA, FailuresB int
+	// SystemFailures counts demands on which both versions failed — the
+	// 1oo2 system failures.
+	SystemFailures int
+}
+
+// PFDA returns the empirical PFD of version A.
+func (s SimResult) PFDA() float64 { return float64(s.FailuresA) / float64(s.Demands) }
+
+// PFDB returns the empirical PFD of version B.
+func (s SimResult) PFDB() float64 { return float64(s.FailuresB) / float64(s.Demands) }
+
+// SystemPFD returns the empirical PFD of the 1oo2 system.
+func (s SimResult) SystemPFD() float64 { return float64(s.SystemFailures) / float64(s.Demands) }
+
+// SimulatePair subjects two versions to the given number of independent
+// demands from the profile and records failure statistics. This is the
+// geometric ground truth the fault-level model abstracts: the system
+// fails exactly on the intersection of the versions' failure regions.
+func SimulatePair(r *randx.Stream, profile Profile, a, b *GeomVersion, demands int) (SimResult, error) {
+	if profile == nil || a == nil || b == nil {
+		return SimResult{}, errors.New("demandspace: profile and versions must not be nil")
+	}
+	if demands < 1 {
+		return SimResult{}, fmt.Errorf("demandspace: demand count %d must be positive", demands)
+	}
+	if profile.Dim() != a.Dim() || profile.Dim() != b.Dim() {
+		return SimResult{}, fmt.Errorf("demandspace: dimension mismatch: profile %d, versions %d and %d", profile.Dim(), a.Dim(), b.Dim())
+	}
+	res := SimResult{Demands: demands}
+	point := make(Point, profile.Dim())
+	for i := 0; i < demands; i++ {
+		profile.Sample(r, point)
+		fa := a.FailsOn(point)
+		fb := b.FailsOn(point)
+		if fa {
+			res.FailuresA++
+		}
+		if fb {
+			res.FailuresB++
+		}
+		if fa && fb {
+			res.SystemFailures++
+		}
+	}
+	return res, nil
+}
+
+// OverlapReport compares the disjoint-region model's PFD (the sum of
+// region measures) with the true PFD (the measure of the union) for one
+// version's regions — the paper's Section 6.2 pessimism analysis.
+type OverlapReport struct {
+	// SumOfMeasures is Σ q_i, what the fault-level model charges.
+	SumOfMeasures float64
+	// UnionMeasure is the true failure probability.
+	UnionMeasure float64
+	// Pessimism is SumOfMeasures - UnionMeasure >= 0 (up to Monte-Carlo
+	// noise): the model's overstatement of the PFD.
+	Pessimism float64
+}
+
+// MeasureOverlap estimates both measures with the given number of sample
+// demands per region.
+func MeasureOverlap(r *randx.Stream, profile Profile, regions []Region, samples int) (OverlapReport, error) {
+	if len(regions) == 0 {
+		return OverlapReport{}, errors.New("demandspace: at least one region is required")
+	}
+	var rep OverlapReport
+	for i, region := range regions {
+		q, _, err := MeasureRegion(r, profile, region, samples)
+		if err != nil {
+			return OverlapReport{}, fmt.Errorf("demandspace: measuring region %d: %w", i, err)
+		}
+		rep.SumOfMeasures += q
+	}
+	union, err := NewUnion(regions...)
+	if err != nil {
+		return OverlapReport{}, err
+	}
+	u, _, err := MeasureRegion(r, profile, union, samples)
+	if err != nil {
+		return OverlapReport{}, fmt.Errorf("demandspace: measuring union: %w", err)
+	}
+	rep.UnionMeasure = u
+	rep.Pessimism = rep.SumOfMeasures - rep.UnionMeasure
+	return rep, nil
+}

@@ -1,0 +1,131 @@
+package demandspace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversity/internal/randx"
+)
+
+// The paper's footnote 2 is explicit that a demand is not necessarily a
+// single reading: "a 'demand', as defined here, may be a sequence of
+// multiple samples of many input variables". This file models such
+// trajectory demands: a demand is a fixed-length sequence of points, and a
+// failure region is a predicate over the whole sequence.
+
+// Trajectory is one demand consisting of a sequence of sampled points.
+type Trajectory []Point
+
+// TrajectoryRegion is a failure region in trajectory space: a predicate
+// over whole demand sequences.
+type TrajectoryRegion interface {
+	// ContainsTrajectory reports whether the demand sequence falls in
+	// the region.
+	ContainsTrajectory(tr Trajectory) bool
+}
+
+// AnyVisit is the trajectory region that triggers when ANY sample of the
+// demand enters the underlying point region — the typical shape of a
+// protection-system fault ("fails if the trajectory ever passes through
+// the bad zone").
+type AnyVisit struct {
+	Region Region
+}
+
+var _ TrajectoryRegion = AnyVisit{}
+
+// ContainsTrajectory implements TrajectoryRegion.
+func (a AnyVisit) ContainsTrajectory(tr Trajectory) bool {
+	for _, p := range tr {
+		if a.Region.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllVisits is the trajectory region that triggers only when EVERY sample
+// lies in the underlying point region — faults that require a sustained
+// condition.
+type AllVisits struct {
+	Region Region
+}
+
+var _ TrajectoryRegion = AllVisits{}
+
+// ContainsTrajectory implements TrajectoryRegion.
+func (a AllVisits) ContainsTrajectory(tr Trajectory) bool {
+	if len(tr) == 0 {
+		return false
+	}
+	for _, p := range tr {
+		if !a.Region.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// TrajectoryProfile generates trajectory demands: Length i.i.d. samples
+// from the underlying point profile. (Correlated-in-time trajectories can
+// be modelled by wrapping a stateful Profile.)
+type TrajectoryProfile struct {
+	// Base is the per-sample distribution.
+	Base Profile
+	// Length is the number of samples per demand; must be positive.
+	Length int
+}
+
+// NewTrajectoryProfile returns a trajectory profile.
+func NewTrajectoryProfile(base Profile, length int) (TrajectoryProfile, error) {
+	if base == nil {
+		return TrajectoryProfile{}, errors.New("demandspace: base profile must not be nil")
+	}
+	if length < 1 {
+		return TrajectoryProfile{}, fmt.Errorf("demandspace: trajectory length %d must be positive", length)
+	}
+	return TrajectoryProfile{Base: base, Length: length}, nil
+}
+
+// Sample fills tr (of length Length, points of dimension Base.Dim) with
+// one demand.
+func (tp TrajectoryProfile) Sample(r *randx.Stream, tr Trajectory) {
+	for i := range tr {
+		tp.Base.Sample(r, tr[i])
+	}
+}
+
+// NewTrajectory allocates a demand buffer for the profile.
+func (tp TrajectoryProfile) NewTrajectory() Trajectory {
+	tr := make(Trajectory, tp.Length)
+	for i := range tr {
+		tr[i] = make(Point, tp.Base.Dim())
+	}
+	return tr
+}
+
+// MeasureTrajectoryRegion estimates the probability that a trajectory
+// demand falls in the region — the q_i of a trajectory-space fault — with
+// the given number of sample demands.
+func MeasureTrajectoryRegion(r *randx.Stream, profile TrajectoryProfile, region TrajectoryRegion, samples int) (estimate, stdErr float64, err error) {
+	if region == nil {
+		return 0, 0, errors.New("demandspace: region must not be nil")
+	}
+	if profile.Base == nil {
+		return 0, 0, errors.New("demandspace: profile base must not be nil")
+	}
+	if samples < 1 {
+		return 0, 0, fmt.Errorf("demandspace: sample count %d must be positive", samples)
+	}
+	tr := profile.NewTrajectory()
+	hits := 0
+	for i := 0; i < samples; i++ {
+		profile.Sample(r, tr)
+		if region.ContainsTrajectory(tr) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(samples)
+	return p, math.Sqrt(p * (1 - p) / float64(samples)), nil
+}

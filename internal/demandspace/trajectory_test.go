@@ -1,0 +1,182 @@
+package demandspace
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/randx"
+)
+
+func TestAnyVisitAndAllVisits(t *testing.T) {
+	t.Parallel()
+
+	box, err := NewBox(Point{0, 0}, Point{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	inside := Point{0.25, 0.25}
+	outside := Point{0.75, 0.75}
+
+	anyV := AnyVisit{Region: box}
+	allV := AllVisits{Region: box}
+
+	tests := []struct {
+		name    string
+		tr      Trajectory
+		wantAny bool
+		wantAll bool
+	}{
+		{name: "all inside", tr: Trajectory{inside, inside}, wantAny: true, wantAll: true},
+		{name: "mixed", tr: Trajectory{inside, outside}, wantAny: true, wantAll: false},
+		{name: "all outside", tr: Trajectory{outside, outside}, wantAny: false, wantAll: false},
+		{name: "empty", tr: Trajectory{}, wantAny: false, wantAll: false},
+	}
+	for _, tt := range tests {
+		if got := anyV.ContainsTrajectory(tt.tr); got != tt.wantAny {
+			t.Errorf("%s: AnyVisit = %v, want %v", tt.name, got, tt.wantAny)
+		}
+		if got := allV.ContainsTrajectory(tt.tr); got != tt.wantAll {
+			t.Errorf("%s: AllVisits = %v, want %v", tt.name, got, tt.wantAll)
+		}
+	}
+}
+
+func TestNewTrajectoryProfileValidation(t *testing.T) {
+	t.Parallel()
+
+	base, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	if _, err := NewTrajectoryProfile(nil, 3); err == nil {
+		t.Error("nil base succeeded, want error")
+	}
+	if _, err := NewTrajectoryProfile(base, 0); err == nil {
+		t.Error("zero length succeeded, want error")
+	}
+	tp, err := NewTrajectoryProfile(base, 4)
+	if err != nil {
+		t.Fatalf("NewTrajectoryProfile: %v", err)
+	}
+	tr := tp.NewTrajectory()
+	if len(tr) != 4 || len(tr[0]) != 2 {
+		t.Errorf("NewTrajectory shape %dx%d, want 4x2", len(tr), len(tr[0]))
+	}
+}
+
+// TestMeasureAnyVisitClosedForm pins the i.i.d. closed form: a trajectory
+// of k samples visits a region of measure v with probability 1-(1-v)^k.
+func TestMeasureAnyVisitClosedForm(t *testing.T) {
+	t.Parallel()
+
+	base, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	box, err := NewBox(Point{0, 0}, Point{0.2, 0.5}) // measure 0.1
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	for _, k := range []int{1, 3, 10} {
+		tp, err := NewTrajectoryProfile(base, k)
+		if err != nil {
+			t.Fatalf("NewTrajectoryProfile: %v", err)
+		}
+		r := randx.NewStream(uint64(100 + k))
+		got, se, err := MeasureTrajectoryRegion(r, tp, AnyVisit{Region: box}, 200000)
+		if err != nil {
+			t.Fatalf("MeasureTrajectoryRegion: %v", err)
+		}
+		want := 1 - math.Pow(0.9, float64(k))
+		if math.Abs(got-want) > 5*se+1e-9 {
+			t.Errorf("k=%d: any-visit measure %v ± %v, want %v", k, got, se, want)
+		}
+	}
+}
+
+// TestMeasureAllVisitsClosedForm: all k samples inside has probability v^k.
+func TestMeasureAllVisitsClosedForm(t *testing.T) {
+	t.Parallel()
+
+	base, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	box, err := NewBox(Point{0, 0}, Point{0.5, 0.8}) // measure 0.4
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	tp, err := NewTrajectoryProfile(base, 3)
+	if err != nil {
+		t.Fatalf("NewTrajectoryProfile: %v", err)
+	}
+	r := randx.NewStream(7)
+	got, se, err := MeasureTrajectoryRegion(r, tp, AllVisits{Region: box}, 200000)
+	if err != nil {
+		t.Fatalf("MeasureTrajectoryRegion: %v", err)
+	}
+	want := math.Pow(0.4, 3)
+	if math.Abs(got-want) > 5*se+1e-9 {
+		t.Errorf("all-visits measure %v ± %v, want %v", got, se, want)
+	}
+}
+
+// TestTrajectoryLengthGrowsAnyVisitMeasure: the paper's footnote matters —
+// the same geometric fault has a bigger q when demands are longer
+// sequences, so "input-space" and "demand-space" measures genuinely
+// differ.
+func TestTrajectoryLengthGrowsAnyVisitMeasure(t *testing.T) {
+	t.Parallel()
+
+	base, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	box, err := NewBox(Point{0.4, 0.4}, Point{0.6, 0.6})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	prev := -1.0
+	for _, k := range []int{1, 2, 5, 20} {
+		tp, err := NewTrajectoryProfile(base, k)
+		if err != nil {
+			t.Fatalf("NewTrajectoryProfile: %v", err)
+		}
+		r := randx.NewStream(uint64(k))
+		got, _, err := MeasureTrajectoryRegion(r, tp, AnyVisit{Region: box}, 100000)
+		if err != nil {
+			t.Fatalf("MeasureTrajectoryRegion: %v", err)
+		}
+		if got <= prev {
+			t.Errorf("any-visit measure not increasing with length: %v after %v at k=%d", got, prev, k)
+		}
+		prev = got
+	}
+}
+
+func TestMeasureTrajectoryRegionValidation(t *testing.T) {
+	t.Parallel()
+
+	base, err := NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	tp, err := NewTrajectoryProfile(base, 2)
+	if err != nil {
+		t.Fatalf("NewTrajectoryProfile: %v", err)
+	}
+	r := randx.NewStream(1)
+	if _, _, err := MeasureTrajectoryRegion(r, tp, nil, 100); err == nil {
+		t.Error("nil region succeeded, want error")
+	}
+	box, err := NewBox(Point{0, 0}, Point{1, 1})
+	if err != nil {
+		t.Fatalf("NewBox: %v", err)
+	}
+	if _, _, err := MeasureTrajectoryRegion(r, TrajectoryProfile{}, AnyVisit{Region: box}, 100); err == nil {
+		t.Error("zero profile succeeded, want error")
+	}
+	if _, _, err := MeasureTrajectoryRegion(r, tp, AnyVisit{Region: box}, 0); err == nil {
+		t.Error("zero samples succeeded, want error")
+	}
+}

@@ -1,0 +1,129 @@
+// Package devsim simulates the fault creation process: it "develops"
+// program versions by sampling which potential faults of a
+// faultmodel.FaultSet survive into each delivered version.
+//
+// The paper's core model assumes mistakes are mutually independent
+// (IndependentProcess). Section 6.1 discusses how reality may deviate —
+// positive correlation from common conceptual errors, negative correlation
+// from schedule pressure shifting effort between fault classes — so the
+// package also provides CommonCauseProcess and ResourceShiftProcess, which
+// preserve each fault's marginal presence probability while inducing the
+// respective correlation structure. Experiment E13 measures how far those
+// deviations move the model's predictions.
+package devsim
+
+import (
+	"fmt"
+
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+// Version is one developed program version: the subset of potential faults
+// that survived its development, together with the resulting PFD.
+type Version struct {
+	present []bool
+	pfd     float64
+	count   int
+}
+
+// newVersion computes the PFD and fault count from a presence mask. The
+// mask is retained, not copied: callers hand over ownership.
+func newVersion(fs *faultmodel.FaultSet, present []bool) *Version {
+	v := &Version{present: present}
+	for i, has := range present {
+		if has {
+			v.pfd += fs.Fault(i).Q
+			v.count++
+		}
+	}
+	return v
+}
+
+// Has reports whether potential fault i is present in the version.
+// It panics if i is out of range, mirroring slice indexing.
+func (v *Version) Has(i int) bool { return v.present[i] }
+
+// PFD returns the version's probability of failure on demand: the summed
+// region probabilities of its faults (disjoint-region assumption).
+func (v *Version) PFD() float64 { return v.pfd }
+
+// FaultCount returns the number of faults present.
+func (v *Version) FaultCount() int { return v.count }
+
+// NumPotential returns the size of the underlying potential-fault universe.
+func (v *Version) NumPotential() int { return len(v.present) }
+
+// CommonPFD returns the PFD of the 1-out-of-2 system built from versions a
+// and b: the summed q_i of faults present in both (the intersection of
+// failure regions, paper Section 2.1). It returns an error if the versions
+// were developed against different-sized fault universes or a different
+// fault set size than fs.
+func CommonPFD(fs *faultmodel.FaultSet, a, b *Version) (float64, error) {
+	if len(a.present) != len(b.present) || len(a.present) != fs.N() {
+		return 0, fmt.Errorf("devsim: mismatched fault universes: versions have %d and %d faults, set has %d",
+			len(a.present), len(b.present), fs.N())
+	}
+	sum := 0.0
+	for i := range a.present {
+		if a.present[i] && b.present[i] {
+			sum += fs.Fault(i).Q
+		}
+	}
+	return sum, nil
+}
+
+// CommonFaultCount returns the number of faults shared by both versions.
+// It returns an error under the same conditions as CommonPFD.
+func CommonFaultCount(fs *faultmodel.FaultSet, a, b *Version) (int, error) {
+	if len(a.present) != len(b.present) || len(a.present) != fs.N() {
+		return 0, fmt.Errorf("devsim: mismatched fault universes: versions have %d and %d faults, set has %d",
+			len(a.present), len(b.present), fs.N())
+	}
+	count := 0
+	for i := range a.present {
+		if a.present[i] && b.present[i] {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// Process develops program versions against a fixed fault universe.
+// Implementations must be safe for concurrent use by multiple goroutines,
+// each supplying its own random stream — the Monte-Carlo harness relies on
+// this to shard replications across workers.
+type Process interface {
+	// Develop produces one version using randomness from r.
+	Develop(r *randx.Stream) *Version
+	// FaultSet returns the potential-fault universe the process samples
+	// from.
+	FaultSet() *faultmodel.FaultSet
+}
+
+// IndependentProcess is the paper's model of separate development: each
+// potential fault is introduced independently with its probability p_i
+// ("as though the design team tossed dice", Section 2.2).
+type IndependentProcess struct {
+	fs *faultmodel.FaultSet
+}
+
+var _ Process = (*IndependentProcess)(nil)
+
+// NewIndependentProcess returns a Process implementing independent fault
+// introduction over fs.
+func NewIndependentProcess(fs *faultmodel.FaultSet) *IndependentProcess {
+	return &IndependentProcess{fs: fs}
+}
+
+// Develop implements Process.
+func (p *IndependentProcess) Develop(r *randx.Stream) *Version {
+	present := make([]bool, p.fs.N())
+	for i := range present {
+		present[i] = r.Bernoulli(p.fs.Fault(i).P)
+	}
+	return newVersion(p.fs, present)
+}
+
+// FaultSet implements Process.
+func (p *IndependentProcess) FaultSet() *faultmodel.FaultSet { return p.fs }

@@ -1,0 +1,215 @@
+// Package elm implements the Eckhardt–Lee (1985) and Littlewood–Miller
+// (1989) models of coincident failure in multi-version software — the
+// baselines the paper builds on (its Section 2: "this is essentially the
+// basis of the models used in [3] and [4]").
+//
+// Both models work over a finite demand space. The Eckhardt–Lee (EL) model
+// has a single "difficulty function" theta(x): the probability that a
+// randomly developed version fails on demand x; versions are independent
+// draws from one development distribution, so two versions fail together
+// on x with probability theta(x)², and the mean system PFD
+// E[Θ2] = Σ w(x)·theta(x)² exceeds the independence prediction
+// (Σ w(x)·theta(x))² whenever theta varies over x. The Littlewood–Miller
+// (LM) generalisation gives each of two development methodologies its own
+// difficulty function; negatively correlated difficulties can push the
+// mean system PFD below the independence product.
+//
+// The paper's fault-creation model refines EL by adding structure (which
+// failure-point sets occur together as regions); FromFaultSet exhibits the
+// refinement: it maps a fault set onto the EL demand space in which each
+// failure region is one cell, and the mean PFDs of the two models then
+// agree exactly (experiment E16).
+package elm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+// validateProfile checks that weights form a probability distribution and
+// each difficulty value is a probability.
+func validateProfile(weights []float64, thetas ...[]float64) error {
+	if len(weights) == 0 {
+		return errors.New("elm: demand space must have at least one cell")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if math.IsNaN(w) || w < 0 {
+			return fmt.Errorf("elm: demand weight %v at cell %d invalid", w, i)
+		}
+		total += w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("elm: demand weights sum to %v, want 1", total)
+	}
+	for k, theta := range thetas {
+		if len(theta) != len(weights) {
+			return fmt.Errorf("elm: difficulty function %d has %d cells, want %d", k, len(theta), len(weights))
+		}
+		for i, th := range theta {
+			if math.IsNaN(th) || th < 0 || th > 1 {
+				return fmt.Errorf("elm: difficulty %v at cell %d of function %d is not a probability", th, i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// EckhardtLee is the EL model: demand weights w(x) and one difficulty
+// function theta(x).
+type EckhardtLee struct {
+	weights []float64
+	theta   []float64
+}
+
+// NewEckhardtLee constructs an EL model. weights must sum to 1 and theta
+// values must be probabilities.
+func NewEckhardtLee(weights, theta []float64) (*EckhardtLee, error) {
+	if err := validateProfile(weights, theta); err != nil {
+		return nil, err
+	}
+	m := &EckhardtLee{
+		weights: append([]float64(nil), weights...),
+		theta:   append([]float64(nil), theta...),
+	}
+	return m, nil
+}
+
+// FromFaultSet maps a fault set onto the EL demand space whose cells are
+// the failure regions (cell i has weight q_i and difficulty p_i) plus one
+// zero-difficulty cell for the remainder of the demand space. The mean
+// PFDs of the two models agree exactly under this mapping.
+func FromFaultSet(fs *faultmodel.FaultSet) (*EckhardtLee, error) {
+	if fs == nil {
+		return nil, errors.New("elm: fault set must not be nil")
+	}
+	n := fs.N()
+	weights := make([]float64, n+1)
+	theta := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		weights[i] = fs.Fault(i).Q
+		theta[i] = fs.Fault(i).P
+	}
+	weights[n] = 1 - fs.SumQ()
+	if weights[n] < 0 {
+		weights[n] = 0 // guard FP residue; New validates the total
+	}
+	theta[n] = 0
+	return NewEckhardtLee(weights, theta)
+}
+
+// Cells returns the number of demand cells.
+func (m *EckhardtLee) Cells() int { return len(m.weights) }
+
+// MeanPFD returns E[Θ_m] = Σ w(x)·theta(x)^versions: the mean PFD of a
+// single version (versions = 1) or the mean probability that `versions`
+// independently developed versions all fail on a random demand.
+func (m *EckhardtLee) MeanPFD(versions int) (float64, error) {
+	if versions < 1 {
+		return 0, fmt.Errorf("elm: version count %d must be at least 1", versions)
+	}
+	sum := 0.0
+	for i, w := range m.weights {
+		sum += w * math.Pow(m.theta[i], float64(versions))
+	}
+	return sum, nil
+}
+
+// IndependencePrediction returns E[Θ1]², the system mean PFD that naive
+// failure independence would predict for two versions.
+func (m *EckhardtLee) IndependencePrediction() (float64, error) {
+	mu, err := m.MeanPFD(1)
+	if err != nil {
+		return 0, err
+	}
+	return mu * mu, nil
+}
+
+// CorrelationExcess returns E[Θ2] - E[Θ1]² = Var_x(theta), the EL model's
+// headline quantity: the variance of the difficulty function over the
+// demand profile, which is exactly how much worse than independence the
+// diverse pair performs on average. It is never negative.
+func (m *EckhardtLee) CorrelationExcess() (float64, error) {
+	mu2, err := m.MeanPFD(2)
+	if err != nil {
+		return 0, err
+	}
+	indep, err := m.IndependencePrediction()
+	if err != nil {
+		return 0, err
+	}
+	return mu2 - indep, nil
+}
+
+// SampleVersionPFD draws one version from the development distribution in
+// which failure events at distinct cells are independent with probability
+// theta(x) — the instantiation consistent with the paper's fault model —
+// and returns its PFD.
+func (m *EckhardtLee) SampleVersionPFD(r *randx.Stream) float64 {
+	pfd := 0.0
+	for i, w := range m.weights {
+		if r.Bernoulli(m.theta[i]) {
+			pfd += w
+		}
+	}
+	return pfd
+}
+
+// LittlewoodMiller is the LM model: two development methodologies A and B
+// with their own difficulty functions over a common demand profile.
+type LittlewoodMiller struct {
+	weights []float64
+	thetaA  []float64
+	thetaB  []float64
+}
+
+// NewLittlewoodMiller constructs an LM model.
+func NewLittlewoodMiller(weights, thetaA, thetaB []float64) (*LittlewoodMiller, error) {
+	if err := validateProfile(weights, thetaA, thetaB); err != nil {
+		return nil, err
+	}
+	return &LittlewoodMiller{
+		weights: append([]float64(nil), weights...),
+		thetaA:  append([]float64(nil), thetaA...),
+		thetaB:  append([]float64(nil), thetaB...),
+	}, nil
+}
+
+// Cells returns the number of demand cells.
+func (m *LittlewoodMiller) Cells() int { return len(m.weights) }
+
+// MeanPFDA returns E[Θ_A] for a version from methodology A.
+func (m *LittlewoodMiller) MeanPFDA() float64 { return weightedMean(m.weights, m.thetaA) }
+
+// MeanPFDB returns E[Θ_B] for a version from methodology B.
+func (m *LittlewoodMiller) MeanPFDB() float64 { return weightedMean(m.weights, m.thetaB) }
+
+// MeanPFDSystem returns E[Θ_AB] = Σ w(x)·thetaA(x)·thetaB(x): the mean PFD
+// of the 1-out-of-2 system built from one version of each methodology.
+func (m *LittlewoodMiller) MeanPFDSystem() float64 {
+	sum := 0.0
+	for i, w := range m.weights {
+		sum += w * m.thetaA[i] * m.thetaB[i]
+	}
+	return sum
+}
+
+// DifficultyCovariance returns Cov_x(thetaA, thetaB) =
+// E[Θ_AB] - E[Θ_A]·E[Θ_B]. Unlike in the EL model it can be negative:
+// methodologies that find different demands hard ("forced diversity")
+// beat the independence prediction.
+func (m *LittlewoodMiller) DifficultyCovariance() float64 {
+	return m.MeanPFDSystem() - m.MeanPFDA()*m.MeanPFDB()
+}
+
+func weightedMean(weights, values []float64) float64 {
+	sum := 0.0
+	for i, w := range weights {
+		sum += w * values[i]
+	}
+	return sum
+}

@@ -1,0 +1,250 @@
+package elm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+func TestNewEckhardtLeeValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name    string
+		weights []float64
+		theta   []float64
+	}{
+		{name: "empty", weights: nil, theta: nil},
+		{name: "weights not normalised", weights: []float64{0.5, 0.4}, theta: []float64{0.1, 0.1}},
+		{name: "negative weight", weights: []float64{1.2, -0.2}, theta: []float64{0.1, 0.1}},
+		{name: "length mismatch", weights: []float64{0.5, 0.5}, theta: []float64{0.1}},
+		{name: "theta above one", weights: []float64{0.5, 0.5}, theta: []float64{0.1, 1.4}},
+		{name: "NaN theta", weights: []float64{0.5, 0.5}, theta: []float64{0.1, math.NaN()}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := NewEckhardtLee(tt.weights, tt.theta); err == nil {
+				t.Errorf("NewEckhardtLee(%v, %v) succeeded, want error", tt.weights, tt.theta)
+			}
+		})
+	}
+}
+
+func TestEckhardtLeeMeans(t *testing.T) {
+	t.Parallel()
+
+	m, err := NewEckhardtLee([]float64{0.25, 0.25, 0.5}, []float64{0.1, 0.3, 0})
+	if err != nil {
+		t.Fatalf("NewEckhardtLee: %v", err)
+	}
+	if m.Cells() != 3 {
+		t.Errorf("Cells = %d, want 3", m.Cells())
+	}
+	mu1, err := m.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD(1): %v", err)
+	}
+	want1 := 0.25*0.1 + 0.25*0.3
+	if math.Abs(mu1-want1) > 1e-15 {
+		t.Errorf("E[Θ1] = %v, want %v", mu1, want1)
+	}
+	mu2, err := m.MeanPFD(2)
+	if err != nil {
+		t.Fatalf("MeanPFD(2): %v", err)
+	}
+	want2 := 0.25*0.01 + 0.25*0.09
+	if math.Abs(mu2-want2) > 1e-15 {
+		t.Errorf("E[Θ2] = %v, want %v", mu2, want2)
+	}
+	if _, err := m.MeanPFD(0); err == nil {
+		t.Error("MeanPFD(0) succeeded, want error")
+	}
+}
+
+// TestEckhardtLeeWorseThanIndependence is the EL headline result: the mean
+// two-version PFD is at least the product of the single-version means,
+// with equality only for constant difficulty.
+func TestEckhardtLeeWorseThanIndependence(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(rawW, rawT []uint8) bool {
+		n := len(rawW)
+		if n == 0 || len(rawT) < n {
+			return true
+		}
+		weights := make([]float64, n)
+		theta := make([]float64, n)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			weights[i] = float64(rawW[i]) + 1
+			total += weights[i]
+			theta[i] = float64(rawT[i]) / 255
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+		m, err := NewEckhardtLee(weights, theta)
+		if err != nil {
+			return false
+		}
+		excess, err := m.CorrelationExcess()
+		if err != nil {
+			return false
+		}
+		return excess >= -1e-12
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEckhardtLeeConstantDifficultyIsIndependent(t *testing.T) {
+	t.Parallel()
+
+	m, err := NewEckhardtLee([]float64{0.3, 0.7}, []float64{0.2, 0.2})
+	if err != nil {
+		t.Fatalf("NewEckhardtLee: %v", err)
+	}
+	excess, err := m.CorrelationExcess()
+	if err != nil {
+		t.Fatalf("CorrelationExcess: %v", err)
+	}
+	if math.Abs(excess) > 1e-15 {
+		t.Errorf("constant difficulty excess = %v, want 0", excess)
+	}
+}
+
+// TestFromFaultSetMeansAgree is experiment E16's core assertion: mapping a
+// fault set onto the EL demand space preserves the mean PFDs exactly.
+func TestFromFaultSetMeansAgree(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.2, Q: 0.05},
+		{P: 0.4, Q: 0.1},
+		{P: 0.1, Q: 0.2},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	m, err := FromFaultSet(fs)
+	if err != nil {
+		t.Fatalf("FromFaultSet: %v", err)
+	}
+	if m.Cells() != fs.N()+1 {
+		t.Errorf("Cells = %d, want %d", m.Cells(), fs.N()+1)
+	}
+	for versions := 1; versions <= 3; versions++ {
+		got, err := m.MeanPFD(versions)
+		if err != nil {
+			t.Fatalf("MeanPFD(%d): %v", versions, err)
+		}
+		want, err := fs.MeanPFD(versions)
+		if err != nil {
+			t.Fatalf("fault-set MeanPFD(%d): %v", versions, err)
+		}
+		if math.Abs(got-want) > 1e-14 {
+			t.Errorf("m=%d: EL mean %v, fault-model mean %v", versions, got, want)
+		}
+	}
+	if _, err := FromFaultSet(nil); err == nil {
+		t.Error("FromFaultSet(nil) succeeded, want error")
+	}
+}
+
+func TestEckhardtLeeSampleVersionPFD(t *testing.T) {
+	t.Parallel()
+
+	m, err := NewEckhardtLee([]float64{0.25, 0.25, 0.5}, []float64{0.1, 0.3, 0})
+	if err != nil {
+		t.Fatalf("NewEckhardtLee: %v", err)
+	}
+	r := randx.NewStream(5)
+	const reps = 200000
+	sum := 0.0
+	for i := 0; i < reps; i++ {
+		sum += m.SampleVersionPFD(r)
+	}
+	mu1, err := m.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	if got := sum / reps; math.Abs(got-mu1) > 0.001 {
+		t.Errorf("sampled mean PFD %.5f, want %.5f", got, mu1)
+	}
+}
+
+func TestLittlewoodMillerNegativeCovarianceBeatsIndependence(t *testing.T) {
+	t.Parallel()
+
+	// Methodology A finds cell 1 hard; methodology B finds cell 2 hard:
+	// perfectly anti-correlated difficulties.
+	weights := []float64{0.5, 0.5}
+	thetaA := []float64{0.2, 0.0}
+	thetaB := []float64{0.0, 0.2}
+	m, err := NewLittlewoodMiller(weights, thetaA, thetaB)
+	if err != nil {
+		t.Fatalf("NewLittlewoodMiller: %v", err)
+	}
+	if got := m.MeanPFDSystem(); got != 0 {
+		t.Errorf("system mean = %v, want 0 (disjoint difficulties)", got)
+	}
+	if cov := m.DifficultyCovariance(); cov >= 0 {
+		t.Errorf("difficulty covariance = %v, want negative", cov)
+	}
+	indep := m.MeanPFDA() * m.MeanPFDB()
+	if !(m.MeanPFDSystem() < indep) {
+		t.Errorf("system mean %v not below independence %v", m.MeanPFDSystem(), indep)
+	}
+}
+
+func TestLittlewoodMillerReducesToEL(t *testing.T) {
+	t.Parallel()
+
+	// Identical methodologies: LM must reproduce the EL quantities.
+	weights := []float64{0.25, 0.25, 0.5}
+	theta := []float64{0.1, 0.3, 0}
+	lm, err := NewLittlewoodMiller(weights, theta, theta)
+	if err != nil {
+		t.Fatalf("NewLittlewoodMiller: %v", err)
+	}
+	el, err := NewEckhardtLee(weights, theta)
+	if err != nil {
+		t.Fatalf("NewEckhardtLee: %v", err)
+	}
+	elMu2, err := el.MeanPFD(2)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	if math.Abs(lm.MeanPFDSystem()-elMu2) > 1e-15 {
+		t.Errorf("LM system mean %v != EL %v", lm.MeanPFDSystem(), elMu2)
+	}
+	elExcess, err := el.CorrelationExcess()
+	if err != nil {
+		t.Fatalf("CorrelationExcess: %v", err)
+	}
+	if math.Abs(lm.DifficultyCovariance()-elExcess) > 1e-15 {
+		t.Errorf("LM covariance %v != EL excess %v", lm.DifficultyCovariance(), elExcess)
+	}
+	if lm.Cells() != 3 {
+		t.Errorf("Cells = %d, want 3", lm.Cells())
+	}
+}
+
+func TestNewLittlewoodMillerValidation(t *testing.T) {
+	t.Parallel()
+
+	weights := []float64{0.5, 0.5}
+	good := []float64{0.1, 0.2}
+	if _, err := NewLittlewoodMiller(weights, good, []float64{0.1}); err == nil {
+		t.Error("mismatched thetaB succeeded, want error")
+	}
+	if _, err := NewLittlewoodMiller([]float64{0.9, 0.3}, good, good); err == nil {
+		t.Error("non-normalised weights succeeded, want error")
+	}
+}

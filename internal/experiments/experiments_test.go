@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
+
+	ids := IDs()
+	if len(ids) != 25 {
+		t.Fatalf("registry has %d experiments, want 25: %v", len(ids), ids)
+	}
+	for i := 1; i <= 25; i++ {
+		want := fmt.Sprintf("E%02d", i)
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s not registered", want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Run("E99", Config{}); err == nil {
+		t.Error("unknown experiment succeeded, want error")
+	}
+}
+
+// TestAllExperimentsPass runs the entire suite in quick mode and requires
+// every paper-vs-measured check to pass. This is the repository's primary
+// reproduction gate.
+func TestAllExperimentsPass(t *testing.T) {
+	t.Parallel()
+
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id, Config{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q, want %q", res.ID, id)
+			}
+			if res.Title == "" {
+				t.Error("result has no title")
+			}
+			if res.Text == "" {
+				t.Error("result has no rendered text")
+			}
+			if len(res.Checks) == 0 {
+				t.Fatal("experiment performed no checks")
+			}
+			for _, c := range res.Checks {
+				if c.Name == "" || c.Paper == "" || c.Measured == "" {
+					t.Errorf("incomplete check: %+v", c)
+				}
+				if !c.Pass {
+					t.Errorf("check failed: %s\n  paper:    %s\n  measured: %s", c.Name, c.Paper, c.Measured)
+				}
+			}
+			if !res.Passed() {
+				t.Error("Passed() = false")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+
+	// The suite must be exactly reproducible for a fixed seed.
+	a, err := Run("E04", Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run("E04", Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Text != b.Text {
+		t.Error("identical seeds produced different experiment text")
+	}
+}
+
+func TestResultSummaryFormat(t *testing.T) {
+	t.Parallel()
+
+	res := &Result{
+		ID:    "EXX",
+		Title: "demo",
+		Checks: []Check{
+			{Name: "good", Paper: "p", Measured: "m", Pass: true},
+			{Name: "bad", Paper: "p", Measured: "m", Pass: false},
+		},
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "[PASS] good") || !strings.Contains(s, "[FAIL] bad") {
+		t.Errorf("summary missing statuses:\n%s", s)
+	}
+	if res.Passed() {
+		t.Error("Passed() = true with a failing check")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	t.Parallel()
+
+	results, err := RunAll(Config{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("RunAll returned %d results, want %d", len(results), len(IDs()))
+	}
+	// Results arrive in ID order.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].ID >= results[i].ID {
+			t.Errorf("results out of order: %s before %s", results[i-1].ID, results[i].ID)
+		}
+	}
+}
+
+func TestConfigReps(t *testing.T) {
+	t.Parallel()
+
+	full := Config{}
+	if got := full.reps(100000); got != 100000 {
+		t.Errorf("full reps = %d, want 100000", got)
+	}
+	quick := Config{Quick: true}
+	if got := quick.reps(100000); got != 10000 {
+		t.Errorf("quick reps = %d, want 10000", got)
+	}
+	// Quick never goes below 1000 (or the full count if smaller).
+	if got := quick.reps(5000); got != 1000 {
+		t.Errorf("quick reps of 5000 = %d, want 1000", got)
+	}
+	if got := quick.reps(500); got != 500 {
+		t.Errorf("quick reps of 500 = %d, want 500", got)
+	}
+}

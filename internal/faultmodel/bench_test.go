@@ -1,0 +1,75 @@
+package faultmodel
+
+import (
+	"testing"
+)
+
+// Ablation benches for the PFD-distribution design choices called out in
+// DESIGN.md: exact subset enumeration vs lattice convolution vs the
+// closed-form normal approximation.
+
+func benchFaultSet(b *testing.B, n int) *FaultSet {
+	b.Helper()
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{
+			P: 0.05 + 0.4*float64(i)/float64(n),
+			Q: 0.8 / float64(n) * (0.5 + float64(i%3)/2),
+		}
+	}
+	fs, err := New(faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func BenchmarkExactPFD16Faults(b *testing.B) {
+	fs := benchFaultSet(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ExactPFD(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatticePFD16Faults(b *testing.B) {
+	fs := benchFaultSet(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.LatticePFD(2, 2048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatticePFD500Faults(b *testing.B) {
+	fs := benchFaultSet(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.LatticePFD(2, 2048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalApprox500Faults(b *testing.B) {
+	fs := benchFaultSet(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.NormalApprox(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRiskRatioDeriv(b *testing.B) {
+	fs := benchFaultSet(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.RiskRatioDeriv(i % 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+
+	"diversity/internal/stats"
+)
+
+// SigmaBoundFactor returns sqrt(pmax (1 + pmax)), the paper's equation (9)
+// factor: σ2 < SigmaBoundFactor(pmax) · σ1 whenever every p_i is below
+// GoldenThreshold. For small pmax the factor approaches sqrt(pmax).
+//
+// The paper's Section 5.1 table evaluates this factor at pmax = 0.5, 0.1
+// and 0.01, obtaining 0.866, 0.332 and 0.100 — experiment E07.
+func SigmaBoundFactor(pmax float64) (float64, error) {
+	if math.IsNaN(pmax) || pmax < 0 || pmax > 1 {
+		return 0, fmt.Errorf("faultmodel: pmax=%v must be a probability", pmax)
+	}
+	return math.Sqrt(pmax * (1 + pmax)), nil
+}
+
+// SigmaBoundHolds reports whether every presence probability is at most
+// GoldenThreshold, the condition under which equation (9)'s per-fault
+// comparison p²(1-p²) <= p(1-p) holds and hence σ2 <= σ1.
+func (fs *FaultSet) SigmaBoundHolds() bool {
+	for _, f := range fs.faults {
+		if f.P > GoldenThreshold {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanGain returns µ1/µ2, the factor by which diversity improves the mean
+// PFD. Equation (4) guarantees MeanGain >= 1/pmax. It returns an error if
+// the two-version mean is zero (no fault has positive p and q), in which
+// case the gain is unbounded.
+func (fs *FaultSet) MeanGain() (float64, error) {
+	mu1, err := fs.MeanPFD(1)
+	if err != nil {
+		return 0, err
+	}
+	mu2, err := fs.MeanPFD(2)
+	if err != nil {
+		return 0, err
+	}
+	if mu2 == 0 {
+		return 0, fmt.Errorf("faultmodel: mean gain unbounded: two-version mean PFD is zero")
+	}
+	return mu1 / mu2, nil
+}
+
+// ConfidenceBound returns µ_m + k·σ_m, the paper's Section-5 reliability
+// bound at "k sigmas" under the normal approximation of Θ_m. k must be
+// non-negative (k = 0 gives the mean, i.e. the 50% bound).
+func (fs *FaultSet) ConfidenceBound(m int, k float64) (float64, error) {
+	if math.IsNaN(k) || k < 0 {
+		return 0, fmt.Errorf("faultmodel: sigma multiplier k=%v must be non-negative", k)
+	}
+	mu, err := fs.MeanPFD(m)
+	if err != nil {
+		return 0, err
+	}
+	sigma, err := fs.SigmaPFD(m)
+	if err != nil {
+		return 0, err
+	}
+	return mu + k*sigma, nil
+}
+
+// ConfidenceBoundAt returns the PFD bound not exceeded with probability
+// alpha under the normal approximation: µ_m + z_alpha·σ_m where z_alpha is
+// the standard normal quantile. alpha must be in [0.5, 1): the paper only
+// uses upper bounds at or above the median (z >= 0), and a negative z
+// would not be a meaningful reliability bound.
+func (fs *FaultSet) ConfidenceBoundAt(m int, alpha float64) (float64, error) {
+	if math.IsNaN(alpha) || alpha < 0.5 || alpha >= 1 {
+		return 0, fmt.Errorf("faultmodel: confidence level alpha=%v must be in [0.5, 1)", alpha)
+	}
+	if alpha == 0.5 {
+		return fs.ConfidenceBound(m, 0)
+	}
+	z, err := stats.StdNormal.Quantile(alpha)
+	if err != nil {
+		return 0, err
+	}
+	return fs.ConfidenceBound(m, z)
+}
+
+// TwoVersionBoundFromMoments is the paper's formula (11): given the
+// one-version moments µ1, σ1 and pmax, it bounds the two-version
+// confidence expression:
+//
+//	µ2 + k·σ2  <=  pmax·µ1 + k·sqrt(pmax(1+pmax))·σ1.
+//
+// This is the tighter of the paper's two bounds, available when the
+// assessor can estimate µ1 and σ1 separately.
+func TwoVersionBoundFromMoments(mu1, sigma1, pmax, k float64) (float64, error) {
+	if err := validateBoundArgs(mu1, sigma1, pmax, k); err != nil {
+		return 0, err
+	}
+	factor, err := SigmaBoundFactor(pmax)
+	if err != nil {
+		return 0, err
+	}
+	return pmax*mu1 + k*factor*sigma1, nil
+}
+
+// TwoVersionBoundFromBound is the paper's formula (12): given only the
+// one-version confidence bound B1 = µ1 + k·σ1 and pmax, it bounds the
+// two-version expression:
+//
+//	µ2 + k·σ2  <  sqrt(pmax(1+pmax)) · (µ1 + k·σ1).
+//
+// It is looser than formula (11) but needs only the aggregate bound, which
+// is what assessors typically hold (e.g. from a Safety Integrity Level
+// claim).
+func TwoVersionBoundFromBound(bound1, pmax float64) (float64, error) {
+	if math.IsNaN(bound1) || bound1 < 0 {
+		return 0, fmt.Errorf("faultmodel: one-version bound %v must be non-negative", bound1)
+	}
+	factor, err := SigmaBoundFactor(pmax)
+	if err != nil {
+		return 0, err
+	}
+	return factor * bound1, nil
+}
+
+func validateBoundArgs(mu1, sigma1, pmax, k float64) error {
+	if math.IsNaN(mu1) || mu1 < 0 {
+		return fmt.Errorf("faultmodel: mean µ1=%v must be non-negative", mu1)
+	}
+	if math.IsNaN(sigma1) || sigma1 < 0 {
+		return fmt.Errorf("faultmodel: standard deviation σ1=%v must be non-negative", sigma1)
+	}
+	if math.IsNaN(pmax) || pmax < 0 || pmax > 1 {
+		return fmt.Errorf("faultmodel: pmax=%v must be a probability", pmax)
+	}
+	if math.IsNaN(k) || k < 0 {
+		return fmt.Errorf("faultmodel: sigma multiplier k=%v must be non-negative", k)
+	}
+	return nil
+}
+
+// GainReport compares the one-version and two-version reliability bounds
+// for a fault set at a sigma multiplier k, collecting the quantities an
+// assessor would tabulate (paper Sections 5.1 and 5.2).
+type GainReport struct {
+	// K is the sigma multiplier the bounds are evaluated at.
+	K float64
+	// Mu1, Sigma1, Mu2, Sigma2 are the exact model moments.
+	Mu1, Sigma1, Mu2, Sigma2 float64
+	// Bound1 is µ1 + k·σ1; Bound2 is µ2 + k·σ2 (exact moments).
+	Bound1, Bound2 float64
+	// Bound11 is formula (11) evaluated from (µ1, σ1, pmax).
+	Bound11 float64
+	// Bound12 is formula (12) evaluated from (Bound1, pmax).
+	Bound12 float64
+	// BoundRatio is Bound1/Bound2, the realised bound gain (>= 1 when
+	// diversity helps); BoundDiff is Bound1 - Bound2, the paper's
+	// Section-5.2 alternative gain measure.
+	BoundRatio, BoundDiff float64
+}
+
+// Gain evaluates a GainReport at sigma multiplier k >= 0.
+func (fs *FaultSet) Gain(k float64) (GainReport, error) {
+	if math.IsNaN(k) || k < 0 {
+		return GainReport{}, fmt.Errorf("faultmodel: sigma multiplier k=%v must be non-negative", k)
+	}
+	rep := GainReport{K: k}
+	var err error
+	if rep.Mu1, err = fs.MeanPFD(1); err != nil {
+		return GainReport{}, err
+	}
+	if rep.Sigma1, err = fs.SigmaPFD(1); err != nil {
+		return GainReport{}, err
+	}
+	if rep.Mu2, err = fs.MeanPFD(2); err != nil {
+		return GainReport{}, err
+	}
+	if rep.Sigma2, err = fs.SigmaPFD(2); err != nil {
+		return GainReport{}, err
+	}
+	rep.Bound1 = rep.Mu1 + k*rep.Sigma1
+	rep.Bound2 = rep.Mu2 + k*rep.Sigma2
+	if rep.Bound11, err = TwoVersionBoundFromMoments(rep.Mu1, rep.Sigma1, fs.PMax(), k); err != nil {
+		return GainReport{}, err
+	}
+	if rep.Bound12, err = TwoVersionBoundFromBound(rep.Bound1, fs.PMax()); err != nil {
+		return GainReport{}, err
+	}
+	if rep.Bound2 > 0 {
+		rep.BoundRatio = rep.Bound1 / rep.Bound2
+	} else {
+		rep.BoundRatio = math.Inf(1)
+	}
+	rep.BoundDiff = rep.Bound1 - rep.Bound2
+	return rep, nil
+}

@@ -1,0 +1,310 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSigmaBoundFactorPaperTable pins the paper's Section 5.1 table:
+//
+//	pmax  sqrt(pmax(1+pmax))
+//	0.5   0.866
+//	0.1   0.332
+//	0.01  0.100
+func TestSigmaBoundFactorPaperTable(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		pmax, want float64
+	}{
+		{pmax: 0.5, want: 0.866},
+		{pmax: 0.1, want: 0.332},
+		{pmax: 0.01, want: 0.100},
+	}
+	for _, tt := range tests {
+		got, err := SigmaBoundFactor(tt.pmax)
+		if err != nil {
+			t.Fatalf("SigmaBoundFactor(%v): %v", tt.pmax, err)
+		}
+		if math.Abs(got-tt.want) > 0.0005 {
+			t.Errorf("SigmaBoundFactor(%v) = %.4f, want %.3f (paper Section 5.1 table)", tt.pmax, got, tt.want)
+		}
+	}
+}
+
+// TestSigmaBoundFactorSmallPmax pins the paper's limit observation: for
+// small pmax the factor approaches sqrt(pmax).
+func TestSigmaBoundFactorSmallPmax(t *testing.T) {
+	t.Parallel()
+
+	for _, pmax := range []float64{1e-3, 1e-5, 1e-7} {
+		got, err := SigmaBoundFactor(pmax)
+		if err != nil {
+			t.Fatalf("SigmaBoundFactor: %v", err)
+		}
+		if !almostEqual(got, math.Sqrt(pmax), 1e-3) {
+			t.Errorf("SigmaBoundFactor(%v) = %v, want ~sqrt = %v", pmax, got, math.Sqrt(pmax))
+		}
+	}
+}
+
+func TestSigmaBoundFactorValidation(t *testing.T) {
+	t.Parallel()
+
+	for _, pmax := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := SigmaBoundFactor(pmax); err == nil {
+			t.Errorf("SigmaBoundFactor(%v) succeeded, want error", pmax)
+		}
+	}
+}
+
+// TestPaperWorkedExample pins the Section 5.1 worked example: µ1 = 0.01,
+// σ1 = 0.001, 84% confidence (k = 1) gives a one-version bound of 0.011;
+// with pmax = 0.1 the two-version bound is ~0.001 by formula (11) and
+// ~0.004 by formula (12).
+func TestPaperWorkedExample(t *testing.T) {
+	t.Parallel()
+
+	const (
+		mu1    = 0.01
+		sigma1 = 0.001
+		pmax   = 0.1
+		k      = 1.0
+	)
+	bound1 := mu1 + k*sigma1
+	if !almostEqual(bound1, 0.011, 1e-12) {
+		t.Fatalf("one-version bound = %v, want 0.011", bound1)
+	}
+	b11, err := TwoVersionBoundFromMoments(mu1, sigma1, pmax, k)
+	if err != nil {
+		t.Fatalf("TwoVersionBoundFromMoments: %v", err)
+	}
+	// pmax*µ1 + k*sqrt(0.1*1.1)*σ1 = 0.001 + 0.000332 ≈ 0.0013.
+	// The paper reports this as "0.001" (one significant figure).
+	if math.Abs(b11-0.00133) > 0.0001 {
+		t.Errorf("formula (11) bound = %.6f, want ≈0.0013 (paper: '0.001')", b11)
+	}
+	if b11 >= 0.0015 || b11 <= 0.001 {
+		t.Errorf("formula (11) bound %.6f outside plausible range for the paper's 0.001", b11)
+	}
+	b12, err := TwoVersionBoundFromBound(bound1, pmax)
+	if err != nil {
+		t.Fatalf("TwoVersionBoundFromBound: %v", err)
+	}
+	// sqrt(0.11)*0.011 = 0.003649 ≈ 0.004 in the paper.
+	if math.Abs(b12-0.00365) > 0.0001 {
+		t.Errorf("formula (12) bound = %.6f, want ≈0.00365 (paper: '0.004')", b12)
+	}
+	// An order-of-magnitude improvement from formula (11), as the paper
+	// states.
+	if bound1/b11 < 8 {
+		t.Errorf("formula (11) improvement factor = %.2f, want ~10x (paper: 'order of magnitude')", bound1/b11)
+	}
+}
+
+// TestBound11ImpliesBound12Looser verifies the paper's chain (12): the
+// bound from moments is always at least as tight as the bound from the
+// aggregate, for admissible parameters.
+func TestBound11ImpliesBound12Looser(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(rawMu, rawSigma, rawPmax, rawK uint16) bool {
+		mu1 := float64(rawMu) / float64(math.MaxUint16)
+		sigma1 := float64(rawSigma) / float64(math.MaxUint16)
+		pmax := float64(rawPmax)/float64(math.MaxUint16)*0.999 + 0.0005
+		k := float64(rawK) / float64(math.MaxUint16) * 4
+		b11, err := TwoVersionBoundFromMoments(mu1, sigma1, pmax, k)
+		if err != nil {
+			return false
+		}
+		b12, err := TwoVersionBoundFromBound(mu1+k*sigma1, pmax)
+		if err != nil {
+			return false
+		}
+		return b11 <= b12+1e-12
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactBoundWithinFormula11 verifies inequality (11) against the exact
+// model moments: µ2 + kσ2 <= pmax·µ1 + k·sqrt(pmax(1+pmax))·σ1 whenever
+// all p_i are below the golden threshold.
+func TestExactBoundWithinFormula11(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte, rawK uint8) bool {
+		fs := randomFaultSet(raw)
+		if fs == nil || !fs.SigmaBoundHolds() {
+			return true
+		}
+		k := float64(rawK) / 64
+		rep, err := fs.Gain(k)
+		if err != nil {
+			return false
+		}
+		return rep.Bound2 <= rep.Bound11+1e-12
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfidenceBound(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.1}, {P: 0.5, Q: 0.2}})
+	mu, err := fs.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	sigma, err := fs.SigmaPFD(1)
+	if err != nil {
+		t.Fatalf("SigmaPFD: %v", err)
+	}
+	got, err := fs.ConfidenceBound(1, 3)
+	if err != nil {
+		t.Fatalf("ConfidenceBound: %v", err)
+	}
+	if !almostEqual(got, mu+3*sigma, 1e-15) {
+		t.Errorf("ConfidenceBound(1, 3) = %v, want %v", got, mu+3*sigma)
+	}
+	if _, err := fs.ConfidenceBound(1, -1); err == nil {
+		t.Error("ConfidenceBound with negative k succeeded, want error")
+	}
+}
+
+// TestConfidenceBoundAt99 pins the paper's statement that the 99% level
+// corresponds to k ≈ 2.33.
+func TestConfidenceBoundAt99(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.1}, {P: 0.5, Q: 0.2}})
+	at99, err := fs.ConfidenceBoundAt(1, 0.99)
+	if err != nil {
+		t.Fatalf("ConfidenceBoundAt: %v", err)
+	}
+	atK, err := fs.ConfidenceBound(1, 2.3263478740408408)
+	if err != nil {
+		t.Fatalf("ConfidenceBound: %v", err)
+	}
+	if !almostEqual(at99, atK, 1e-9) {
+		t.Errorf("99%% bound = %v, want %v (k = 2.3263)", at99, atK)
+	}
+	// Median bound equals the mean.
+	at50, err := fs.ConfidenceBoundAt(1, 0.5)
+	if err != nil {
+		t.Fatalf("ConfidenceBoundAt(0.5): %v", err)
+	}
+	mu, err := fs.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	if !almostEqual(at50, mu, 1e-15) {
+		t.Errorf("median bound = %v, want mean %v", at50, mu)
+	}
+	for _, alpha := range []float64{0.4, 1, 1.5, math.NaN()} {
+		if _, err := fs.ConfidenceBoundAt(1, alpha); err == nil {
+			t.Errorf("ConfidenceBoundAt(%v) succeeded, want error", alpha)
+		}
+	}
+}
+
+func TestMeanGain(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.1, Q: 0.1}})
+	gain, err := fs.MeanGain()
+	if err != nil {
+		t.Fatalf("MeanGain: %v", err)
+	}
+	// µ1 = 0.01, µ2 = 0.001: gain 10 = 1/pmax exactly for a single fault.
+	if !almostEqual(gain, 10, 1e-12) {
+		t.Errorf("MeanGain = %v, want 10", gain)
+	}
+	zero := mustNew(t, []Fault{{P: 0, Q: 0.1}})
+	if _, err := zero.MeanGain(); err == nil {
+		t.Error("MeanGain of zero-mean set succeeded, want error")
+	}
+}
+
+// TestMeanGainAtLeastInversePmax is the assessor-facing reading of eq (4):
+// the mean gain from diversity is at least 1/pmax.
+func TestMeanGainAtLeastInversePmax(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte) bool {
+		fs := randomFaultSet(raw)
+		if fs == nil {
+			return true
+		}
+		gain, err := fs.MeanGain()
+		if err != nil {
+			return true // degenerate zero-mean set
+		}
+		return gain >= 1/fs.PMax()-1e-9
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGainReport(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.1, Q: 0.05}, {P: 0.05, Q: 0.1}})
+	rep, err := fs.Gain(1.5)
+	if err != nil {
+		t.Fatalf("Gain: %v", err)
+	}
+	if rep.K != 1.5 {
+		t.Errorf("K = %v, want 1.5", rep.K)
+	}
+	if !almostEqual(rep.Bound1, rep.Mu1+1.5*rep.Sigma1, 1e-15) {
+		t.Errorf("Bound1 inconsistent: %v", rep)
+	}
+	if !almostEqual(rep.BoundDiff, rep.Bound1-rep.Bound2, 1e-15) {
+		t.Errorf("BoundDiff inconsistent: %v", rep)
+	}
+	if rep.BoundRatio <= 1 {
+		t.Errorf("BoundRatio = %v, want > 1 for this strongly-gaining set", rep.BoundRatio)
+	}
+	if _, err := fs.Gain(-0.5); err == nil {
+		t.Error("Gain with negative k succeeded, want error")
+	}
+}
+
+func TestGainReportZeroBound2(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0, Q: 0.1}})
+	rep, err := fs.Gain(1)
+	if err != nil {
+		t.Fatalf("Gain: %v", err)
+	}
+	if !math.IsInf(rep.BoundRatio, 1) {
+		t.Errorf("BoundRatio = %v, want +Inf when Bound2 = 0", rep.BoundRatio)
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := TwoVersionBoundFromMoments(-1, 0.1, 0.1, 1); err == nil {
+		t.Error("negative µ1 succeeded, want error")
+	}
+	if _, err := TwoVersionBoundFromMoments(0.1, -1, 0.1, 1); err == nil {
+		t.Error("negative σ1 succeeded, want error")
+	}
+	if _, err := TwoVersionBoundFromMoments(0.1, 0.1, 2, 1); err == nil {
+		t.Error("pmax > 1 succeeded, want error")
+	}
+	if _, err := TwoVersionBoundFromMoments(0.1, 0.1, 0.1, -1); err == nil {
+		t.Error("negative k succeeded, want error")
+	}
+	if _, err := TwoVersionBoundFromBound(-0.1, 0.1); err == nil {
+		t.Error("negative bound succeeded, want error")
+	}
+}

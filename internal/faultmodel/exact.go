@@ -1,0 +1,265 @@
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxExactFaults bounds the fault count accepted by ExactPFD. The exact
+// support can reach 2^n points for n distinct region probabilities; 20
+// keeps the worst case around a million support points. For larger models
+// use LatticePFD or the Monte-Carlo harness.
+const MaxExactFaults = 20
+
+// Distribution is a finite discrete probability distribution over PFD
+// values, sorted by value. It is produced by the exact subset enumeration
+// (ExactPFD) and by the lattice convolution (LatticePFD), and is the
+// ground truth against which the paper's Section-5 normal approximation is
+// evaluated in experiment E09.
+type Distribution struct {
+	values []float64
+	probs  []float64
+}
+
+// NewDistribution builds a discrete distribution from support values and
+// probabilities. Values need not be sorted or unique: they are sorted and
+// duplicates merged. It returns an error if the slices' lengths differ,
+// any probability is negative or non-finite, any value is not finite, or
+// the probabilities do not sum to 1 (within a small tolerance; they are
+// renormalised exactly).
+func NewDistribution(values, probs []float64) (*Distribution, error) {
+	if len(values) != len(probs) {
+		return nil, fmt.Errorf("faultmodel: %d values for %d probabilities", len(values), len(probs))
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("faultmodel: distribution requires at least one support point")
+	}
+	type pair struct{ v, p float64 }
+	pairs := make([]pair, len(values))
+	total := 0.0
+	for i := range values {
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return nil, fmt.Errorf("faultmodel: support value %v at index %d is not finite", values[i], i)
+		}
+		if math.IsNaN(probs[i]) || probs[i] < 0 || math.IsInf(probs[i], 0) {
+			return nil, fmt.Errorf("faultmodel: probability %v at index %d invalid", probs[i], i)
+		}
+		pairs[i] = pair{v: values[i], p: probs[i]}
+		total += probs[i]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("faultmodel: probabilities sum to %v, want 1", total)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	d := &Distribution{}
+	for _, pr := range pairs {
+		if n := len(d.values); n > 0 && d.values[n-1] == pr.v {
+			d.probs[n-1] += pr.p
+			continue
+		}
+		d.values = append(d.values, pr.v)
+		d.probs = append(d.probs, pr.p)
+	}
+	for i := range d.probs {
+		d.probs[i] /= total
+	}
+	return d, nil
+}
+
+// Len returns the number of support points.
+func (d *Distribution) Len() int { return len(d.values) }
+
+// Support returns copies of the support values and their probabilities.
+func (d *Distribution) Support() (values, probs []float64) {
+	values = make([]float64, len(d.values))
+	copy(values, d.values)
+	probs = make([]float64, len(d.probs))
+	copy(probs, d.probs)
+	return values, probs
+}
+
+// Mean returns the distribution mean.
+func (d *Distribution) Mean() float64 {
+	sum := 0.0
+	for i, v := range d.values {
+		sum += v * d.probs[i]
+	}
+	return sum
+}
+
+// Variance returns the distribution variance.
+func (d *Distribution) Variance() float64 {
+	mean := d.Mean()
+	sum := 0.0
+	for i, v := range d.values {
+		dv := v - mean
+		sum += dv * dv * d.probs[i]
+	}
+	return sum
+}
+
+// StdDev returns the distribution standard deviation.
+func (d *Distribution) StdDev() float64 { return math.Sqrt(d.Variance()) }
+
+// CDF returns P(X <= x).
+func (d *Distribution) CDF(x float64) float64 {
+	// First index with value > x.
+	i := sort.SearchFloat64s(d.values, x)
+	for i < len(d.values) && d.values[i] == x {
+		i++
+	}
+	sum := 0.0
+	for j := 0; j < i; j++ {
+		sum += d.probs[j]
+	}
+	return sum
+}
+
+// Exceedance returns P(X > x).
+func (d *Distribution) Exceedance(x float64) float64 { return 1 - d.CDF(x) }
+
+// Quantile returns the smallest support value x with P(X <= x) >= p.
+// It returns an error if p is outside [0, 1].
+func (d *Distribution) Quantile(p float64) (float64, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faultmodel: quantile requires p in [0, 1], got %v", p)
+	}
+	cum := 0.0
+	for i, v := range d.values {
+		cum += d.probs[i]
+		if cum >= p-1e-15 {
+			return v, nil
+		}
+	}
+	return d.values[len(d.values)-1], nil
+}
+
+// ExactPFD computes the exact distribution of Θ_m by convolving the n
+// independent fault contributions: fault i adds q_i with probability
+// p_i^m and 0 otherwise. Support points whose values coincide are merged,
+// so homogeneous models stay at n+1 points instead of 2^n.
+//
+// It returns an error if m < 1 or the fault set exceeds MaxExactFaults.
+func (fs *FaultSet) ExactPFD(m int) (*Distribution, error) {
+	if err := validateVersions(m); err != nil {
+		return nil, err
+	}
+	if len(fs.faults) > MaxExactFaults {
+		return nil, fmt.Errorf("faultmodel: exact distribution limited to %d faults, got %d (use LatticePFD or Monte Carlo)", MaxExactFaults, len(fs.faults))
+	}
+	values := []float64{0}
+	probs := []float64{1}
+	for _, f := range fs.faults {
+		pm := math.Pow(f.P, float64(m))
+		if pm == 0 {
+			continue
+		}
+		values, probs = convolveBernoulli(values, probs, f.Q, pm)
+	}
+	return &Distribution{values: values, probs: probs}, nil
+}
+
+// convolveBernoulli merges the current support (values, probs) with a
+// contribution that adds q with probability p. Both branches stay sorted,
+// so a linear merge suffices; equal values are coalesced.
+func convolveBernoulli(values, probs []float64, q, p float64) (outValues, outProbs []float64) {
+	n := len(values)
+	outValues = make([]float64, 0, 2*n)
+	outProbs = make([]float64, 0, 2*n)
+	// Branch A: value unchanged, weight (1-p). Branch B: value + q,
+	// weight p. values is sorted, hence both branches are sorted.
+	i, j := 0, 0
+	push := func(v, pr float64) {
+		if k := len(outValues); k > 0 && outValues[k-1] == v {
+			outProbs[k-1] += pr
+			return
+		}
+		outValues = append(outValues, v)
+		outProbs = append(outProbs, pr)
+	}
+	for i < n || j < n {
+		switch {
+		case j >= n:
+			push(values[i], probs[i]*(1-p))
+			i++
+		case i >= n:
+			push(values[j]+q, probs[j]*p)
+			j++
+		case values[i] <= values[j]+q:
+			push(values[i], probs[i]*(1-p))
+			i++
+		default:
+			push(values[j]+q, probs[j]*p)
+			j++
+		}
+	}
+	return outValues, outProbs
+}
+
+// LatticePFD approximates the distribution of Θ_m on a uniform grid of the
+// given number of bins spanning [0, Σq]. Each fault's contribution q_i is
+// split between the two adjacent grid points so that the distribution mean
+// is preserved exactly; the convolution is O(n·bins), so it scales to the
+// thousands-of-faults scenarios where subset enumeration cannot.
+//
+// It returns an error if m < 1 or bins < 2.
+func (fs *FaultSet) LatticePFD(m int, bins int) (*Distribution, error) {
+	if err := validateVersions(m); err != nil {
+		return nil, err
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("faultmodel: lattice requires at least 2 bins, got %d", bins)
+	}
+	hi := fs.sumQ
+	if hi == 0 {
+		return &Distribution{values: []float64{0}, probs: []float64{1}}, nil
+	}
+	step := hi / float64(bins-1)
+	// One guard cell per fault: each fault's ceil-split can overshoot the
+	// nominal top by at most one cell, and clamping there would bleed
+	// probability mass downward and bias the mean.
+	cells := bins + len(fs.faults)
+	mass := make([]float64, cells)
+	mass[0] = 1
+	next := make([]float64, cells)
+	for _, f := range fs.faults {
+		pm := math.Pow(f.P, float64(m))
+		if pm == 0 || f.Q == 0 {
+			continue
+		}
+		shift := f.Q / step
+		lo := int(math.Floor(shift))
+		fracHi := shift - float64(lo)
+		for i := range next {
+			next[i] = 0
+		}
+		for i, w := range mass {
+			if w == 0 {
+				continue
+			}
+			next[i] += w * (1 - pm)
+			// Split the shifted mass between the bracketing cells,
+			// clamping at the last guard cell (unreachable except through
+			// floating-point rounding, thanks to the per-fault guards).
+			iLo := i + lo
+			if iLo >= cells-1 {
+				next[cells-1] += w * pm
+				continue
+			}
+			next[iLo] += w * pm * (1 - fracHi)
+			next[iLo+1] += w * pm * fracHi
+		}
+		mass, next = next, mass
+	}
+	values := make([]float64, 0, bins)
+	probs := make([]float64, 0, bins)
+	for i, w := range mass {
+		if w == 0 {
+			continue
+		}
+		values = append(values, float64(i)*step)
+		probs = append(probs, w)
+	}
+	return &Distribution{values: values, probs: probs}, nil
+}

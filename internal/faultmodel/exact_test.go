@@ -1,0 +1,345 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactPFDSingleFault(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.2}})
+	d, err := fs.ExactPFD(1)
+	if err != nil {
+		t.Fatalf("ExactPFD: %v", err)
+	}
+	values, probs := d.Support()
+	if len(values) != 2 {
+		t.Fatalf("support = %v, want 2 points", values)
+	}
+	if values[0] != 0 || values[1] != 0.2 {
+		t.Errorf("support values = %v, want [0, 0.2]", values)
+	}
+	if !almostEqual(probs[0], 0.7, 1e-15) || !almostEqual(probs[1], 0.3, 1e-15) {
+		t.Errorf("support probs = %v, want [0.7, 0.3]", probs)
+	}
+}
+
+func TestExactPFDHomogeneousIsBinomial(t *testing.T) {
+	t.Parallel()
+
+	// For n identical faults (p, q), the PFD is q·Binomial(n, p): support
+	// collapses to n+1 points.
+	const n, p, q = 8, 0.3, 0.05
+	fs, err := Uniform(n, p, q)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	d, err := fs.ExactPFD(1)
+	if err != nil {
+		t.Fatalf("ExactPFD: %v", err)
+	}
+	if d.Len() != n+1 {
+		t.Fatalf("support size = %d, want %d (binomial collapse)", d.Len(), n+1)
+	}
+	values, probs := d.Support()
+	for k := 0; k <= n; k++ {
+		if !almostEqual(values[k], float64(k)*q, 1e-12) {
+			t.Errorf("support[%d] = %v, want %v", k, values[k], float64(k)*q)
+		}
+		// Binomial PMF.
+		choose := 1.0
+		for j := 0; j < k; j++ {
+			choose = choose * float64(n-j) / float64(j+1)
+		}
+		want := choose * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+		if !almostEqual(probs[k], want, 1e-10) {
+			t.Errorf("prob[%d] = %v, want %v", k, probs[k], want)
+		}
+	}
+}
+
+// TestExactPFDMomentsMatchFormulas cross-checks the exact distribution
+// against equations (1)–(2) for arbitrary fault sets and m = 1, 2.
+func TestExactPFDMomentsMatchFormulas(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte) bool {
+		fs := randomFaultSet(raw)
+		if fs == nil {
+			return true
+		}
+		for m := 1; m <= 2; m++ {
+			d, err := fs.ExactPFD(m)
+			if err != nil {
+				return false
+			}
+			mu, err := fs.MeanPFD(m)
+			if err != nil {
+				return false
+			}
+			v, err := fs.VarPFD(m)
+			if err != nil {
+				return false
+			}
+			if !almostEqual(d.Mean(), mu, 1e-10) {
+				return false
+			}
+			if !almostEqual(d.Variance(), v, 1e-9) && math.Abs(d.Variance()-v) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactPFDProbabilitiesSumToOne(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte) bool {
+		fs := randomFaultSet(raw)
+		if fs == nil {
+			return true
+		}
+		d, err := fs.ExactPFD(2)
+		if err != nil {
+			return false
+		}
+		_, probs := d.Support()
+		sum := 0.0
+		for _, pr := range probs {
+			if pr < 0 {
+				return false
+			}
+			sum += pr
+		}
+		return almostEqual(sum, 1, 1e-10)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactPFDZeroProbabilityAtZeroMatchesPNoFault(t *testing.T) {
+	t.Parallel()
+
+	// P(Θ = 0) must equal Π(1-p_i^m) when all q_i > 0.
+	fs := mustNew(t, []Fault{{P: 0.2, Q: 0.1}, {P: 0.4, Q: 0.2}, {P: 0.1, Q: 0.3}})
+	for m := 1; m <= 2; m++ {
+		d, err := fs.ExactPFD(m)
+		if err != nil {
+			t.Fatalf("ExactPFD(%d): %v", m, err)
+		}
+		values, probs := d.Support()
+		if values[0] != 0 {
+			t.Fatalf("m=%d: smallest support point %v, want 0", m, values[0])
+		}
+		want, err := fs.PNoFault(m)
+		if err != nil {
+			t.Fatalf("PNoFault(%d): %v", m, err)
+		}
+		if !almostEqual(probs[0], want, 1e-12) {
+			t.Errorf("m=%d: P(Θ=0) = %v, want %v", m, probs[0], want)
+		}
+	}
+}
+
+func TestExactPFDTooManyFaults(t *testing.T) {
+	t.Parallel()
+
+	faults := make([]Fault, MaxExactFaults+1)
+	for i := range faults {
+		faults[i] = Fault{P: 0.1, Q: 1.0 / float64(len(faults)+1)}
+	}
+	fs := mustNew(t, faults)
+	if _, err := fs.ExactPFD(1); err == nil {
+		t.Error("ExactPFD beyond MaxExactFaults succeeded, want error")
+	}
+	// But the lattice handles it.
+	if _, err := fs.LatticePFD(1, 256); err != nil {
+		t.Errorf("LatticePFD failed: %v", err)
+	}
+}
+
+func TestDistributionCDFAndQuantile(t *testing.T) {
+	t.Parallel()
+
+	// Dyadic q values keep the support exact in binary floating point.
+	fs := mustNew(t, []Fault{{P: 0.5, Q: 0.125}, {P: 0.5, Q: 0.25}})
+	d, err := fs.ExactPFD(1)
+	if err != nil {
+		t.Fatalf("ExactPFD: %v", err)
+	}
+	// Support: 0 (0.25), 0.125 (0.25), 0.25 (0.25), 0.375 (0.25).
+	tests := []struct {
+		x, want float64
+	}{
+		{x: -0.1, want: 0},
+		{x: 0, want: 0.25},
+		{x: 0.05, want: 0.25},
+		{x: 0.125, want: 0.5},
+		{x: 0.3, want: 0.75},
+		{x: 0.375, want: 1},
+		{x: 1, want: 1},
+	}
+	for _, tt := range tests {
+		if got := d.CDF(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := d.Exceedance(0.125); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Exceedance(0.125) = %v, want 0.5", got)
+	}
+	q, err := d.Quantile(0.6)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if q != 0.25 {
+		t.Errorf("Quantile(0.6) = %v, want 0.25", q)
+	}
+	q, err = d.Quantile(1)
+	if err != nil {
+		t.Fatalf("Quantile(1): %v", err)
+	}
+	if q != 0.375 {
+		t.Errorf("Quantile(1) = %v, want 0.375", q)
+	}
+	if _, err := d.Quantile(-0.1); err == nil {
+		t.Error("Quantile(-0.1) succeeded, want error")
+	}
+}
+
+func TestLatticePFDMatchesExactMean(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.2, Q: 0.07}, {P: 0.4, Q: 0.13}, {P: 0.1, Q: 0.31}})
+	for m := 1; m <= 2; m++ {
+		lat, err := fs.LatticePFD(m, 4096)
+		if err != nil {
+			t.Fatalf("LatticePFD(%d): %v", m, err)
+		}
+		mu, err := fs.MeanPFD(m)
+		if err != nil {
+			t.Fatalf("MeanPFD: %v", err)
+		}
+		// The mean-preserving split keeps the mean essentially exact.
+		if !almostEqual(lat.Mean(), mu, 1e-9) {
+			t.Errorf("m=%d: lattice mean %v, exact %v", m, lat.Mean(), mu)
+		}
+		exact, err := fs.ExactPFD(m)
+		if err != nil {
+			t.Fatalf("ExactPFD: %v", err)
+		}
+		if math.Abs(lat.Variance()-exact.Variance()) > 1e-5 {
+			t.Errorf("m=%d: lattice variance %v, exact %v", m, lat.Variance(), exact.Variance())
+		}
+	}
+}
+
+func TestLatticePFDCDFCloseToExact(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.05}, {P: 0.25, Q: 0.11}, {P: 0.15, Q: 0.17}, {P: 0.45, Q: 0.02}})
+	exact, err := fs.ExactPFD(1)
+	if err != nil {
+		t.Fatalf("ExactPFD: %v", err)
+	}
+	lat, err := fs.LatticePFD(1, 8192)
+	if err != nil {
+		t.Fatalf("LatticePFD: %v", err)
+	}
+	// Compare CDFs midway between exact support points (away from the
+	// discretisation jitter at the jumps themselves).
+	values, _ := exact.Support()
+	for i := 0; i+1 < len(values); i++ {
+		x := (values[i] + values[i+1]) / 2
+		if math.Abs(exact.CDF(x)-lat.CDF(x)) > 0.02 {
+			t.Errorf("CDF mismatch at %v: exact %v, lattice %v", x, exact.CDF(x), lat.CDF(x))
+		}
+	}
+}
+
+func TestLatticePFDValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.1, Q: 0.1}})
+	if _, err := fs.LatticePFD(1, 1); err == nil {
+		t.Error("LatticePFD with 1 bin succeeded, want error")
+	}
+	if _, err := fs.LatticePFD(0, 16); err == nil {
+		t.Error("LatticePFD with m=0 succeeded, want error")
+	}
+}
+
+func TestLatticePFDZeroQ(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.5, Q: 0}})
+	d, err := fs.LatticePFD(1, 16)
+	if err != nil {
+		t.Fatalf("LatticePFD: %v", err)
+	}
+	if d.Len() != 1 || d.Mean() != 0 {
+		t.Errorf("zero-q lattice = %d points, mean %v; want point mass at 0", d.Len(), d.Mean())
+	}
+}
+
+func TestExactPFDMZeroFaultProbability(t *testing.T) {
+	t.Parallel()
+
+	// Faults with p = 0 must not expand the support.
+	fs := mustNew(t, []Fault{{P: 0, Q: 0.5}, {P: 0.5, Q: 0.25}})
+	d, err := fs.ExactPFD(1)
+	if err != nil {
+		t.Fatalf("ExactPFD: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("support size = %d, want 2", d.Len())
+	}
+}
+
+func TestNewDistribution(t *testing.T) {
+	t.Parallel()
+
+	d, err := NewDistribution([]float64{0.2, 0, 0.2, 0.1}, []float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		t.Fatalf("NewDistribution: %v", err)
+	}
+	values, probs := d.Support()
+	if len(values) != 3 {
+		t.Fatalf("support = %v, want 3 merged points", values)
+	}
+	if values[0] != 0 || values[1] != 0.1 || values[2] != 0.2 {
+		t.Errorf("values = %v, want sorted [0, 0.1, 0.2]", values)
+	}
+	if !almostEqual(probs[2], 0.5, 1e-15) {
+		t.Errorf("merged probability = %v, want 0.5", probs[2])
+	}
+	if !almostEqual(d.Mean(), 0.25*0+0.25*0.1+0.5*0.2, 1e-15) {
+		t.Errorf("mean = %v", d.Mean())
+	}
+}
+
+func TestNewDistributionValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewDistribution([]float64{0.1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched lengths succeeded, want error")
+	}
+	if _, err := NewDistribution(nil, nil); err == nil {
+		t.Error("empty distribution succeeded, want error")
+	}
+	if _, err := NewDistribution([]float64{0.1}, []float64{0.5}); err == nil {
+		t.Error("probabilities not summing to 1 succeeded, want error")
+	}
+	if _, err := NewDistribution([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN value succeeded, want error")
+	}
+	if _, err := NewDistribution([]float64{0.1, 0.2}, []float64{1.5, -0.5}); err == nil {
+		t.Error("negative probability succeeded, want error")
+	}
+}

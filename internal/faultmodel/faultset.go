@@ -1,0 +1,227 @@
+// Package faultmodel implements the fault-creation model of Popov &
+// Strigini, "The Reliability of Diverse Systems: a Contribution using
+// Modelling of the Fault Creation Process" (DSN 2001).
+//
+// The model postulates a fixed universe of n potential faults. Fault i is
+// introduced into an independently developed program version with
+// probability p_i (development mistakes are independent "dice tosses"), and
+// its failure region is hit by a random demand with probability q_i.
+// Failure regions are disjoint, so the probability of failure on demand
+// (PFD) of a version is the sum of the q_i of the faults it contains. A
+// 1-out-of-2 diverse system fails on a demand only if the demand lies in a
+// failure region common to both versions; under independent development a
+// fault is common with probability p_i². More generally, an m-version
+// system of this kind shares fault i with probability p_i^m.
+//
+// The package provides the paper's analytic results — moments of the PFD
+// (Section 3, eqs 1–2), the guaranteed mean and standard-deviation gain
+// bounds (eqs 4 and 9), the probability of no common fault and its risk
+// ratio (Section 4, eq 10), the process-improvement derivatives
+// (Appendices A and B), and the normal-approximation confidence bounds
+// (Section 5, formulas 11–12) — together with exact and lattice-based
+// computations of the full PFD distribution that the paper's normal
+// approximation is checked against.
+package faultmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// GoldenThreshold is (sqrt(5)-1)/2 ≈ 0.618: the paper's Section 3.1.2 shows
+// p²(1-p²) <= p(1-p) exactly when p <= GoldenThreshold, which is the
+// condition under which every fault's contribution to the two-version PFD
+// variance is no larger than its one-version counterpart.
+const GoldenThreshold = 0.6180339887498949
+
+// ErrEmptyFaultSet is returned when a FaultSet is constructed with no
+// potential faults.
+var ErrEmptyFaultSet = errors.New("faultmodel: fault set must contain at least one potential fault")
+
+// Fault is one potential fault of the model: a development mistake and its
+// associated failure region.
+type Fault struct {
+	// P is the probability that the fault is present in a randomly chosen,
+	// independently developed version (the paper's p_i).
+	P float64
+	// Q is the probability that a random demand falls in the fault's
+	// failure region (the paper's q_i): the fault's contribution to the
+	// PFD of any version containing it.
+	Q float64
+}
+
+// validate reports whether the fault parameters are probabilities.
+func (f Fault) validate(i int) error {
+	if math.IsNaN(f.P) || f.P < 0 || f.P > 1 {
+		return fmt.Errorf("faultmodel: fault %d has invalid presence probability p=%v", i, f.P)
+	}
+	if math.IsNaN(f.Q) || f.Q < 0 || f.Q > 1 {
+		return fmt.Errorf("faultmodel: fault %d has invalid failure-region probability q=%v", i, f.Q)
+	}
+	return nil
+}
+
+// FaultSet is an immutable collection of potential faults — the 2n
+// parameters of the paper's model. Construct one with New or FromSlices;
+// derived fault sets (process improvements) are produced by WithP and
+// Scaled.
+type FaultSet struct {
+	faults []Fault
+	sumQ   float64
+	pmax   float64
+}
+
+// New returns a FaultSet over the given potential faults. It returns an
+// error if the set is empty, any parameter is not a probability, or the
+// region probabilities sum to more than 1 (the model assumes disjoint
+// failure regions, so their total probability cannot exceed the whole
+// demand space; a small tolerance absorbs floating-point accumulation).
+func New(faults []Fault) (*FaultSet, error) {
+	if len(faults) == 0 {
+		return nil, ErrEmptyFaultSet
+	}
+	fs := &FaultSet{faults: make([]Fault, len(faults))}
+	copy(fs.faults, faults)
+	for i, f := range fs.faults {
+		if err := f.validate(i); err != nil {
+			return nil, err
+		}
+		fs.sumQ += f.Q
+		if f.P > fs.pmax {
+			fs.pmax = f.P
+		}
+	}
+	const sumQTolerance = 1e-9
+	if fs.sumQ > 1+sumQTolerance {
+		return nil, fmt.Errorf("faultmodel: failure-region probabilities sum to %v > 1; the model requires disjoint regions within the demand space", fs.sumQ)
+	}
+	return fs, nil
+}
+
+// FromSlices builds a FaultSet from parallel slices of presence and region
+// probabilities. It returns an error if the lengths differ, in addition to
+// the conditions checked by New.
+func FromSlices(ps, qs []float64) (*FaultSet, error) {
+	if len(ps) != len(qs) {
+		return nil, fmt.Errorf("faultmodel: mismatched parameter lengths: %d presence vs %d region probabilities", len(ps), len(qs))
+	}
+	faults := make([]Fault, len(ps))
+	for i := range ps {
+		faults[i] = Fault{P: ps[i], Q: qs[i]}
+	}
+	return New(faults)
+}
+
+// Uniform returns a FaultSet of n faults that all share presence
+// probability p and region probability q — the homogeneous special case
+// used throughout the experiments for closed-form cross-checks.
+func Uniform(n int, p, q float64) (*FaultSet, error) {
+	if n < 1 {
+		return nil, ErrEmptyFaultSet
+	}
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{P: p, Q: q}
+	}
+	return New(faults)
+}
+
+// N returns the number of potential faults.
+func (fs *FaultSet) N() int { return len(fs.faults) }
+
+// Fault returns the i-th potential fault. It panics if i is out of range,
+// mirroring slice indexing.
+func (fs *FaultSet) Fault(i int) Fault { return fs.faults[i] }
+
+// Faults returns a copy of the fault parameters.
+func (fs *FaultSet) Faults() []Fault {
+	out := make([]Fault, len(fs.faults))
+	copy(out, fs.faults)
+	return out
+}
+
+// PMax returns max_i p_i, the probability of the most likely fault. The
+// paper's headline bounds (eqs 4, 9, 11, 12) are expressed in terms of
+// this single, assessor-estimable parameter.
+func (fs *FaultSet) PMax() float64 { return fs.pmax }
+
+// SumQ returns the total demand-space probability covered by all potential
+// failure regions.
+func (fs *FaultSet) SumQ() float64 { return fs.sumQ }
+
+// WithP returns a copy of the fault set with fault i's presence
+// probability replaced by p — the paper's Section 4.2.1 "improvement that
+// affects a single fault". It returns an error if i is out of range or p
+// is not a probability.
+func (fs *FaultSet) WithP(i int, p float64) (*FaultSet, error) {
+	if i < 0 || i >= len(fs.faults) {
+		return nil, fmt.Errorf("faultmodel: fault index %d out of range [0, %d)", i, len(fs.faults))
+	}
+	faults := fs.Faults()
+	faults[i].P = p
+	return New(faults)
+}
+
+// Scaled returns a copy of the fault set with every presence probability
+// multiplied by k — the paper's Section 4.2.2 proportional process change
+// p_i = k·b_i. It returns an error if any scaled probability leaves [0, 1].
+func (fs *FaultSet) Scaled(k float64) (*FaultSet, error) {
+	if math.IsNaN(k) || k < 0 {
+		return nil, fmt.Errorf("faultmodel: scale factor %v must be non-negative", k)
+	}
+	faults := fs.Faults()
+	for i := range faults {
+		faults[i].P *= k
+		if faults[i].P > 1 {
+			return nil, fmt.Errorf("faultmodel: scaling by %v drives fault %d presence probability to %v > 1", k, i, faults[i].P)
+		}
+	}
+	return New(faults)
+}
+
+// MaxScale returns the largest k for which Scaled(k) is valid, i.e.
+// 1/pmax (infinite for an all-zero fault set).
+func (fs *FaultSet) MaxScale() float64 {
+	if fs.pmax == 0 {
+		return math.Inf(1)
+	}
+	return 1 / fs.pmax
+}
+
+// MergeFaults returns a fault set in which faults i and j are replaced by
+// a single fault with the union failure region (q_i + q_j; regions are
+// disjoint) and presence probability p. This is the paper's Section-6.1
+// device for positive correlation between mistakes: "with positive
+// correlation the extreme case is that the two can only occur together:
+// then they can be considered as one mistake, with a resulting failure
+// region which is the union of those associated to the two" — so solving
+// the model with fewer, larger faults approximates correlated
+// introduction. The merged fault is appended in place of fault min(i, j);
+// the other slot is removed.
+func (fs *FaultSet) MergeFaults(i, j int, p float64) (*FaultSet, error) {
+	if i < 0 || i >= len(fs.faults) || j < 0 || j >= len(fs.faults) {
+		return nil, fmt.Errorf("faultmodel: merge indices (%d, %d) out of range [0, %d)", i, j, len(fs.faults))
+	}
+	if i == j {
+		return nil, fmt.Errorf("faultmodel: cannot merge fault %d with itself", i)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return nil, fmt.Errorf("faultmodel: merged presence probability %v must be in [0, 1]", p)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	faults := make([]Fault, 0, len(fs.faults)-1)
+	for idx, f := range fs.faults {
+		switch idx {
+		case i:
+			faults = append(faults, Fault{P: p, Q: fs.faults[i].Q + fs.faults[j].Q})
+		case j:
+			// dropped: absorbed into the merged fault
+		default:
+			faults = append(faults, f)
+		}
+	}
+	return New(faults)
+}

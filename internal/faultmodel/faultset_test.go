@@ -1,0 +1,237 @@
+package faultmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustNew(t *testing.T, faults []Fault) *FaultSet {
+	t.Helper()
+	fs, err := New(faults)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return fs
+}
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		faults []Fault
+	}{
+		{name: "empty", faults: nil},
+		{name: "negative p", faults: []Fault{{P: -0.1, Q: 0.1}}},
+		{name: "p above one", faults: []Fault{{P: 1.1, Q: 0.1}}},
+		{name: "NaN p", faults: []Fault{{P: math.NaN(), Q: 0.1}}},
+		{name: "negative q", faults: []Fault{{P: 0.1, Q: -0.1}}},
+		{name: "q above one", faults: []Fault{{P: 0.1, Q: 1.5}}},
+		{name: "NaN q", faults: []Fault{{P: 0.1, Q: math.NaN()}}},
+		{name: "regions exceed demand space", faults: []Fault{{P: 0.1, Q: 0.7}, {P: 0.2, Q: 0.7}}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := New(tt.faults); err == nil {
+				t.Errorf("New(%v) succeeded, want error", tt.faults)
+			}
+		})
+	}
+	if _, err := New(nil); !errors.Is(err, ErrEmptyFaultSet) {
+		t.Errorf("New(nil) error = %v, want ErrEmptyFaultSet", err)
+	}
+}
+
+func TestNewBasics(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.1}, {P: 0.5, Q: 0.2}, {P: 0.1, Q: 0.05}})
+	if fs.N() != 3 {
+		t.Errorf("N = %d, want 3", fs.N())
+	}
+	if fs.PMax() != 0.5 {
+		t.Errorf("PMax = %v, want 0.5", fs.PMax())
+	}
+	if !almostEqual(fs.SumQ(), 0.35, 1e-15) {
+		t.Errorf("SumQ = %v, want 0.35", fs.SumQ())
+	}
+	if got := fs.Fault(1); got.P != 0.5 || got.Q != 0.2 {
+		t.Errorf("Fault(1) = %+v", got)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	t.Parallel()
+
+	in := []Fault{{P: 0.3, Q: 0.1}}
+	fs := mustNew(t, in)
+	in[0].P = 0.9
+	if fs.Fault(0).P != 0.3 {
+		t.Error("New retained a reference to the caller's slice")
+	}
+	out := fs.Faults()
+	out[0].P = 0.7
+	if fs.Fault(0).P != 0.3 {
+		t.Error("Faults returned interior state")
+	}
+}
+
+func TestFromSlices(t *testing.T) {
+	t.Parallel()
+
+	fs, err := FromSlices([]float64{0.1, 0.2}, []float64{0.01, 0.02})
+	if err != nil {
+		t.Fatalf("FromSlices: %v", err)
+	}
+	if fs.N() != 2 || fs.Fault(1).Q != 0.02 {
+		t.Errorf("FromSlices produced %+v", fs.Faults())
+	}
+	if _, err := FromSlices([]float64{0.1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("FromSlices with mismatched lengths succeeded, want error")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	t.Parallel()
+
+	fs, err := Uniform(5, 0.1, 0.02)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if fs.N() != 5 || fs.PMax() != 0.1 || !almostEqual(fs.SumQ(), 0.1, 1e-15) {
+		t.Errorf("Uniform wrong: N=%d PMax=%v SumQ=%v", fs.N(), fs.PMax(), fs.SumQ())
+	}
+	if _, err := Uniform(0, 0.1, 0.1); !errors.Is(err, ErrEmptyFaultSet) {
+		t.Errorf("Uniform(0) error = %v, want ErrEmptyFaultSet", err)
+	}
+}
+
+func TestWithP(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.1}, {P: 0.5, Q: 0.2}})
+	mod, err := fs.WithP(0, 0.05)
+	if err != nil {
+		t.Fatalf("WithP: %v", err)
+	}
+	if mod.Fault(0).P != 0.05 || mod.Fault(1).P != 0.5 {
+		t.Errorf("WithP result wrong: %+v", mod.Faults())
+	}
+	if fs.Fault(0).P != 0.3 {
+		t.Error("WithP mutated the receiver")
+	}
+	if mod.PMax() != 0.5 {
+		t.Errorf("WithP result PMax = %v, want 0.5", mod.PMax())
+	}
+	if _, err := fs.WithP(5, 0.1); err == nil {
+		t.Error("WithP out of range succeeded, want error")
+	}
+	if _, err := fs.WithP(0, 1.5); err == nil {
+		t.Error("WithP with invalid probability succeeded, want error")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.2, Q: 0.1}, {P: 0.4, Q: 0.2}})
+	half, err := fs.Scaled(0.5)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	if !almostEqual(half.Fault(0).P, 0.1, 1e-15) || !almostEqual(half.Fault(1).P, 0.2, 1e-15) {
+		t.Errorf("Scaled(0.5) = %+v", half.Faults())
+	}
+	if fs.Fault(0).P != 0.2 {
+		t.Error("Scaled mutated the receiver")
+	}
+	if _, err := fs.Scaled(3); err == nil {
+		t.Error("Scaled past 1 succeeded, want error")
+	}
+	if _, err := fs.Scaled(-1); err == nil {
+		t.Error("Scaled(-1) succeeded, want error")
+	}
+	if got := fs.MaxScale(); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("MaxScale = %v, want 2.5", got)
+	}
+	// MaxScale itself must be admissible.
+	if _, err := fs.Scaled(fs.MaxScale()); err != nil {
+		t.Errorf("Scaled(MaxScale) failed: %v", err)
+	}
+}
+
+func TestMaxScaleAllZero(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0, Q: 0.1}})
+	if !math.IsInf(fs.MaxScale(), 1) {
+		t.Errorf("MaxScale of zero-p set = %v, want +Inf", fs.MaxScale())
+	}
+}
+
+func TestMergeFaults(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{
+		{P: 0.3, Q: 0.05},
+		{P: 0.2, Q: 0.07},
+		{P: 0.1, Q: 0.02},
+	})
+	merged, err := fs.MergeFaults(0, 1, 0.25)
+	if err != nil {
+		t.Fatalf("MergeFaults: %v", err)
+	}
+	if merged.N() != 2 {
+		t.Fatalf("merged N = %d, want 2", merged.N())
+	}
+	if got := merged.Fault(0); got.P != 0.25 || !almostEqual(got.Q, 0.12, 1e-15) {
+		t.Errorf("merged fault = %+v, want {0.25, 0.12}", got)
+	}
+	if got := merged.Fault(1); got.P != 0.1 || got.Q != 0.02 {
+		t.Errorf("surviving fault = %+v, want untouched {0.1, 0.02}", got)
+	}
+	// Index order must not matter.
+	swapped, err := fs.MergeFaults(1, 0, 0.25)
+	if err != nil {
+		t.Fatalf("MergeFaults swapped: %v", err)
+	}
+	if swapped.Fault(0) != merged.Fault(0) || swapped.Fault(1) != merged.Fault(1) {
+		t.Error("MergeFaults is order-sensitive")
+	}
+	// Receiver untouched.
+	if fs.N() != 3 {
+		t.Error("MergeFaults mutated the receiver")
+	}
+}
+
+func TestMergeFaultsValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.05}, {P: 0.2, Q: 0.07}})
+	if _, err := fs.MergeFaults(0, 0, 0.2); err == nil {
+		t.Error("self-merge succeeded, want error")
+	}
+	if _, err := fs.MergeFaults(0, 5, 0.2); err == nil {
+		t.Error("out-of-range merge succeeded, want error")
+	}
+	if _, err := fs.MergeFaults(0, 1, 1.5); err == nil {
+		t.Error("invalid probability succeeded, want error")
+	}
+	if _, err := fs.MergeFaults(0, 1, math.NaN()); err == nil {
+		t.Error("NaN probability succeeded, want error")
+	}
+}

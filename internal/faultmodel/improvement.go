@@ -1,0 +1,219 @@
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// RiskRatioDeriv returns the exact partial derivative of the risk ratio
+// R = P(N2>0)/P(N1>0) (equation 10) with respect to p_i — the quantity
+// analysed in the paper's Section 4.2.1 and Appendix A.
+//
+// Writing A = 1 - Π(1-p_j²) and B = 1 - Π(1-p_j):
+//
+//	∂R/∂p_i = (A'·B - A·B') / B²,
+//	A' = 2·p_i·Π_{j≠i}(1-p_j²),  B' = Π_{j≠i}(1-p_j).
+//
+// A negative derivative means that *reducing* p_i (a process improvement
+// targeting this one fault class) *increases* the ratio — i.e. shrinks the
+// gain from diversity, the paper's counterintuitive finding. The
+// derivative is undefined when every presence probability is zero.
+func (fs *FaultSet) RiskRatioDeriv(i int) (float64, error) {
+	if i < 0 || i >= len(fs.faults) {
+		return 0, fmt.Errorf("faultmodel: fault index %d out of range [0, %d)", i, len(fs.faults))
+	}
+	prod1, prod2 := 1.0, 1.0       // Π(1-p_j), Π(1-p_j²) over all j
+	prod1Not, prod2Not := 1.0, 1.0 // the same products excluding j = i
+	for j, f := range fs.faults {
+		t1 := 1 - f.P
+		t2 := 1 - f.P*f.P
+		prod1 *= t1
+		prod2 *= t2
+		if j != i {
+			prod1Not *= t1
+			prod2Not *= t2
+		}
+	}
+	b := 1 - prod1
+	if b == 0 {
+		return 0, fmt.Errorf("faultmodel: risk-ratio derivative undefined: every fault has zero presence probability")
+	}
+	a := 1 - prod2
+	da := 2 * fs.faults[i].P * prod2Not
+	db := prod1Not
+	return (da*b - a*db) / (b * b), nil
+}
+
+// TwoFaultStationaryP1 returns, for a two-fault model with the other
+// fault's presence probability fixed at p2, the value p1z of p1 at which
+// ∂R/∂p1 = 0 — the stationary point of the Appendix-A analysis. The risk
+// ratio R(p1) has an interior minimum there: the derivative is negative
+// for p1 < p1z (improving this fault class further REDUCES the diversity
+// gain) and positive for p1 > p1z.
+//
+// Setting the Appendix-A numerator to zero gives the quadratic
+//
+//	(1-p2²)·p1² + 2·p2·(1+p2)·p1 - p2² = 0,
+//
+// whose admissible root is
+//
+//	p1z = p2·(sqrt(2(1+p2)) - (1+p2)) / (1-p2²).
+//
+// Note: the version of the paper available to this reproduction prints a
+// root claimed to exceed p2; direct numerical minimisation of R (verified
+// in the tests and experiment E05) agrees with the expression above, which
+// always lies below p2. The qualitative conclusion — a sign reversal
+// exists, so single-fault process improvement can reduce the gain from
+// diversity — is exactly the paper's.
+//
+// It returns an error unless 0 < p2 < 1.
+func TwoFaultStationaryP1(p2 float64) (float64, error) {
+	if math.IsNaN(p2) || p2 <= 0 || p2 >= 1 {
+		return 0, fmt.Errorf("faultmodel: stationary point requires p2 in (0, 1), got %v", p2)
+	}
+	return p2 * (math.Sqrt(2*(1+p2)) - (1 + p2)) / (1 - p2*p2), nil
+}
+
+// StationaryP solves, for an arbitrary fault universe, the general-n
+// version of the Appendix-A analysis: the value of fault i's presence
+// probability at which ∂R/∂p_i = 0, holding every other probability fixed.
+// The paper stops at n = 2 ("here we do not go into details of finding out
+// under which general conditions the partial derivatives become
+// negative"); this solver closes that gap numerically by bisection on the
+// exact derivative, which is negative below the stationary point and
+// positive above it.
+//
+// It returns an error if i is out of range, if every OTHER fault has zero
+// presence probability (the ratio is then p_i-monotone with no interior
+// stationary point), or if no sign change exists in (0, 1).
+func (fs *FaultSet) StationaryP(i int) (float64, error) {
+	if i < 0 || i >= len(fs.faults) {
+		return 0, fmt.Errorf("faultmodel: fault index %d out of range [0, %d)", i, len(fs.faults))
+	}
+	othersZero := true
+	for j, f := range fs.faults {
+		if j != i && f.P > 0 {
+			othersZero = false
+			break
+		}
+	}
+	if othersZero {
+		return 0, fmt.Errorf("faultmodel: stationary point undefined: every other fault has zero presence probability")
+	}
+	derivAt := func(p float64) (float64, error) {
+		probe, err := fs.WithP(i, p)
+		if err != nil {
+			return 0, err
+		}
+		return probe.RiskRatioDeriv(i)
+	}
+	const lo0, hi0 = 1e-12, 1 - 1e-12
+	dLo, err := derivAt(lo0)
+	if err != nil {
+		return 0, err
+	}
+	dHi, err := derivAt(hi0)
+	if err != nil {
+		return 0, err
+	}
+	if dLo > 0 && dHi > 0 || dLo < 0 && dHi < 0 {
+		return 0, fmt.Errorf("faultmodel: no stationary point of p_%d in (0, 1): derivative has constant sign", i)
+	}
+	lo, hi := lo0, hi0
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		d, err := derivAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if (d < 0) == (dLo < 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14 {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ScaleRiskRatioDeriv returns the derivative of the risk ratio with respect
+// to the common scale factor k when every presence probability is scaled as
+// p_i = k·b_i (the paper's Section 4.2.2 / Appendix B proportional process
+// change), evaluated by the chain rule from the exact per-fault
+// derivatives:
+//
+//	dR/dk = Σ_i b_i · ∂R/∂p_i  evaluated at p = k·b.
+//
+// Appendix B proves this derivative is non-negative for all admissible
+// parameters: improving the process proportionally (reducing k) always
+// reduces the ratio, i.e. increases the gain from diversity. The fault
+// set receiver holds the base rates b_i; k must satisfy 0 < k·max(b) <= 1.
+func (fs *FaultSet) ScaleRiskRatioDeriv(k float64) (float64, error) {
+	if math.IsNaN(k) || k <= 0 {
+		return 0, fmt.Errorf("faultmodel: scale factor k=%v must be positive", k)
+	}
+	scaled, err := fs.Scaled(k)
+	if err != nil {
+		return 0, err
+	}
+	deriv := 0.0
+	for i, f := range fs.faults {
+		d, err := scaled.RiskRatioDeriv(i)
+		if err != nil {
+			return 0, err
+		}
+		deriv += f.P * d // b_i = base presence probability
+	}
+	return deriv, nil
+}
+
+// ImprovementTrend classifies the effect of an infinitesimal reduction of a
+// single fault's presence probability on the gain from diversity.
+type ImprovementTrend int
+
+const (
+	// TrendIncreasesGain: reducing p_i reduces the risk ratio — the
+	// process improvement also makes diversity more effective.
+	TrendIncreasesGain ImprovementTrend = iota + 1
+	// TrendReducesGain: reducing p_i increases the risk ratio — the
+	// improvement makes diversity less effective (while still improving
+	// reliability overall), the paper's counterintuitive regime.
+	TrendReducesGain
+	// TrendStationary: the derivative is (numerically) zero.
+	TrendStationary
+)
+
+// String returns a human-readable trend label.
+func (t ImprovementTrend) String() string {
+	switch t {
+	case TrendIncreasesGain:
+		return "reducing p increases diversity gain"
+	case TrendReducesGain:
+		return "reducing p reduces diversity gain"
+	case TrendStationary:
+		return "stationary"
+	default:
+		return fmt.Sprintf("ImprovementTrend(%d)", int(t))
+	}
+}
+
+// SingleFaultTrend evaluates the effect of improving only fault i.
+// stationaryTol decides when the derivative counts as zero; the
+// experiments pass 0 to use an exact sign test.
+func (fs *FaultSet) SingleFaultTrend(i int, stationaryTol float64) (ImprovementTrend, error) {
+	d, err := fs.RiskRatioDeriv(i)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case math.Abs(d) <= stationaryTol:
+		return TrendStationary, nil
+	case d > 0:
+		// R increases with p_i, so reducing p_i reduces R: more gain.
+		return TrendIncreasesGain, nil
+	default:
+		return TrendReducesGain, nil
+	}
+}

@@ -1,0 +1,373 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// numericRiskRatioDeriv estimates ∂R/∂p_i by central differences, used to
+// validate the closed form.
+func numericRiskRatioDeriv(t *testing.T, fs *FaultSet, i int) float64 {
+	t.Helper()
+	const h = 1e-7
+	p := fs.Fault(i).P
+	up, err := fs.WithP(i, p+h)
+	if err != nil {
+		t.Fatalf("WithP: %v", err)
+	}
+	down, err := fs.WithP(i, p-h)
+	if err != nil {
+		t.Fatalf("WithP: %v", err)
+	}
+	rUp, err := up.RiskRatio()
+	if err != nil {
+		t.Fatalf("RiskRatio: %v", err)
+	}
+	rDown, err := down.RiskRatio()
+	if err != nil {
+		t.Fatalf("RiskRatio: %v", err)
+	}
+	return (rUp - rDown) / (2 * h)
+}
+
+func TestRiskRatioDerivMatchesNumeric(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		faults []Fault
+	}{
+		{name: "two faults", faults: []Fault{{P: 0.1, Q: 0.1}, {P: 0.3, Q: 0.1}}},
+		{name: "three faults", faults: []Fault{{P: 0.05, Q: 0.1}, {P: 0.2, Q: 0.1}, {P: 0.4, Q: 0.1}}},
+		{name: "small probabilities", faults: []Fault{{P: 0.01, Q: 0.1}, {P: 0.02, Q: 0.1}}},
+		{name: "high probabilities", faults: []Fault{{P: 0.7, Q: 0.1}, {P: 0.8, Q: 0.1}}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			fs := mustNew(t, tt.faults)
+			for i := range tt.faults {
+				analytic, err := fs.RiskRatioDeriv(i)
+				if err != nil {
+					t.Fatalf("RiskRatioDeriv(%d): %v", i, err)
+				}
+				numeric := numericRiskRatioDeriv(t, fs, i)
+				if !almostEqual(analytic, numeric, 1e-4) {
+					t.Errorf("fault %d: analytic deriv %v, numeric %v", i, analytic, numeric)
+				}
+			}
+		})
+	}
+}
+
+func TestRiskRatioDerivValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.1, Q: 0.1}})
+	if _, err := fs.RiskRatioDeriv(-1); err == nil {
+		t.Error("index -1 succeeded, want error")
+	}
+	if _, err := fs.RiskRatioDeriv(1); err == nil {
+		t.Error("index past end succeeded, want error")
+	}
+	zero := mustNew(t, []Fault{{P: 0, Q: 0.1}, {P: 0, Q: 0.1}})
+	if _, err := zero.RiskRatioDeriv(0); err == nil {
+		t.Error("all-zero set succeeded, want error")
+	}
+}
+
+// TestAppendixASignReversal reproduces the paper's Appendix A finding: for
+// a two-fault model the derivative with respect to p1 changes sign — it is
+// negative below the stationary point (improving the fault further REDUCES
+// the diversity gain) and positive above it.
+func TestAppendixASignReversal(t *testing.T) {
+	t.Parallel()
+
+	const p2 = 0.1
+	p1z, err := TwoFaultStationaryP1(p2)
+	if err != nil {
+		t.Fatalf("TwoFaultStationaryP1: %v", err)
+	}
+	if p1z <= 0 || p1z >= 1 {
+		t.Fatalf("stationary point %v not in (0, 1)", p1z)
+	}
+
+	below := mustNew(t, []Fault{{P: p1z * 0.5, Q: 0.1}, {P: p2, Q: 0.1}})
+	dBelow, err := below.RiskRatioDeriv(0)
+	if err != nil {
+		t.Fatalf("RiskRatioDeriv below: %v", err)
+	}
+	if dBelow >= 0 {
+		t.Errorf("derivative below stationary point = %v, want negative", dBelow)
+	}
+
+	above := mustNew(t, []Fault{{P: p1z * 2, Q: 0.1}, {P: p2, Q: 0.1}})
+	dAbove, err := above.RiskRatioDeriv(0)
+	if err != nil {
+		t.Fatalf("RiskRatioDeriv above: %v", err)
+	}
+	if dAbove <= 0 {
+		t.Errorf("derivative above stationary point = %v, want positive", dAbove)
+	}
+
+	// At the stationary point itself the derivative vanishes.
+	at := mustNew(t, []Fault{{P: p1z, Q: 0.1}, {P: p2, Q: 0.1}})
+	dAt, err := at.RiskRatioDeriv(0)
+	if err != nil {
+		t.Fatalf("RiskRatioDeriv at: %v", err)
+	}
+	if math.Abs(dAt) > 1e-10 {
+		t.Errorf("derivative at stationary point = %v, want ~0", dAt)
+	}
+}
+
+// TestStationaryPointIsArgmin confirms by brute-force scan that the closed
+// form marks the minimum of the risk ratio as a function of p1.
+func TestStationaryPointIsArgmin(t *testing.T) {
+	t.Parallel()
+
+	for _, p2 := range []float64{0.05, 0.1, 0.3, 0.5, 0.8} {
+		p1z, err := TwoFaultStationaryP1(p2)
+		if err != nil {
+			t.Fatalf("TwoFaultStationaryP1(%v): %v", p2, err)
+		}
+		best, bestRatio := 0.0, math.Inf(1)
+		for p1 := 1e-4; p1 < 0.9999; p1 += 1e-4 {
+			fs := mustNew(t, []Fault{{P: p1, Q: 0.1}, {P: p2, Q: 0.1}})
+			ratio, err := fs.RiskRatio()
+			if err != nil {
+				t.Fatalf("RiskRatio: %v", err)
+			}
+			if ratio < bestRatio {
+				best, bestRatio = p1, ratio
+			}
+		}
+		if math.Abs(best-p1z) > 2e-4 {
+			t.Errorf("p2=%v: brute-force argmin %v, closed form %v", p2, best, p1z)
+		}
+		// The reproduction note: the admissible stationary point lies
+		// below p2, unlike the (garbled) printed claim in the available
+		// paper text.
+		if p1z >= p2 {
+			t.Errorf("p2=%v: stationary point %v unexpectedly >= p2", p2, p1z)
+		}
+	}
+}
+
+func TestTwoFaultStationaryP1Validation(t *testing.T) {
+	t.Parallel()
+
+	for _, p2 := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := TwoFaultStationaryP1(p2); err == nil {
+			t.Errorf("TwoFaultStationaryP1(%v) succeeded, want error", p2)
+		}
+	}
+}
+
+// TestAppendixBProportionalMonotone verifies Appendix B's theorem: the risk
+// ratio is non-decreasing in the common scale factor k, for random base
+// rate vectors — so proportional process improvement (smaller k) always
+// increases the gain from diversity.
+func TestAppendixBProportionalMonotone(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte) bool {
+		base := randomFaultSet(raw)
+		if base == nil || base.PMax() == 0 {
+			return true
+		}
+		// Evaluate the ratio on an increasing grid of k in (0, 1].
+		prev := -1.0
+		for _, k := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			scaled, err := base.Scaled(k)
+			if err != nil {
+				return false
+			}
+			ratio, err := scaled.RiskRatio()
+			if err != nil {
+				return false
+			}
+			if ratio < prev-1e-12 {
+				return false
+			}
+			prev = ratio
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaleRiskRatioDerivNonNegative verifies the Appendix-B derivative is
+// non-negative wherever defined.
+func TestScaleRiskRatioDerivNonNegative(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte, rawK uint8) bool {
+		base := randomFaultSet(raw)
+		if base == nil || base.PMax() == 0 {
+			return true
+		}
+		k := (float64(rawK) + 1) / 256 // (0, 1]
+		d, err := base.ScaleRiskRatioDeriv(k)
+		if err != nil {
+			return true // k may overflow some p_i; fine
+		}
+		return d >= -1e-12
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleRiskRatioDerivMatchesNumeric(t *testing.T) {
+	t.Parallel()
+
+	base := mustNew(t, []Fault{{P: 0.2, Q: 0.1}, {P: 0.35, Q: 0.1}, {P: 0.05, Q: 0.1}})
+	const k, h = 0.7, 1e-6
+	analytic, err := base.ScaleRiskRatioDeriv(k)
+	if err != nil {
+		t.Fatalf("ScaleRiskRatioDeriv: %v", err)
+	}
+	up, err := base.Scaled(k + h)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	down, err := base.Scaled(k - h)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	rUp, err := up.RiskRatio()
+	if err != nil {
+		t.Fatalf("RiskRatio: %v", err)
+	}
+	rDown, err := down.RiskRatio()
+	if err != nil {
+		t.Fatalf("RiskRatio: %v", err)
+	}
+	numeric := (rUp - rDown) / (2 * h)
+	if !almostEqual(analytic, numeric, 1e-4) {
+		t.Errorf("scale derivative: analytic %v, numeric %v", analytic, numeric)
+	}
+}
+
+func TestScaleRiskRatioDerivValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.5, Q: 0.1}})
+	if _, err := fs.ScaleRiskRatioDeriv(0); err == nil {
+		t.Error("k=0 succeeded, want error")
+	}
+	if _, err := fs.ScaleRiskRatioDeriv(3); err == nil {
+		t.Error("k overflowing p succeeded, want error")
+	}
+}
+
+// TestSingleFaultTrendBothRegimesExist is the paper's headline Section
+// 4.2.1 message: single-fault improvement can either increase or decrease
+// the gain from diversity, depending on where the fault's probability sits.
+func TestSingleFaultTrendBothRegimesExist(t *testing.T) {
+	t.Parallel()
+
+	// Large p1 relative to the stationary point: improving helps.
+	helping := mustNew(t, []Fault{{P: 0.3, Q: 0.1}, {P: 0.1, Q: 0.1}})
+	trend, err := helping.SingleFaultTrend(0, 0)
+	if err != nil {
+		t.Fatalf("SingleFaultTrend: %v", err)
+	}
+	if trend != TrendIncreasesGain {
+		t.Errorf("trend for large p1 = %v, want TrendIncreasesGain", trend)
+	}
+
+	// Tiny p1, well below the stationary point: improving hurts the gain.
+	hurting := mustNew(t, []Fault{{P: 0.005, Q: 0.1}, {P: 0.1, Q: 0.1}})
+	trend, err = hurting.SingleFaultTrend(0, 0)
+	if err != nil {
+		t.Fatalf("SingleFaultTrend: %v", err)
+	}
+	if trend != TrendReducesGain {
+		t.Errorf("trend for tiny p1 = %v, want TrendReducesGain", trend)
+	}
+}
+
+func TestImprovementTrendString(t *testing.T) {
+	t.Parallel()
+
+	if TrendIncreasesGain.String() == "" || TrendReducesGain.String() == "" || TrendStationary.String() == "" {
+		t.Error("trend labels must be non-empty")
+	}
+	if got := ImprovementTrend(99).String(); got != "ImprovementTrend(99)" {
+		t.Errorf("unknown trend label = %q", got)
+	}
+}
+
+// TestStationaryPGeneralMatchesTwoFaultClosedForm: the general-n solver
+// must agree with the Appendix-A closed form on two-fault models.
+func TestStationaryPGeneralMatchesTwoFaultClosedForm(t *testing.T) {
+	t.Parallel()
+
+	for _, p2 := range []float64{0.05, 0.1, 0.3, 0.7} {
+		fs := mustNew(t, []Fault{{P: 0.5, Q: 0.1}, {P: p2, Q: 0.1}})
+		got, err := fs.StationaryP(0)
+		if err != nil {
+			t.Fatalf("StationaryP(p2=%v): %v", p2, err)
+		}
+		want, err := TwoFaultStationaryP1(p2)
+		if err != nil {
+			t.Fatalf("TwoFaultStationaryP1: %v", err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("p2=%v: general solver %v, closed form %v", p2, got, want)
+		}
+	}
+}
+
+// TestStationaryPGeneralThreeFaults: with more than two faults the solver
+// still brackets the sign change of the exact derivative.
+func TestStationaryPGeneralThreeFaults(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.5, Q: 0.1}, {P: 0.2, Q: 0.1}, {P: 0.05, Q: 0.1}})
+	p1z, err := fs.StationaryP(0)
+	if err != nil {
+		t.Fatalf("StationaryP: %v", err)
+	}
+	below, err := fs.WithP(0, p1z*0.5)
+	if err != nil {
+		t.Fatalf("WithP: %v", err)
+	}
+	dBelow, err := below.RiskRatioDeriv(0)
+	if err != nil {
+		t.Fatalf("RiskRatioDeriv: %v", err)
+	}
+	above, err := fs.WithP(0, math.Min(1, p1z*2))
+	if err != nil {
+		t.Fatalf("WithP: %v", err)
+	}
+	dAbove, err := above.RiskRatioDeriv(0)
+	if err != nil {
+		t.Fatalf("RiskRatioDeriv: %v", err)
+	}
+	if dBelow >= 0 || dAbove <= 0 {
+		t.Errorf("derivative signs around general stationary point: below %v, above %v", dBelow, dAbove)
+	}
+}
+
+func TestStationaryPValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.5, Q: 0.1}, {P: 0.2, Q: 0.1}})
+	if _, err := fs.StationaryP(-1); err == nil {
+		t.Error("index -1 succeeded, want error")
+	}
+	if _, err := fs.StationaryP(5); err == nil {
+		t.Error("index past end succeeded, want error")
+	}
+	solo := mustNew(t, []Fault{{P: 0.5, Q: 0.1}, {P: 0, Q: 0.1}})
+	if _, err := solo.StationaryP(0); err == nil {
+		t.Error("all-other-zero set succeeded, want error")
+	}
+}

@@ -1,0 +1,155 @@
+package faultmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TwoProcess models "forced diversity" (paper Sections 1 and 7, listed as
+// a desirable extension): the two channels of a 1-out-of-2 system are
+// developed by different processes — different methods, notations, tools —
+// over the same universe of potential faults. Fault i survives process A
+// with probability pA_i and process B with pB_i; with independent
+// developments it is common to both channels with probability pA_i·pB_i.
+//
+// The paper's non-forced model is the special case pA = pB. The
+// fault-grain version of the Littlewood–Miller insight follows from the
+// AM–GM inequality: if two processes share the per-fault average
+// (pA_i+pB_i)/2 = p_i with a single process, then
+//
+//	pA_i·pB_i <= p_i²,
+//
+// so the forced pair is never worse on any fault, and strictly better
+// wherever the processes' weaknesses differ — diversity between processes
+// buys reliability exactly where their difficulty profiles diverge.
+type TwoProcess struct {
+	faults []Fault // presence probabilities of process A, regions q
+	pb     []float64
+}
+
+// NewTwoProcess builds a forced-diversity model from the per-process fault
+// sets. Both sets must describe the same fault universe: equal length and
+// identical region probabilities.
+func NewTwoProcess(a, b *FaultSet) (*TwoProcess, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("faultmodel: both process fault sets are required")
+	}
+	if a.N() != b.N() {
+		return nil, fmt.Errorf("faultmodel: processes disagree on the fault universe: %d vs %d faults", a.N(), b.N())
+	}
+	tp := &TwoProcess{faults: a.Faults(), pb: make([]float64, b.N())}
+	for i := 0; i < b.N(); i++ {
+		if a.Fault(i).Q != b.Fault(i).Q {
+			return nil, fmt.Errorf("faultmodel: fault %d has different region probabilities in the two processes: %v vs %v", i, a.Fault(i).Q, b.Fault(i).Q)
+		}
+		tp.pb[i] = b.Fault(i).P
+	}
+	return tp, nil
+}
+
+// N returns the number of potential faults.
+func (tp *TwoProcess) N() int { return len(tp.faults) }
+
+// MeanPFDA returns E[Θ_A] = Σ pA_i·q_i for a channel from process A.
+func (tp *TwoProcess) MeanPFDA() float64 {
+	sum := 0.0
+	for _, f := range tp.faults {
+		sum += f.P * f.Q
+	}
+	return sum
+}
+
+// MeanPFDB returns E[Θ_B] = Σ pB_i·q_i for a channel from process B.
+func (tp *TwoProcess) MeanPFDB() float64 {
+	sum := 0.0
+	for i, f := range tp.faults {
+		sum += tp.pb[i] * f.Q
+	}
+	return sum
+}
+
+// MeanPFDSystem returns E[Θ_AB] = Σ pA_i·pB_i·q_i for the forced-diverse
+// 1-out-of-2 system.
+func (tp *TwoProcess) MeanPFDSystem() float64 {
+	sum := 0.0
+	for i, f := range tp.faults {
+		sum += f.P * tp.pb[i] * f.Q
+	}
+	return sum
+}
+
+// VarPFDSystem returns the variance of the system PFD,
+// Σ pA_i·pB_i(1 - pA_i·pB_i)·q_i².
+func (tp *TwoProcess) VarPFDSystem() float64 {
+	sum := 0.0
+	for i, f := range tp.faults {
+		pc := f.P * tp.pb[i]
+		sum += pc * (1 - pc) * f.Q * f.Q
+	}
+	return sum
+}
+
+// SigmaPFDSystem returns the standard deviation of the system PFD.
+func (tp *TwoProcess) SigmaPFDSystem() float64 { return math.Sqrt(tp.VarPFDSystem()) }
+
+// PNoCommonFault returns Π(1 - pA_i·pB_i): the probability that the two
+// channels share no fault at all.
+func (tp *TwoProcess) PNoCommonFault() float64 {
+	prod := 1.0
+	for i, f := range tp.faults {
+		prod *= 1 - f.P*tp.pb[i]
+	}
+	return prod
+}
+
+// RiskRatioVsBestChannel returns P(common fault) divided by the smaller of
+// the two channels' own fault risks — the forced-diversity counterpart of
+// equation (10): how much less likely the system is to carry a defeating
+// fault than its better channel alone.
+func (tp *TwoProcess) RiskRatioVsBestChannel() (float64, error) {
+	anyA, anyB := 1.0, 1.0
+	for i, f := range tp.faults {
+		anyA *= 1 - f.P
+		anyB *= 1 - tp.pb[i]
+	}
+	anyA, anyB = 1-anyA, 1-anyB
+	best := math.Min(anyA, anyB)
+	if best == 0 {
+		return 0, errors.New("faultmodel: risk ratio undefined: a channel is certainly fault-free")
+	}
+	return (1 - tp.PNoCommonFault()) / best, nil
+}
+
+// UnforcedEquivalent returns the paper's non-forced model with the same
+// per-fault average presence probability (pA_i+pB_i)/2 in both channels —
+// the natural "same total development skill, no forced diversity"
+// comparator.
+func (tp *TwoProcess) UnforcedEquivalent() (*FaultSet, error) {
+	faults := make([]Fault, len(tp.faults))
+	for i, f := range tp.faults {
+		faults[i] = Fault{P: (f.P + tp.pb[i]) / 2, Q: f.Q}
+	}
+	return New(faults)
+}
+
+// ForcedAdvantage returns the ratio of the unforced equivalent's mean
+// system PFD to the forced system's, together with both means. By AM–GM
+// the ratio is at least 1: forcing diversity between processes with the
+// same average skill can only help the mean. An error is returned when
+// the forced system's mean is zero (the ratio is unbounded).
+func (tp *TwoProcess) ForcedAdvantage() (ratio, forcedMean, unforcedMean float64, err error) {
+	unforced, err := tp.UnforcedEquivalent()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	unforcedMean, err = unforced.MeanPFD(2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	forcedMean = tp.MeanPFDSystem()
+	if forcedMean == 0 {
+		return 0, 0, 0, errors.New("faultmodel: forced advantage unbounded: forced system mean PFD is zero")
+	}
+	return unforcedMean / forcedMean, forcedMean, unforcedMean, nil
+}

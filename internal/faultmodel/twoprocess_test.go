@@ -1,0 +1,212 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func twoProcessFixture(t *testing.T) *TwoProcess {
+	t.Helper()
+	a := mustNew(t, []Fault{{P: 0.3, Q: 0.05}, {P: 0.05, Q: 0.1}})
+	b := mustNew(t, []Fault{{P: 0.05, Q: 0.05}, {P: 0.3, Q: 0.1}})
+	tp, err := NewTwoProcess(a, b)
+	if err != nil {
+		t.Fatalf("NewTwoProcess: %v", err)
+	}
+	return tp
+}
+
+func TestNewTwoProcessValidation(t *testing.T) {
+	t.Parallel()
+
+	a := mustNew(t, []Fault{{P: 0.3, Q: 0.05}})
+	if _, err := NewTwoProcess(nil, a); err == nil {
+		t.Error("nil process succeeded, want error")
+	}
+	longer := mustNew(t, []Fault{{P: 0.3, Q: 0.05}, {P: 0.1, Q: 0.1}})
+	if _, err := NewTwoProcess(a, longer); err == nil {
+		t.Error("mismatched universes succeeded, want error")
+	}
+	differentQ := mustNew(t, []Fault{{P: 0.3, Q: 0.06}})
+	if _, err := NewTwoProcess(a, differentQ); err == nil {
+		t.Error("different region probabilities succeeded, want error")
+	}
+}
+
+func TestTwoProcessMeans(t *testing.T) {
+	t.Parallel()
+
+	tp := twoProcessFixture(t)
+	if tp.N() != 2 {
+		t.Fatalf("N = %d, want 2", tp.N())
+	}
+	wantA := 0.3*0.05 + 0.05*0.1
+	if !almostEqual(tp.MeanPFDA(), wantA, 1e-15) {
+		t.Errorf("E[Θ_A] = %v, want %v", tp.MeanPFDA(), wantA)
+	}
+	wantB := 0.05*0.05 + 0.3*0.1
+	if !almostEqual(tp.MeanPFDB(), wantB, 1e-15) {
+		t.Errorf("E[Θ_B] = %v, want %v", tp.MeanPFDB(), wantB)
+	}
+	wantSys := 0.3*0.05*0.05 + 0.05*0.3*0.1
+	if !almostEqual(tp.MeanPFDSystem(), wantSys, 1e-15) {
+		t.Errorf("E[Θ_AB] = %v, want %v", tp.MeanPFDSystem(), wantSys)
+	}
+}
+
+func TestTwoProcessVarAndNoCommon(t *testing.T) {
+	t.Parallel()
+
+	tp := twoProcessFixture(t)
+	pc0, pc1 := 0.3*0.05, 0.05*0.3
+	wantVar := pc0*(1-pc0)*0.05*0.05 + pc1*(1-pc1)*0.1*0.1
+	if !almostEqual(tp.VarPFDSystem(), wantVar, 1e-15) {
+		t.Errorf("Var = %v, want %v", tp.VarPFDSystem(), wantVar)
+	}
+	if !almostEqual(tp.SigmaPFDSystem(), math.Sqrt(wantVar), 1e-15) {
+		t.Errorf("Sigma = %v", tp.SigmaPFDSystem())
+	}
+	wantNoCommon := (1 - pc0) * (1 - pc1)
+	if !almostEqual(tp.PNoCommonFault(), wantNoCommon, 1e-15) {
+		t.Errorf("P(no common) = %v, want %v", tp.PNoCommonFault(), wantNoCommon)
+	}
+}
+
+// TestTwoProcessReducesToUnforced: identical processes must reproduce the
+// paper's base model exactly.
+func TestTwoProcessReducesToUnforced(t *testing.T) {
+	t.Parallel()
+
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.05}, {P: 0.1, Q: 0.1}})
+	tp, err := NewTwoProcess(fs, fs)
+	if err != nil {
+		t.Fatalf("NewTwoProcess: %v", err)
+	}
+	mu2, err := fs.MeanPFD(2)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	if !almostEqual(tp.MeanPFDSystem(), mu2, 1e-15) {
+		t.Errorf("system mean %v != µ2 %v", tp.MeanPFDSystem(), mu2)
+	}
+	noCommon, err := fs.PNoFault(2)
+	if err != nil {
+		t.Fatalf("PNoFault: %v", err)
+	}
+	if !almostEqual(tp.PNoCommonFault(), noCommon, 1e-15) {
+		t.Errorf("P(no common) %v != P(N2=0) %v", tp.PNoCommonFault(), noCommon)
+	}
+}
+
+// TestForcedAdvantageAMGM verifies the AM-GM theorem: against the unforced
+// process with the same per-fault average skill, forced diversity never
+// has a worse mean system PFD, for arbitrary parameter draws.
+func TestForcedAdvantageAMGM(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 4
+		if n > 8 {
+			n = 8
+		}
+		faultsA := make([]Fault, n)
+		faultsB := make([]Fault, n)
+		for i := 0; i < n; i++ {
+			q := (float64(raw[4*i])/255 + 0.01) / float64(n+1)
+			faultsA[i] = Fault{P: float64(raw[4*i+1]) / 255, Q: q}
+			faultsB[i] = Fault{P: float64(raw[4*i+2]) / 255, Q: q}
+		}
+		a, err := New(faultsA)
+		if err != nil {
+			return true
+		}
+		b, err := New(faultsB)
+		if err != nil {
+			return true
+		}
+		tp, err := NewTwoProcess(a, b)
+		if err != nil {
+			return false
+		}
+		ratio, forced, unforced, err := tp.ForcedAdvantage()
+		if err != nil {
+			return true // zero-mean degenerate draw
+		}
+		return ratio >= 1-1e-12 && forced <= unforced+1e-15
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForcedAdvantageAntiCorrelatedProfiles: the gain is large exactly
+// when the processes' weaknesses differ (the LM insight at fault grain).
+func TestForcedAdvantageAntiCorrelatedProfiles(t *testing.T) {
+	t.Parallel()
+
+	tp := twoProcessFixture(t) // weaknesses swapped between processes
+	ratio, _, _, err := tp.ForcedAdvantage()
+	if err != nil {
+		t.Fatalf("ForcedAdvantage: %v", err)
+	}
+	// Per fault: pA*pB = 0.015 vs ((0.35)/2)² = 0.030625: ratio ~2.
+	if ratio < 1.5 {
+		t.Errorf("anti-correlated profiles gave advantage %v, want > 1.5", ratio)
+	}
+	// Identical profiles give ratio exactly 1.
+	fs := mustNew(t, []Fault{{P: 0.3, Q: 0.05}})
+	same, err := NewTwoProcess(fs, fs)
+	if err != nil {
+		t.Fatalf("NewTwoProcess: %v", err)
+	}
+	ratio, _, _, err = same.ForcedAdvantage()
+	if err != nil {
+		t.Fatalf("ForcedAdvantage: %v", err)
+	}
+	if !almostEqual(ratio, 1, 1e-12) {
+		t.Errorf("identical profiles gave advantage %v, want 1", ratio)
+	}
+}
+
+func TestTwoProcessRiskRatioVsBestChannel(t *testing.T) {
+	t.Parallel()
+
+	tp := twoProcessFixture(t)
+	ratio, err := tp.RiskRatioVsBestChannel()
+	if err != nil {
+		t.Fatalf("RiskRatioVsBestChannel: %v", err)
+	}
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("risk ratio = %v, want in (0, 1]", ratio)
+	}
+	// Degenerate: a certainly-fault-free channel.
+	clean := mustNew(t, []Fault{{P: 0, Q: 0.05}})
+	dirty := mustNew(t, []Fault{{P: 0.5, Q: 0.05}})
+	tp2, err := NewTwoProcess(clean, dirty)
+	if err != nil {
+		t.Fatalf("NewTwoProcess: %v", err)
+	}
+	if _, err := tp2.RiskRatioVsBestChannel(); err == nil {
+		t.Error("fault-free channel succeeded, want error")
+	}
+}
+
+func TestTwoProcessUnforcedEquivalent(t *testing.T) {
+	t.Parallel()
+
+	tp := twoProcessFixture(t)
+	unforced, err := tp.UnforcedEquivalent()
+	if err != nil {
+		t.Fatalf("UnforcedEquivalent: %v", err)
+	}
+	if !almostEqual(unforced.Fault(0).P, 0.175, 1e-15) {
+		t.Errorf("averaged p = %v, want 0.175", unforced.Fault(0).P)
+	}
+	if unforced.Fault(0).Q != 0.05 {
+		t.Errorf("q changed: %v", unforced.Fault(0).Q)
+	}
+}

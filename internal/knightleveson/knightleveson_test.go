@@ -1,0 +1,168 @@
+package knightleveson
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/faultmodel"
+)
+
+func TestDefaultFaultSetCalibration(t *testing.T) {
+	t.Parallel()
+
+	fs, err := DefaultFaultSet()
+	if err != nil {
+		t.Fatalf("DefaultFaultSet: %v", err)
+	}
+	if fs.N() != 45 {
+		t.Errorf("N = %d, want 45 (the Brilliant et al. fault count)", fs.N())
+	}
+	mu1, err := fs.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD: %v", err)
+	}
+	// Published mean version failure probability was of order 7e-4; the
+	// replica should sit within an order of magnitude.
+	if mu1 < 1e-4 || mu1 > 5e-3 {
+		t.Errorf("mean version PFD = %v, want order 1e-4..5e-3", mu1)
+	}
+	// Deterministic: two calls agree.
+	fs2, err := DefaultFaultSet()
+	if err != nil {
+		t.Fatalf("DefaultFaultSet: %v", err)
+	}
+	for i := 0; i < fs.N(); i++ {
+		if fs.Fault(i) != fs2.Fault(i) {
+			t.Fatalf("fault %d differs between calls", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Run(Config{Versions: 1}); err == nil {
+		t.Error("1 version succeeded, want error")
+	}
+}
+
+func TestRunShapes(t *testing.T) {
+	t.Parallel()
+
+	out, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out.VersionPFDs) != DefaultVersions {
+		t.Errorf("got %d version PFDs, want %d", len(out.VersionPFDs), DefaultVersions)
+	}
+	wantPairs := DefaultVersions * (DefaultVersions - 1) / 2
+	if len(out.PairPFDs) != wantPairs {
+		t.Errorf("got %d pair PFDs, want %d", len(out.PairPFDs), wantPairs)
+	}
+	if out.VersionStats.N != DefaultVersions || out.PairStats.N != wantPairs {
+		t.Error("summary sample sizes wrong")
+	}
+}
+
+// TestRunReproducesPaperSection7 is the headline assertion: diversity
+// reduces the sample mean of the PFD and greatly reduces its standard
+// deviation. A single 27-version draw is noisy, so assert over several
+// seeds and require the qualitative pattern in the aggregate.
+func TestRunReproducesPaperSection7(t *testing.T) {
+	t.Parallel()
+
+	meanReduced, sigmaReduced := 0, 0
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		out, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("Run(seed=%d): %v", seed, err)
+		}
+		if out.MeanReduction > 1 {
+			meanReduced++
+		}
+		if out.SigmaReduction > 1 {
+			sigmaReduced++
+		}
+	}
+	if meanReduced < trials*9/10 {
+		t.Errorf("mean PFD reduced in only %d/%d trials", meanReduced, trials)
+	}
+	if sigmaReduced < trials*9/10 {
+		t.Errorf("PFD standard deviation reduced in only %d/%d trials", sigmaReduced, trials)
+	}
+}
+
+// TestRunNormalFitRejected mirrors the paper's observation that the
+// version PFD sample does not fit a normal distribution (few faults, point
+// mass at zero, long tail). A 27-point KS test has limited power, so the
+// assertion combines three diagnostics: KS rejections well above the 5%
+// false-positive rate, a persistent point mass at PFD = 0 (six of the real
+// experiment's 27 versions never failed), and positive skew on average.
+func TestRunNormalFitRejected(t *testing.T) {
+	t.Parallel()
+
+	rejections := 0
+	zeroMass := 0.0
+	skewSum := 0.0
+	const trials = 20
+	for seed := uint64(100); seed < 100+trials; seed++ {
+		out, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if out.NormalFitPValue < 0.05 {
+			rejections++
+		}
+		zeroMass += out.FractionFaultFree
+		skewSum += out.VersionStats.Skewness
+	}
+	if rejections < trials/4 {
+		t.Errorf("normal fit rejected in only %d/%d trials; want well above the 5%% false-positive rate", rejections, trials)
+	}
+	if avg := zeroMass / trials; avg < 0.05 {
+		t.Errorf("average fault-free fraction %v; want a persistent point mass at zero", avg)
+	}
+	if avg := skewSum / trials; avg < 0.5 {
+		t.Errorf("average skewness %v; want clearly positive skew", avg)
+	}
+}
+
+func TestRunCustomFaultSet(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.5, Q: 0.01},
+		{P: 0.5, Q: 0.02},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	out, err := Run(Config{Versions: 5, Seed: 3, FaultSet: fs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out.VersionPFDs) != 5 || len(out.PairPFDs) != 10 {
+		t.Errorf("shapes wrong: %d versions, %d pairs", len(out.VersionPFDs), len(out.PairPFDs))
+	}
+	for _, pfd := range out.VersionPFDs {
+		if pfd < 0 || pfd > 0.03+1e-12 {
+			t.Errorf("version PFD %v outside attainable range", pfd)
+		}
+	}
+	// Pair PFD can never exceed either member's PFD.
+	idx := 0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			pair := out.PairPFDs[idx]
+			if pair > out.VersionPFDs[i]+1e-12 || pair > out.VersionPFDs[j]+1e-12 {
+				t.Errorf("pair (%d,%d) PFD %v exceeds a member PFD", i, j, pair)
+			}
+			idx++
+		}
+	}
+	if math.IsNaN(out.MeanReduction) {
+		t.Error("MeanReduction is NaN")
+	}
+}

@@ -1,0 +1,87 @@
+// Package modelfile loads fault-set model parameters from JSON, the
+// interchange format used by the command-line tools.
+//
+// The format is a single object:
+//
+//	{
+//	  "name": "optional label",
+//	  "faults": [
+//	    {"p": 0.1,  "q": 0.002},
+//	    {"p": 0.05, "q": 0.004}
+//	  ]
+//	}
+//
+// where p is the probability that the fault survives development into a
+// version and q the probability that a random demand hits its failure
+// region.
+package modelfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"diversity/internal/faultmodel"
+)
+
+// Model is the JSON document shape.
+type Model struct {
+	// Name is an optional label echoed in reports.
+	Name string `json:"name,omitempty"`
+	// Faults lists the potential faults.
+	Faults []FaultJSON `json:"faults"`
+}
+
+// FaultJSON is one potential fault in the JSON document.
+type FaultJSON struct {
+	P float64 `json:"p"`
+	Q float64 `json:"q"`
+}
+
+// Parse decodes a model document and validates it into a FaultSet.
+func Parse(r io.Reader) (*faultmodel.FaultSet, string, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc Model
+	if err := dec.Decode(&doc); err != nil {
+		return nil, "", fmt.Errorf("modelfile: decoding model JSON: %w", err)
+	}
+	faults := make([]faultmodel.Fault, len(doc.Faults))
+	for i, f := range doc.Faults {
+		faults[i] = faultmodel.Fault{P: f.P, Q: f.Q}
+	}
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		return nil, "", fmt.Errorf("modelfile: invalid model: %w", err)
+	}
+	return fs, doc.Name, nil
+}
+
+// Load reads and parses a model document from a file; "-" reads stdin.
+func Load(path string) (*faultmodel.FaultSet, string, error) {
+	if path == "-" {
+		return Parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("modelfile: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Write encodes a fault set as a model document.
+func Write(w io.Writer, name string, fs *faultmodel.FaultSet) error {
+	doc := Model{Name: name, Faults: make([]FaultJSON, fs.N())}
+	for i := 0; i < fs.N(); i++ {
+		f := fs.Fault(i)
+		doc.Faults[i] = FaultJSON{P: f.P, Q: f.Q}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("modelfile: encoding model JSON: %w", err)
+	}
+	return nil
+}

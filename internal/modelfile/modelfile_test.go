@@ -1,0 +1,99 @@
+package modelfile
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diversity/internal/faultmodel"
+
+	"os"
+)
+
+func TestParseValid(t *testing.T) {
+	t.Parallel()
+
+	doc := `{"name": "demo", "faults": [{"p": 0.1, "q": 0.002}, {"p": 0.05, "q": 0.004}]}`
+	fs, name, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if name != "demo" {
+		t.Errorf("name = %q, want demo", name)
+	}
+	if fs.N() != 2 || fs.Fault(0).P != 0.1 || fs.Fault(1).Q != 0.004 {
+		t.Errorf("parsed faults wrong: %+v", fs.Faults())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{name: "malformed", doc: `{`},
+		{name: "unknown field", doc: `{"faults": [], "bogus": 1}`},
+		{name: "no faults", doc: `{"faults": []}`},
+		{name: "invalid probability", doc: `{"faults": [{"p": 1.5, "q": 0.1}]}`},
+		{name: "regions exceed space", doc: `{"faults": [{"p": 0.1, "q": 0.7}, {"p": 0.1, "q": 0.7}]}`},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, _, err := Parse(strings.NewReader(tt.doc)); err == nil {
+				t.Errorf("Parse(%s) succeeded, want error", tt.doc)
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.1, Q: 0.002},
+		{P: 0.05, Q: 0.004},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	var b strings.Builder
+	if err := Write(&b, "round-trip", fs); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, name, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if name != "round-trip" {
+		t.Errorf("name = %q", name)
+	}
+	for i := 0; i < fs.N(); i++ {
+		if back.Fault(i) != fs.Fault(i) {
+			t.Errorf("fault %d: %+v != %+v", i, back.Fault(i), fs.Fault(i))
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "model.json")
+	doc := `{"faults": [{"p": 0.2, "q": 0.01}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	fs, _, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if fs.N() != 1 || fs.Fault(0).P != 0.2 {
+		t.Errorf("loaded faults wrong: %+v", fs.Faults())
+	}
+	if _, _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded, want error")
+	}
+}

@@ -1,0 +1,46 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+)
+
+// Ablation bench for the parallelisation design choice called out in
+// DESIGN.md: Monte-Carlo sharding across split PRNG streams vs a single
+// worker.
+
+func benchProcess(b *testing.B) devsim.Process {
+	b.Helper()
+	faults := make([]faultmodel.Fault, 50)
+	for i := range faults {
+		faults[i] = faultmodel.Fault{P: 0.1, Q: 0.9 / 50}
+	}
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return devsim.NewIndependentProcess(fs)
+}
+
+func benchRun(b *testing.B, workers int) {
+	b.Helper()
+	proc := benchProcess(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Process:  proc,
+			Versions: 2,
+			Reps:     20000,
+			Workers:  workers,
+			Seed:     uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSingleWorker(b *testing.B) { benchRun(b, 1) }
+
+func BenchmarkRunAllCores(b *testing.B) { benchRun(b, 0) }

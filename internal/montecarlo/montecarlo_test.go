@@ -1,0 +1,225 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+	"diversity/internal/stats"
+	"diversity/internal/system"
+)
+
+func testProcess(t *testing.T) devsim.Process {
+	t.Helper()
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.2, Q: 0.05},
+		{P: 0.4, Q: 0.1},
+		{P: 0.1, Q: 0.2},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	return devsim.NewIndependentProcess(fs)
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	proc := testProcess(t)
+	if _, err := Run(Config{Versions: 2, Reps: 10}); err == nil {
+		t.Error("nil process succeeded, want error")
+	}
+	if _, err := Run(Config{Process: proc, Versions: 0, Reps: 10}); err == nil {
+		t.Error("zero versions succeeded, want error")
+	}
+	if _, err := Run(Config{Process: proc, Versions: 2, Reps: 0}); err == nil {
+		t.Error("zero reps succeeded, want error")
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	t.Parallel()
+
+	proc := testProcess(t)
+	cfg := Config{Process: proc, Versions: 2, Reps: 2000, Seed: 42, Workers: 4}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range a.SystemPFD {
+		if a.SystemPFD[i] != b.SystemPFD[i] || a.VersionPFD[i] != b.VersionPFD[i] {
+			t.Fatalf("rep %d: runs with the same seed diverged", i)
+		}
+	}
+	if a.VersionFaultFree != b.VersionFaultFree || a.SystemFaultFree != b.SystemFaultFree {
+		t.Error("counts diverged between identical runs")
+	}
+}
+
+// TestRunMatchesModelMoments is experiment E01 in miniature: empirical
+// moments against equations (1)–(2).
+func TestRunMatchesModelMoments(t *testing.T) {
+	t.Parallel()
+
+	proc := testProcess(t)
+	fs := proc.FaultSet()
+	res, err := Run(Config{Process: proc, Versions: 2, Reps: 200000, Seed: 7})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tc := range []struct {
+		name    string
+		samples []float64
+		m       int
+	}{
+		{name: "version", samples: res.VersionPFD, m: 1},
+		{name: "system", samples: res.SystemPFD, m: 2},
+	} {
+		gotMean, err := stats.Mean(tc.samples)
+		if err != nil {
+			t.Fatalf("Mean: %v", err)
+		}
+		wantMean, err := fs.MeanPFD(tc.m)
+		if err != nil {
+			t.Fatalf("MeanPFD: %v", err)
+		}
+		if math.Abs(gotMean-wantMean) > 0.001 {
+			t.Errorf("%s mean = %.5f, model %.5f", tc.name, gotMean, wantMean)
+		}
+		gotSD, err := stats.StdDev(tc.samples)
+		if err != nil {
+			t.Fatalf("StdDev: %v", err)
+		}
+		wantSD, err := fs.SigmaPFD(tc.m)
+		if err != nil {
+			t.Fatalf("SigmaPFD: %v", err)
+		}
+		if math.Abs(gotSD-wantSD) > 0.001 {
+			t.Errorf("%s sigma = %.5f, model %.5f", tc.name, gotSD, wantSD)
+		}
+	}
+}
+
+// TestRunMatchesNoFaultProbabilities cross-checks P(N=0) frequencies
+// against the closed forms.
+func TestRunMatchesNoFaultProbabilities(t *testing.T) {
+	t.Parallel()
+
+	proc := testProcess(t)
+	fs := proc.FaultSet()
+	res, err := Run(Config{Process: proc, Versions: 2, Reps: 200000, Seed: 11})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want1, err := fs.PNoFault(1)
+	if err != nil {
+		t.Fatalf("PNoFault(1): %v", err)
+	}
+	got1 := float64(res.VersionFaultFree) / float64(res.Reps)
+	if math.Abs(got1-want1) > 0.005 {
+		t.Errorf("P(N1=0) empirical %.4f, model %.4f", got1, want1)
+	}
+	want2, err := fs.PNoFault(2)
+	if err != nil {
+		t.Fatalf("PNoFault(2): %v", err)
+	}
+	got2 := float64(res.SystemFaultFree) / float64(res.Reps)
+	if math.Abs(got2-want2) > 0.005 {
+		t.Errorf("P(N2=0) empirical %.4f, model %.4f", got2, want2)
+	}
+
+	// Risk ratio, equation (10).
+	wantRatio, err := fs.RiskRatio()
+	if err != nil {
+		t.Fatalf("RiskRatio: %v", err)
+	}
+	gotRatio, err := res.RiskRatio()
+	if err != nil {
+		t.Fatalf("empirical RiskRatio: %v", err)
+	}
+	if math.Abs(gotRatio-wantRatio) > 0.02 {
+		t.Errorf("risk ratio empirical %.4f, model %.4f", gotRatio, wantRatio)
+	}
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	t.Parallel()
+
+	// The sampled distribution must not depend on parallelism; with a
+	// fixed seed the per-worker streams differ, so compare statistics
+	// rather than raw samples.
+	proc := testProcess(t)
+	one, err := Run(Config{Process: proc, Versions: 2, Reps: 100000, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	eight, err := Run(Config{Process: proc, Versions: 2, Reps: 100000, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ks, err := stats.KSTestTwoSample(one.SystemPFD, eight.SystemPFD)
+	if err != nil {
+		t.Fatalf("KSTestTwoSample: %v", err)
+	}
+	if ks.PValue < 0.001 {
+		t.Errorf("worker counts produced different distributions: D=%v p=%v", ks.Statistic, ks.PValue)
+	}
+}
+
+func TestRunMoreWorkersThanReps(t *testing.T) {
+	t.Parallel()
+
+	proc := testProcess(t)
+	res, err := Run(Config{Process: proc, Versions: 2, Reps: 3, Seed: 1, Workers: 16})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Reps != 3 || len(res.SystemPFD) != 3 {
+		t.Errorf("got %d reps, want 3", res.Reps)
+	}
+}
+
+func TestRunMajorityArchitecture(t *testing.T) {
+	t.Parallel()
+
+	proc := testProcess(t)
+	res, err := Run(Config{
+		Process:  proc,
+		Versions: 3,
+		Arch:     system.ArchMajority,
+		Reps:     50000,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Majority system PFD mean: fault defeats system when present in >= 2
+	// of 3 versions: probability 3p²(1-p) + p³ per fault.
+	fs := proc.FaultSet()
+	want := 0.0
+	for i := 0; i < fs.N(); i++ {
+		p, q := fs.Fault(i).P, fs.Fault(i).Q
+		want += (3*p*p*(1-p) + p*p*p) * q
+	}
+	got, err := stats.Mean(res.SystemPFD)
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if math.Abs(got-want) > 0.002 {
+		t.Errorf("majority mean PFD = %.5f, want %.5f", got, want)
+	}
+}
+
+func TestResultRiskRatioUndefined(t *testing.T) {
+	t.Parallel()
+
+	res := &Result{Reps: 10, VersionFaultFree: 10, SystemFaultFree: 10}
+	if _, err := res.RiskRatio(); err == nil {
+		t.Error("risk ratio with zero denominator succeeded, want error")
+	}
+}

@@ -1,0 +1,215 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/faultmodel"
+)
+
+func rareFaultSet(t *testing.T) *faultmodel.FaultSet {
+	t.Helper()
+	// Safety-grade-like: P(N2>0) is of order 1e-5.
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.003, Q: 0.001},
+		{P: 0.002, Q: 0.002},
+		{P: 0.001, Q: 0.001},
+		{P: 0.0005, Q: 0.003},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	return fs
+}
+
+func TestEstimateRareSystemFaultUnbiased(t *testing.T) {
+	t.Parallel()
+
+	fs := rareFaultSet(t)
+	truth, err := fs.PAnyFault(2)
+	if err != nil {
+		t.Fatalf("PAnyFault: %v", err)
+	}
+	if truth > 1e-4 {
+		t.Fatalf("fixture is not rare enough: P = %v", truth)
+	}
+	est, err := EstimateRareSystemFault(fs, 2, 50000, 7, 0.3)
+	if err != nil {
+		t.Fatalf("EstimateRareSystemFault: %v", err)
+	}
+	if math.Abs(est.Probability-truth) > 5*est.StdErr+1e-12 {
+		t.Errorf("IS estimate %v ± %v vs truth %v", est.Probability, est.StdErr, truth)
+	}
+	// The tilt makes the event common under the sampling measure.
+	if est.HitFraction < 0.2 {
+		t.Errorf("hit fraction %v, want the tilt to make events common", est.HitFraction)
+	}
+	// Relative precision must be far better than naive MC could achieve
+	// at this replication count (naive would see ~0.7 events).
+	if est.StdErr/truth > 0.2 {
+		t.Errorf("relative std err %v, want < 0.2", est.StdErr/truth)
+	}
+}
+
+func TestEstimateRareMatchesModerateProbability(t *testing.T) {
+	t.Parallel()
+
+	// Sanity on a non-rare set: both estimators must agree with the
+	// closed form.
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.3, Q: 0.1},
+		{P: 0.2, Q: 0.1},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	truth, err := fs.PAnyFault(2)
+	if err != nil {
+		t.Fatalf("PAnyFault: %v", err)
+	}
+	is, err := EstimateRareSystemFault(fs, 2, 100000, 3, 0.3)
+	if err != nil {
+		t.Fatalf("EstimateRareSystemFault: %v", err)
+	}
+	if math.Abs(is.Probability-truth) > 5*is.StdErr+1e-9 {
+		t.Errorf("IS estimate %v ± %v vs truth %v", is.Probability, is.StdErr, truth)
+	}
+	naive, err := EstimateNaiveSystemFault(fs, 2, 100000, 3)
+	if err != nil {
+		t.Fatalf("EstimateNaiveSystemFault: %v", err)
+	}
+	if math.Abs(naive.Probability-truth) > 5*naive.StdErr+1e-9 {
+		t.Errorf("naive estimate %v ± %v vs truth %v", naive.Probability, naive.StdErr, truth)
+	}
+}
+
+func TestEstimateRareVarianceReduction(t *testing.T) {
+	t.Parallel()
+
+	fs := rareFaultSet(t)
+	const reps = 20000
+	is, err := EstimateRareSystemFault(fs, 2, reps, 11, 0.3)
+	if err != nil {
+		t.Fatalf("EstimateRareSystemFault: %v", err)
+	}
+	naive, err := EstimateNaiveSystemFault(fs, 2, reps, 11)
+	if err != nil {
+		t.Fatalf("EstimateNaiveSystemFault: %v", err)
+	}
+	// Naive MC at 2e4 reps almost surely sees zero events (P ~ 1e-5 for
+	// versions, ~1e-8 at system level), so its estimate/error are
+	// useless; importance sampling still resolves the probability.
+	truth, err := fs.PAnyFault(2)
+	if err != nil {
+		t.Fatalf("PAnyFault: %v", err)
+	}
+	if is.StdErr <= 0 {
+		t.Fatal("IS std err not positive")
+	}
+	if is.StdErr/truth > 0.5 {
+		t.Errorf("IS relative error %v too large", is.StdErr/truth)
+	}
+	if naive.Probability != 0 && naive.StdErr < is.StdErr {
+		t.Errorf("naive MC outperformed IS on a rare event: naive %v ± %v, IS %v ± %v",
+			naive.Probability, naive.StdErr, is.Probability, is.StdErr)
+	}
+}
+
+func TestEstimateRareImpossibleFaults(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0, Q: 0.1},
+		{P: 0.001, Q: 0.1},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	truth, err := fs.PAnyFault(2)
+	if err != nil {
+		t.Fatalf("PAnyFault: %v", err)
+	}
+	est, err := EstimateRareSystemFault(fs, 2, 20000, 5, 0.3)
+	if err != nil {
+		t.Fatalf("EstimateRareSystemFault: %v", err)
+	}
+	if math.Abs(est.Probability-truth) > 5*est.StdErr+1e-12 {
+		t.Errorf("estimate %v ± %v vs truth %v", est.Probability, est.StdErr, truth)
+	}
+}
+
+func TestEstimateRareAllZero(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{{P: 0, Q: 0.1}})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	est, err := EstimateRareSystemFault(fs, 2, 1000, 1, 0.3)
+	if err != nil {
+		t.Fatalf("EstimateRareSystemFault: %v", err)
+	}
+	if est.Probability != 0 || est.HitFraction != 0 {
+		t.Errorf("zero set gave estimate %+v", est)
+	}
+}
+
+func TestEstimateRareValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := rareFaultSet(t)
+	if _, err := EstimateRareSystemFault(nil, 2, 100, 1, 0.3); err == nil {
+		t.Error("nil fault set succeeded, want error")
+	}
+	if _, err := EstimateRareSystemFault(fs, 0, 100, 1, 0.3); err == nil {
+		t.Error("m=0 succeeded, want error")
+	}
+	if _, err := EstimateRareSystemFault(fs, 2, 1, 1, 0.3); err == nil {
+		t.Error("1 rep succeeded, want error")
+	}
+	if _, err := EstimateRareSystemFault(fs, 2, 100, 1, 0); err == nil {
+		t.Error("zero tilt succeeded, want error")
+	}
+	if _, err := EstimateRareSystemFault(fs, 2, 100, 1, 1); err == nil {
+		t.Error("tilt=1 succeeded, want error")
+	}
+	if _, err := EstimateNaiveSystemFault(nil, 2, 100, 1); err == nil {
+		t.Error("naive nil fault set succeeded, want error")
+	}
+	if _, err := EstimateNaiveSystemFault(fs, 0, 100, 1); err == nil {
+		t.Error("naive m=0 succeeded, want error")
+	}
+	if _, err := EstimateNaiveSystemFault(fs, 2, 1, 1); err == nil {
+		t.Error("naive 1 rep succeeded, want error")
+	}
+}
+
+func BenchmarkEstimateRareIS(b *testing.B) {
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.003, Q: 0.001}, {P: 0.002, Q: 0.002}, {P: 0.001, Q: 0.001},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateRareSystemFault(fs, 2, 10000, uint64(i), 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateRareNaive(b *testing.B) {
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.003, Q: 0.001}, {P: 0.002, Q: 0.002}, {P: 0.001, Q: 0.001},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateNaiveSystemFault(fs, 2, 10000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

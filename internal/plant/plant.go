@@ -1,0 +1,154 @@
+// Package plant simulates the paper's Fig. 1 configuration end to end: a
+// monitored plant whose hazardous excursions place demands on a
+// dual-channel, 1-out-of-2 protection system whose channels run diverse
+// software versions.
+//
+// Demands arrive as a Poisson process in continuous time; each demand is a
+// point in the demand space drawn from a profile. Each software channel
+// fails to order a shutdown exactly when the demand lies in one of its
+// failure regions; the channels' shutdown outputs are OR-ed, so the system
+// misses a demand only when both channels fail on it. The simulation
+// measures the observed probability of failure on demand and the time of
+// the first system failure, which experiment E12 compares against the
+// fault-level model's predictions.
+package plant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diversity/internal/demandspace"
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+// Config parameterises a protection-system mission simulation.
+type Config struct {
+	// MissionTime is the simulated duration (arbitrary time units).
+	MissionTime float64
+	// DemandRate is the Poisson rate of hazardous plant states (demands
+	// per time unit).
+	DemandRate float64
+	// Profile distributes the demands over the demand space.
+	Profile demandspace.Profile
+	// ChannelA and ChannelB are the two software channels' failure
+	// geometries.
+	ChannelA, ChannelB *demandspace.GeomVersion
+	// Seed drives demand arrivals and positions.
+	Seed uint64
+}
+
+// Result holds mission statistics.
+type Result struct {
+	// Demands is the number of demands during the mission.
+	Demands int
+	// FailuresA and FailuresB count per-channel failures to shut down.
+	FailuresA, FailuresB int
+	// SystemFailures counts demands missed by both channels.
+	SystemFailures int
+	// FirstSystemFailure is the time of the first missed demand, or NaN
+	// if the system never failed during the mission.
+	FirstSystemFailure float64
+}
+
+// PFDA returns the observed PFD of channel A (NaN with no demands).
+func (r *Result) PFDA() float64 { return ratio(r.FailuresA, r.Demands) }
+
+// PFDB returns the observed PFD of channel B (NaN with no demands).
+func (r *Result) PFDB() float64 { return ratio(r.FailuresB, r.Demands) }
+
+// SystemPFD returns the observed system PFD (NaN with no demands).
+func (r *Result) SystemPFD() float64 { return ratio(r.SystemFailures, r.Demands) }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
+}
+
+// Run simulates one mission.
+func Run(cfg Config) (*Result, error) {
+	switch {
+	case cfg.Profile == nil || cfg.ChannelA == nil || cfg.ChannelB == nil:
+		return nil, errors.New("plant: profile and both channels are required")
+	case math.IsNaN(cfg.MissionTime) || cfg.MissionTime <= 0:
+		return nil, fmt.Errorf("plant: mission time %v must be positive", cfg.MissionTime)
+	case math.IsNaN(cfg.DemandRate) || cfg.DemandRate <= 0:
+		return nil, fmt.Errorf("plant: demand rate %v must be positive", cfg.DemandRate)
+	case cfg.Profile.Dim() != cfg.ChannelA.Dim() || cfg.Profile.Dim() != cfg.ChannelB.Dim():
+		return nil, fmt.Errorf("plant: dimension mismatch: profile %d, channels %d and %d",
+			cfg.Profile.Dim(), cfg.ChannelA.Dim(), cfg.ChannelB.Dim())
+	}
+
+	r := randx.NewStream(cfg.Seed)
+	res := &Result{FirstSystemFailure: math.NaN()}
+	point := make(demandspace.Point, cfg.Profile.Dim())
+	for now := r.Exponential(cfg.DemandRate); now <= cfg.MissionTime; now += r.Exponential(cfg.DemandRate) {
+		res.Demands++
+		cfg.Profile.Sample(r, point)
+		failA := cfg.ChannelA.FailsOn(point)
+		failB := cfg.ChannelB.FailsOn(point)
+		if failA {
+			res.FailuresA++
+		}
+		if failB {
+			res.FailuresB++
+		}
+		if failA && failB {
+			res.SystemFailures++
+			if math.IsNaN(res.FirstSystemFailure) {
+				res.FirstSystemFailure = now
+			}
+		}
+	}
+	return res, nil
+}
+
+// StripLayout assigns each potential fault of a fault set a failure region
+// in the 2-D unit demand space: disjoint vertical strips whose widths equal
+// the region probabilities q_i, so that under a uniform demand profile the
+// geometric measure of fault i's region is exactly q_i. This is the bridge
+// from the abstract fault-level model to the geometric simulation.
+func StripLayout(fs *faultmodel.FaultSet) ([]demandspace.Region, error) {
+	if fs == nil {
+		return nil, errors.New("plant: fault set must not be nil")
+	}
+	regions := make([]demandspace.Region, fs.N())
+	x := 0.0
+	for i := 0; i < fs.N(); i++ {
+		q := fs.Fault(i).Q
+		hi := x + q
+		if hi > 1 {
+			hi = 1 // guard floating-point accumulation; SumQ <= 1 by construction
+		}
+		box, err := demandspace.NewBox(demandspace.Point{x, 0}, demandspace.Point{hi, 1})
+		if err != nil {
+			return nil, fmt.Errorf("plant: strip for fault %d: %w", i, err)
+		}
+		regions[i] = box
+		x = hi
+	}
+	return regions, nil
+}
+
+// BuildChannel assembles the failure geometry of one channel from the
+// faults present in a developed version, using the given per-fault region
+// layout. present(i) reports whether the version contains fault i.
+func BuildChannel(layout []demandspace.Region, present func(i int) bool) (*demandspace.GeomVersion, error) {
+	if len(layout) == 0 {
+		return nil, errors.New("plant: layout must contain at least one region")
+	}
+	if present == nil {
+		return nil, errors.New("plant: presence predicate must not be nil")
+	}
+	d := layout[0].Dim()
+	var regions []demandspace.Region
+	for i, region := range layout {
+		if present(i) {
+			regions = append(regions, region)
+		}
+	}
+	return demandspace.NewGeomVersion(d, regions...)
+}

@@ -1,0 +1,272 @@
+package plant
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/demandspace"
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+func uniformProfile(t *testing.T) demandspace.UniformProfile {
+	t.Helper()
+	p, err := demandspace.NewUniformProfile(2)
+	if err != nil {
+		t.Fatalf("NewUniformProfile: %v", err)
+	}
+	return p
+}
+
+func channelFromBoxes(t *testing.T, boxes ...[4]float64) *demandspace.GeomVersion {
+	t.Helper()
+	regions := make([]demandspace.Region, len(boxes))
+	for i, b := range boxes {
+		box, err := demandspace.NewBox(demandspace.Point{b[0], b[1]}, demandspace.Point{b[2], b[3]})
+		if err != nil {
+			t.Fatalf("NewBox: %v", err)
+		}
+		regions[i] = box
+	}
+	v, err := demandspace.NewGeomVersion(2, regions...)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	return v
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	profile := uniformProfile(t)
+	ch := channelFromBoxes(t, [4]float64{0, 0, 0.1, 1})
+	valid := Config{MissionTime: 10, DemandRate: 1, Profile: profile, ChannelA: ch, ChannelB: ch}
+
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil profile", mutate: func(c *Config) { c.Profile = nil }},
+		{name: "nil channel A", mutate: func(c *Config) { c.ChannelA = nil }},
+		{name: "nil channel B", mutate: func(c *Config) { c.ChannelB = nil }},
+		{name: "zero mission", mutate: func(c *Config) { c.MissionTime = 0 }},
+		{name: "negative rate", mutate: func(c *Config) { c.DemandRate = -1 }},
+		{name: "NaN mission", mutate: func(c *Config) { c.MissionTime = math.NaN() }},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := valid
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Errorf("Run with %s succeeded, want error", tt.name)
+			}
+		})
+	}
+}
+
+func TestRunDemandCountMatchesPoissonRate(t *testing.T) {
+	t.Parallel()
+
+	profile := uniformProfile(t)
+	clean, err := demandspace.NewGeomVersion(2)
+	if err != nil {
+		t.Fatalf("NewGeomVersion: %v", err)
+	}
+	res, err := Run(Config{
+		MissionTime: 10000, DemandRate: 0.5,
+		Profile: profile, ChannelA: clean, ChannelB: clean, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := 5000.0
+	if math.Abs(float64(res.Demands)-want) > 5*math.Sqrt(want) {
+		t.Errorf("demands = %d, want ~%v (Poisson)", res.Demands, want)
+	}
+	if res.SystemFailures != 0 || !math.IsNaN(res.FirstSystemFailure) {
+		t.Error("fault-free channels produced system failures")
+	}
+	if !math.IsNaN(res.SystemPFD()) && res.SystemPFD() != 0 {
+		t.Errorf("system PFD = %v, want 0", res.SystemPFD())
+	}
+}
+
+func TestRunObservedPFDMatchesGeometry(t *testing.T) {
+	t.Parallel()
+
+	profile := uniformProfile(t)
+	// Channel A fails on x in [0, 0.2]; channel B on x in [0.1, 0.3]:
+	// per-channel PFD 0.2, system PFD 0.1 (the overlap).
+	chA := channelFromBoxes(t, [4]float64{0, 0, 0.2, 1})
+	chB := channelFromBoxes(t, [4]float64{0.1, 0, 0.3, 1})
+	res, err := Run(Config{
+		MissionTime: 100000, DemandRate: 1,
+		Profile: profile, ChannelA: chA, ChannelB: chB, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.PFDA()-0.2) > 0.01 {
+		t.Errorf("PFD(A) = %v, want ~0.2", res.PFDA())
+	}
+	if math.Abs(res.PFDB()-0.2) > 0.01 {
+		t.Errorf("PFD(B) = %v, want ~0.2", res.PFDB())
+	}
+	if math.Abs(res.SystemPFD()-0.1) > 0.01 {
+		t.Errorf("system PFD = %v, want ~0.1", res.SystemPFD())
+	}
+	if math.IsNaN(res.FirstSystemFailure) || res.FirstSystemFailure <= 0 {
+		t.Errorf("FirstSystemFailure = %v, want positive time", res.FirstSystemFailure)
+	}
+	if res.FirstSystemFailure > 100000 {
+		t.Errorf("FirstSystemFailure = %v beyond mission time", res.FirstSystemFailure)
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	t.Parallel()
+
+	profile := uniformProfile(t)
+	ch := channelFromBoxes(t, [4]float64{0, 0, 0.3, 1})
+	cfg := Config{MissionTime: 1000, DemandRate: 2, Profile: profile, ChannelA: ch, ChannelB: ch, Seed: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if *a != *b {
+		t.Errorf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestStripLayoutMeasures(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.5, Q: 0.1},
+		{P: 0.5, Q: 0.25},
+		{P: 0.5, Q: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	layout, err := StripLayout(fs)
+	if err != nil {
+		t.Fatalf("StripLayout: %v", err)
+	}
+	if len(layout) != 3 {
+		t.Fatalf("layout has %d regions, want 3", len(layout))
+	}
+	// Strips must be disjoint and have volume q_i.
+	for i, region := range layout {
+		box, ok := region.(demandspace.Box)
+		if !ok {
+			t.Fatalf("region %d is %T, want Box", i, region)
+		}
+		if math.Abs(box.Volume()-fs.Fault(i).Q) > 1e-12 {
+			t.Errorf("strip %d volume %v, want %v", i, box.Volume(), fs.Fault(i).Q)
+		}
+	}
+	// A point in strip 1 must be in exactly that strip.
+	probe := demandspace.Point{0.2, 0.5} // x in [0.1, 0.35) -> strip 1
+	for i, region := range layout {
+		want := i == 1
+		if got := region.Contains(probe); got != want {
+			t.Errorf("strip %d contains probe = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := StripLayout(nil); err == nil {
+		t.Error("StripLayout(nil) succeeded, want error")
+	}
+}
+
+func TestBuildChannel(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.5, Q: 0.1},
+		{P: 0.5, Q: 0.2},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	layout, err := StripLayout(fs)
+	if err != nil {
+		t.Fatalf("StripLayout: %v", err)
+	}
+	ch, err := BuildChannel(layout, func(i int) bool { return i == 1 })
+	if err != nil {
+		t.Fatalf("BuildChannel: %v", err)
+	}
+	if ch.NumRegions() != 1 {
+		t.Errorf("channel has %d regions, want 1", ch.NumRegions())
+	}
+	if ch.FailsOn(demandspace.Point{0.05, 0.5}) {
+		t.Error("channel fails on absent fault's strip")
+	}
+	if !ch.FailsOn(demandspace.Point{0.2, 0.5}) {
+		t.Error("channel does not fail on present fault's strip")
+	}
+	if _, err := BuildChannel(nil, func(int) bool { return true }); err == nil {
+		t.Error("empty layout succeeded, want error")
+	}
+	if _, err := BuildChannel(layout, nil); err == nil {
+		t.Error("nil predicate succeeded, want error")
+	}
+}
+
+// TestEndToEndMatchesFaultModel is experiment E12 in miniature: versions
+// developed by the fault-creation process, laid out geometrically, run
+// through the plant DES — the observed system PFD must match the
+// fault-level common PFD of the pair.
+func TestEndToEndMatchesFaultModel(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.6, Q: 0.08},
+		{P: 0.5, Q: 0.12},
+		{P: 0.4, Q: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	proc := devsim.NewIndependentProcess(fs)
+	r := randx.NewStream(21)
+	vA := proc.Develop(r)
+	vB := proc.Develop(r)
+	layout, err := StripLayout(fs)
+	if err != nil {
+		t.Fatalf("StripLayout: %v", err)
+	}
+	chA, err := BuildChannel(layout, vA.Has)
+	if err != nil {
+		t.Fatalf("BuildChannel: %v", err)
+	}
+	chB, err := BuildChannel(layout, vB.Has)
+	if err != nil {
+		t.Fatalf("BuildChannel: %v", err)
+	}
+	res, err := Run(Config{
+		MissionTime: 200000, DemandRate: 1,
+		Profile: uniformProfile(t), ChannelA: chA, ChannelB: chB, Seed: 23,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := devsim.CommonPFD(fs, vA, vB)
+	if err != nil {
+		t.Fatalf("CommonPFD: %v", err)
+	}
+	if math.Abs(res.SystemPFD()-want) > 0.005 {
+		t.Errorf("DES system PFD = %v, fault-model common PFD = %v", res.SystemPFD(), want)
+	}
+	if math.Abs(res.PFDA()-vA.PFD()) > 0.005 {
+		t.Errorf("DES channel A PFD = %v, version PFD = %v", res.PFDA(), vA.PFD())
+	}
+}

@@ -1,0 +1,159 @@
+// Package process models software development process improvement as
+// transformations of a fault set, following the paper's Section 4.2: an
+// improvement never increases any fault's presence probability, and the
+// two analysed special cases are the reduction of a single p_i (new V&V
+// methods targeting one fault type) and the proportional reduction of all
+// p_i (greater effort against every kind of bug). The package traces the
+// paper's reliability-gain measures along improvement trajectories, which
+// is how experiments E05, E06 and E10 regenerate the corresponding
+// analyses.
+package process
+
+import (
+	"fmt"
+	"math"
+
+	"diversity/internal/faultmodel"
+)
+
+// Improvement transforms a fault set by a given amount in [0, 1]:
+// 0 leaves the process unchanged, 1 applies the maximal change the
+// improvement defines. Implementations must not mutate the input set.
+type Improvement interface {
+	// Name identifies the improvement in reports.
+	Name() string
+	// Apply returns the improved fault set.
+	Apply(fs *faultmodel.FaultSet, amount float64) (*faultmodel.FaultSet, error)
+}
+
+func validateAmount(amount float64) error {
+	if math.IsNaN(amount) || amount < 0 || amount > 1 {
+		return fmt.Errorf("process: improvement amount %v must be in [0, 1]", amount)
+	}
+	return nil
+}
+
+// SingleFault reduces only fault Index's presence probability by the
+// improvement amount: p_i -> (1-amount)·p_i. This is the paper's Section
+// 4.2.1 case, whose effect on the gain from diversity can go either way.
+type SingleFault struct {
+	// Index selects the fault the improvement targets.
+	Index int
+}
+
+var _ Improvement = SingleFault{}
+
+// Name implements Improvement.
+func (s SingleFault) Name() string { return fmt.Sprintf("single-fault[%d]", s.Index) }
+
+// Apply implements Improvement.
+func (s SingleFault) Apply(fs *faultmodel.FaultSet, amount float64) (*faultmodel.FaultSet, error) {
+	if err := validateAmount(amount); err != nil {
+		return nil, err
+	}
+	if s.Index < 0 || s.Index >= fs.N() {
+		return nil, fmt.Errorf("process: fault index %d out of range [0, %d)", s.Index, fs.N())
+	}
+	return fs.WithP(s.Index, fs.Fault(s.Index).P*(1-amount))
+}
+
+// Proportional reduces every presence probability by the improvement
+// amount: p_i -> (1-amount)·p_i, the paper's Section 4.2.2 case p_i = k·b_i
+// with k = 1-amount. Appendix B proves this always increases the gain from
+// diversity.
+type Proportional struct{}
+
+var _ Improvement = Proportional{}
+
+// Name implements Improvement.
+func (Proportional) Name() string { return "proportional" }
+
+// Apply implements Improvement.
+func (Proportional) Apply(fs *faultmodel.FaultSet, amount float64) (*faultmodel.FaultSet, error) {
+	if err := validateAmount(amount); err != nil {
+		return nil, err
+	}
+	return fs.Scaled(1 - amount)
+}
+
+// FaultClass reduces the presence probabilities of a subset of faults —
+// the general "new V&V methods make specific fault types much less
+// likely" case that interpolates between SingleFault and Proportional.
+type FaultClass struct {
+	// Indices selects the targeted faults.
+	Indices []int
+}
+
+var _ Improvement = FaultClass{}
+
+// Name implements Improvement.
+func (c FaultClass) Name() string { return fmt.Sprintf("fault-class[%d faults]", len(c.Indices)) }
+
+// Apply implements Improvement.
+func (c FaultClass) Apply(fs *faultmodel.FaultSet, amount float64) (*faultmodel.FaultSet, error) {
+	if err := validateAmount(amount); err != nil {
+		return nil, err
+	}
+	if len(c.Indices) == 0 {
+		return nil, fmt.Errorf("process: fault class must target at least one fault")
+	}
+	faults := fs.Faults()
+	for _, i := range c.Indices {
+		if i < 0 || i >= len(faults) {
+			return nil, fmt.Errorf("process: fault index %d out of range [0, %d)", i, len(faults))
+		}
+		faults[i].P *= 1 - amount
+	}
+	return faultmodel.New(faults)
+}
+
+// TrajectoryPoint records the paper's gain measures at one improvement
+// amount.
+type TrajectoryPoint struct {
+	// Amount is the improvement amount in [0, 1].
+	Amount float64
+	// PAnyFault1 and PAnyFault2 are P(N1>0) and P(N2>0).
+	PAnyFault1, PAnyFault2 float64
+	// RiskRatio is equation (10)'s P(N2>0)/P(N1>0); NaN when undefined
+	// (all probabilities driven to zero).
+	RiskRatio float64
+	// Gain carries the Section-5 bound comparison at the trajectory's
+	// sigma multiplier.
+	Gain faultmodel.GainReport
+}
+
+// Trace evaluates the gain measures along the improvement amounts, using
+// sigma multiplier k for the Section-5 bounds. Amounts outside [0, 1]
+// cause an error; amounts need not be sorted.
+func Trace(fs *faultmodel.FaultSet, imp Improvement, amounts []float64, k float64) ([]TrajectoryPoint, error) {
+	if imp == nil {
+		return nil, fmt.Errorf("process: improvement must not be nil")
+	}
+	if len(amounts) == 0 {
+		return nil, fmt.Errorf("process: at least one improvement amount is required")
+	}
+	points := make([]TrajectoryPoint, len(amounts))
+	for idx, amount := range amounts {
+		improved, err := imp.Apply(fs, amount)
+		if err != nil {
+			return nil, fmt.Errorf("process: applying %s at amount %v: %w", imp.Name(), amount, err)
+		}
+		pt := TrajectoryPoint{Amount: amount}
+		if pt.PAnyFault1, err = improved.PAnyFault(1); err != nil {
+			return nil, err
+		}
+		if pt.PAnyFault2, err = improved.PAnyFault(2); err != nil {
+			return nil, err
+		}
+		if ratio, err := improved.RiskRatio(); err != nil {
+			pt.RiskRatio = math.NaN()
+		} else {
+			pt.RiskRatio = ratio
+		}
+		if pt.Gain, err = improved.Gain(k); err != nil {
+			return nil, err
+		}
+		points[idx] = pt
+	}
+	return points, nil
+}

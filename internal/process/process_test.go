@@ -1,0 +1,231 @@
+package process
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/faultmodel"
+)
+
+func mustFaultSet(t *testing.T, faults []faultmodel.Fault) *faultmodel.FaultSet {
+	t.Helper()
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	return fs
+}
+
+func TestSingleFaultApply(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}, {P: 0.2, Q: 0.1}})
+	imp := SingleFault{Index: 0}
+	improved, err := imp.Apply(fs, 0.5)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := improved.Fault(0).P; math.Abs(got-0.2) > 1e-15 {
+		t.Errorf("fault 0 p = %v, want 0.2", got)
+	}
+	if got := improved.Fault(1).P; got != 0.2 {
+		t.Errorf("fault 1 p = %v, want untouched 0.2", got)
+	}
+	if fs.Fault(0).P != 0.4 {
+		t.Error("Apply mutated the input fault set")
+	}
+	// amount=1 eliminates the fault.
+	gone, err := imp.Apply(fs, 1)
+	if err != nil {
+		t.Fatalf("Apply(1): %v", err)
+	}
+	if gone.Fault(0).P != 0 {
+		t.Errorf("fault 0 p = %v, want 0 at full improvement", gone.Fault(0).P)
+	}
+}
+
+func TestSingleFaultValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}})
+	if _, err := (SingleFault{Index: 5}).Apply(fs, 0.5); err == nil {
+		t.Error("out-of-range index succeeded, want error")
+	}
+	if _, err := (SingleFault{Index: 0}).Apply(fs, 1.5); err == nil {
+		t.Error("amount > 1 succeeded, want error")
+	}
+	if _, err := (SingleFault{Index: 0}).Apply(fs, -0.1); err == nil {
+		t.Error("negative amount succeeded, want error")
+	}
+	if (SingleFault{Index: 3}).Name() == "" {
+		t.Error("Name must be non-empty")
+	}
+}
+
+func TestProportionalApply(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}, {P: 0.2, Q: 0.1}})
+	improved, err := Proportional{}.Apply(fs, 0.25)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if math.Abs(improved.Fault(0).P-0.3) > 1e-15 || math.Abs(improved.Fault(1).P-0.15) > 1e-15 {
+		t.Errorf("proportional improvement wrong: %+v", improved.Faults())
+	}
+	if (Proportional{}).Name() == "" {
+		t.Error("Name must be non-empty")
+	}
+}
+
+func TestFaultClassApply(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.4, Q: 0.1}, {P: 0.2, Q: 0.1}, {P: 0.3, Q: 0.1},
+	})
+	imp := FaultClass{Indices: []int{0, 2}}
+	improved, err := imp.Apply(fs, 0.5)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if math.Abs(improved.Fault(0).P-0.2) > 1e-15 {
+		t.Errorf("fault 0 p = %v, want 0.2", improved.Fault(0).P)
+	}
+	if improved.Fault(1).P != 0.2 {
+		t.Errorf("fault 1 p = %v, want untouched", improved.Fault(1).P)
+	}
+	if math.Abs(improved.Fault(2).P-0.15) > 1e-15 {
+		t.Errorf("fault 2 p = %v, want 0.15", improved.Fault(2).P)
+	}
+	if _, err := (FaultClass{}).Apply(fs, 0.5); err == nil {
+		t.Error("empty class succeeded, want error")
+	}
+	if _, err := (FaultClass{Indices: []int{9}}).Apply(fs, 0.5); err == nil {
+		t.Error("out-of-range class succeeded, want error")
+	}
+}
+
+// TestTraceProportionalMonotoneGain is Appendix B along a trajectory: the
+// risk ratio must decrease (gain increases) as the proportional
+// improvement amount grows.
+func TestTraceProportionalMonotoneGain(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.5, Q: 0.1}, {P: 0.3, Q: 0.1}, {P: 0.1, Q: 0.1},
+	})
+	amounts := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	points, err := Trace(fs, Proportional{}, amounts, 1)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].RiskRatio > points[i-1].RiskRatio+1e-12 {
+			t.Errorf("risk ratio rose from %v to %v at amount %v; Appendix B says it must fall",
+				points[i-1].RiskRatio, points[i].RiskRatio, points[i].Amount)
+		}
+	}
+	// And reliability itself improves: P(N1>0) falls.
+	for i := 1; i < len(points); i++ {
+		if points[i].PAnyFault1 > points[i-1].PAnyFault1+1e-12 {
+			t.Errorf("P(N1>0) rose along an improvement trajectory")
+		}
+	}
+}
+
+// TestTraceSingleFaultNonMonotone reproduces Section 4.2.1: improving a
+// single small-probability fault can RAISE the risk ratio (reduce the gain
+// from diversity) while still improving reliability.
+func TestTraceSingleFaultNonMonotone(t *testing.T) {
+	t.Parallel()
+
+	// Fault 0 sits just above its stationary point; full improvement
+	// sweeps it through the minimum and beyond, raising the ratio at the
+	// end of the trajectory.
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.05, Q: 0.1}, {P: 0.2, Q: 0.1}})
+	amounts := []float64{0, 0.3, 0.6, 0.9, 1}
+	points, err := Trace(fs, SingleFault{Index: 0}, amounts, 1)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	// Reliability always improves...
+	for i := 1; i < len(points); i++ {
+		if points[i].PAnyFault1 > points[i-1].PAnyFault1+1e-12 {
+			t.Fatalf("P(N1>0) rose along the trajectory")
+		}
+	}
+	// ...but the ratio ends higher than its minimum along the way: the
+	// gain from diversity is not monotone in process quality.
+	minRatio := math.Inf(1)
+	for _, pt := range points {
+		if pt.RiskRatio < minRatio {
+			minRatio = pt.RiskRatio
+		}
+	}
+	last := points[len(points)-1].RiskRatio
+	if !(last > minRatio+1e-9) {
+		t.Errorf("expected the ratio to rise after its minimum: min %v, final %v", minRatio, last)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}})
+	if _, err := Trace(fs, nil, []float64{0}, 1); err == nil {
+		t.Error("nil improvement succeeded, want error")
+	}
+	if _, err := Trace(fs, Proportional{}, nil, 1); err == nil {
+		t.Error("no amounts succeeded, want error")
+	}
+	if _, err := Trace(fs, Proportional{}, []float64{2}, 1); err == nil {
+		t.Error("invalid amount succeeded, want error")
+	}
+}
+
+func TestTraceFullImprovementRiskRatioNaN(t *testing.T) {
+	t.Parallel()
+
+	// amount=1 proportional improvement zeroes every p: the risk ratio is
+	// undefined and must surface as NaN, not an error.
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}})
+	points, err := Trace(fs, Proportional{}, []float64{1}, 1)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if !math.IsNaN(points[0].RiskRatio) {
+		t.Errorf("risk ratio at full improvement = %v, want NaN", points[0].RiskRatio)
+	}
+	if points[0].PAnyFault1 != 0 {
+		t.Errorf("P(N1>0) = %v, want 0", points[0].PAnyFault1)
+	}
+}
+
+// TestBoundDifferenceIncreasesWithP verifies the paper's Section 5.2
+// closing remark: measured as the DIFFERENCE between upper bounds,
+// (µ1+kσ1)-(µ2+kσ2) improves (grows) with any increase in any p_i.
+func TestBoundDifferenceIncreasesWithP(t *testing.T) {
+	t.Parallel()
+
+	base := mustFaultSet(t, []faultmodel.Fault{{P: 0.2, Q: 0.1}, {P: 0.1, Q: 0.1}})
+	const k = 1.0
+	baseGain, err := base.Gain(k)
+	if err != nil {
+		t.Fatalf("Gain: %v", err)
+	}
+	for i := 0; i < base.N(); i++ {
+		raised, err := base.WithP(i, base.Fault(i).P+0.05)
+		if err != nil {
+			t.Fatalf("WithP: %v", err)
+		}
+		raisedGain, err := raised.Gain(k)
+		if err != nil {
+			t.Fatalf("Gain: %v", err)
+		}
+		if raisedGain.BoundDiff <= baseGain.BoundDiff {
+			t.Errorf("raising p_%d did not increase the bound difference: %v -> %v",
+				i, baseGain.BoundDiff, raisedGain.BoundDiff)
+		}
+	}
+}

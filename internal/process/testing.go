@@ -1,0 +1,123 @@
+package process
+
+import (
+	"fmt"
+	"math"
+
+	"diversity/internal/faultmodel"
+)
+
+// StatisticalTesting models process improvement by statistical testing and
+// debugging, the realistic improvement discussed around the paper's
+// references [7] and [13] ("Choosing between Fault-Tolerance and Increased
+// V&V"; "The effects of testing on the reliability of single version and
+// 1-out-of-2 software").
+//
+// During testing, Demands independent demands are drawn from the
+// operational profile; a fault present in the version is detected exactly
+// when some test demand hits its failure region, which happens with
+// probability 1-(1-q_i)^T, and a detected fault is fixed perfectly. The
+// fault therefore survives the whole process with probability
+//
+//	p_i' = p_i · (1-q_i)^T.
+//
+// Unlike the paper's two analytic special cases, this improvement is
+// naturally NON-proportional: testing scrubs large-region faults first and
+// barely touches small ones, which is precisely the regime in which
+// Section 4.2.1 warns the gain from diversity can move either way.
+type StatisticalTesting struct {
+	// Demands is the testing budget at improvement amount 1; Apply scales
+	// it by the amount, so amount a corresponds to a·Demands test
+	// demands.
+	Demands float64
+}
+
+var _ Improvement = StatisticalTesting{}
+
+// Name implements Improvement.
+func (s StatisticalTesting) Name() string {
+	return fmt.Sprintf("statistical-testing[%g demands]", s.Demands)
+}
+
+// Apply implements Improvement: p_i -> p_i·(1-q_i)^(amount·Demands).
+func (s StatisticalTesting) Apply(fs *faultmodel.FaultSet, amount float64) (*faultmodel.FaultSet, error) {
+	if err := validateAmount(amount); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(s.Demands) || s.Demands < 0 {
+		return nil, fmt.Errorf("process: testing budget %v must be non-negative", s.Demands)
+	}
+	return ApplyTesting(fs, amount*s.Demands)
+}
+
+// ApplyTesting returns the fault set after statistical testing with the
+// given number of operational-profile test demands (need not be an
+// integer; fractional budgets interpolate the exponent).
+func ApplyTesting(fs *faultmodel.FaultSet, demands float64) (*faultmodel.FaultSet, error) {
+	if math.IsNaN(demands) || demands < 0 {
+		return nil, fmt.Errorf("process: test demand count %v must be non-negative", demands)
+	}
+	faults := fs.Faults()
+	for i := range faults {
+		faults[i].P *= math.Pow(1-faults[i].Q, demands)
+	}
+	return faultmodel.New(faults)
+}
+
+// TestedMeanPFD returns the mean PFD of a single version after testing
+// with the given budget — the "one good version" side of the
+// fault-tolerance-vs-V&V trade.
+func TestedMeanPFD(fs *faultmodel.FaultSet, demands float64) (float64, error) {
+	tested, err := ApplyTesting(fs, demands)
+	if err != nil {
+		return 0, err
+	}
+	return tested.MeanPFD(1)
+}
+
+// BudgetTrade compares the two ways of spending a verification budget of
+// `totalDemands` test demands:
+//
+//   - single: develop ONE version and spend the whole budget testing it;
+//   - diverse: develop TWO versions, pay `diversityOverhead` of the budget
+//     for the second development, split the remainder evenly between the
+//     versions, and run them as a 1-out-of-2 system.
+//
+// It returns the mean PFDs of both arrangements. This is the quantitative
+// core of the "N-version design versus one good version" debate the
+// paper's introduction engages (Hatton [1], Littlewood-Popov-Strigini
+// [6]): which side wins depends on the fault universe, the budget AND the
+// overhead — not on a universal law.
+//
+// A notable special case falls out of the model: with zero overhead the
+// diverse arrangement is never worse on the mean, because the per-fault
+// survival probabilities multiply across the two half-tested versions —
+// p²·((1-q)^{T/2})² = p²·(1-q)^T <= p·(1-q)^T. The single version can win
+// only by out-testing the pair, i.e. when the overhead eats test demands
+// worth more than the p -> p² factor: (1-q)^overhead < p for the dominant
+// fault.
+func BudgetTrade(fs *faultmodel.FaultSet, totalDemands, diversityOverhead float64) (single, diverse float64, err error) {
+	if math.IsNaN(totalDemands) || totalDemands < 0 {
+		return 0, 0, fmt.Errorf("process: testing budget %v must be non-negative", totalDemands)
+	}
+	if math.IsNaN(diversityOverhead) || diversityOverhead < 0 || diversityOverhead > totalDemands {
+		return 0, 0, fmt.Errorf("process: diversity overhead %v must be in [0, %v]", diversityOverhead, totalDemands)
+	}
+	fullTested, err := ApplyTesting(fs, totalDemands)
+	if err != nil {
+		return 0, 0, err
+	}
+	single, err = fullTested.MeanPFD(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	halfTested, err := ApplyTesting(fs, (totalDemands-diversityOverhead)/2)
+	if err != nil {
+		return 0, 0, err
+	}
+	diverse, err = halfTested.MeanPFD(2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return single, diverse, nil
+}

@@ -1,0 +1,242 @@
+package process
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diversity/internal/faultmodel"
+)
+
+func TestApplyTestingSurvivalFormula(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.4, Q: 0.1},
+		{P: 0.4, Q: 0.001},
+	})
+	tested, err := ApplyTesting(fs, 20)
+	if err != nil {
+		t.Fatalf("ApplyTesting: %v", err)
+	}
+	want0 := 0.4 * math.Pow(0.9, 20)
+	want1 := 0.4 * math.Pow(0.999, 20)
+	if !almostEqualP(tested.Fault(0).P, want0) {
+		t.Errorf("large-region fault survives with %v, want %v", tested.Fault(0).P, want0)
+	}
+	if !almostEqualP(tested.Fault(1).P, want1) {
+		t.Errorf("small-region fault survives with %v, want %v", tested.Fault(1).P, want1)
+	}
+	// Testing scrubs large regions preferentially.
+	if tested.Fault(0).P >= tested.Fault(1).P {
+		t.Error("testing did not preferentially remove the large-region fault")
+	}
+	// q values unchanged.
+	if tested.Fault(0).Q != 0.1 || tested.Fault(1).Q != 0.001 {
+		t.Error("testing changed region probabilities")
+	}
+}
+
+func almostEqualP(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b))
+}
+
+func TestApplyTestingValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}})
+	if _, err := ApplyTesting(fs, -1); err == nil {
+		t.Error("negative budget succeeded, want error")
+	}
+	if _, err := ApplyTesting(fs, math.NaN()); err == nil {
+		t.Error("NaN budget succeeded, want error")
+	}
+	// Zero budget is the identity.
+	same, err := ApplyTesting(fs, 0)
+	if err != nil {
+		t.Fatalf("ApplyTesting(0): %v", err)
+	}
+	if same.Fault(0) != fs.Fault(0) {
+		t.Error("zero budget changed the fault set")
+	}
+}
+
+func TestStatisticalTestingImprovement(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.05}})
+	imp := StatisticalTesting{Demands: 100}
+	if imp.Name() == "" {
+		t.Error("Name must be non-empty")
+	}
+	half, err := imp.Apply(fs, 0.5)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want := 0.4 * math.Pow(0.95, 50)
+	if !almostEqualP(half.Fault(0).P, want) {
+		t.Errorf("half budget survival %v, want %v", half.Fault(0).P, want)
+	}
+	if _, err := imp.Apply(fs, 1.5); err == nil {
+		t.Error("amount > 1 succeeded, want error")
+	}
+	if _, err := (StatisticalTesting{Demands: -5}).Apply(fs, 0.5); err == nil {
+		t.Error("negative budget succeeded, want error")
+	}
+}
+
+// TestTestingImprovesReliabilityMonotonically: more testing never hurts a
+// single version's mean PFD.
+func TestTestingImprovesReliabilityMonotonically(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.3, Q: 0.05}, {P: 0.2, Q: 0.01}, {P: 0.1, Q: 0.002},
+	})
+	prev := math.Inf(1)
+	for _, demands := range []float64{0, 10, 100, 1000, 10000} {
+		mu, err := TestedMeanPFD(fs, demands)
+		if err != nil {
+			t.Fatalf("TestedMeanPFD: %v", err)
+		}
+		if mu > prev+1e-18 {
+			t.Errorf("mean PFD rose from %v to %v at budget %v", prev, mu, demands)
+		}
+		prev = mu
+	}
+}
+
+// TestTestingCanReverseDiversityGainTrend: because testing is a
+// non-proportional improvement (it scrubs large-q faults first), the risk
+// ratio along a testing trajectory need not be monotone — the Section
+// 4.2.1 phenomenon arising from a realistic process change.
+func TestTestingCanReverseDiversityGainTrend(t *testing.T) {
+	t.Parallel()
+
+	// A large-region fault that testing quickly suppresses far below the
+	// stationary point, next to a small-region fault testing cannot
+	// reach: the ratio first falls, then rises again.
+	fs := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.3, Q: 0.05},
+		{P: 0.2, Q: 0.0001},
+	})
+	ratios := make([]float64, 0, 8)
+	for _, demands := range []float64{0, 5, 10, 20, 40, 80, 160, 320} {
+		tested, err := ApplyTesting(fs, demands)
+		if err != nil {
+			t.Fatalf("ApplyTesting: %v", err)
+		}
+		ratio, err := tested.RiskRatio()
+		if err != nil {
+			t.Fatalf("RiskRatio: %v", err)
+		}
+		ratios = append(ratios, ratio)
+	}
+	minIdx := 0
+	for i, r := range ratios {
+		if r < ratios[minIdx] {
+			minIdx = i
+		}
+	}
+	if minIdx == 0 || minIdx == len(ratios)-1 {
+		t.Errorf("expected an interior minimum of the risk ratio along the testing trajectory, got ratios %v", ratios)
+	}
+}
+
+// TestBudgetTradeBothWinnersExist reproduces the introduction's debate:
+// neither "one good version" nor "two diverse versions" wins universally —
+// the answer flips with the fault universe and the diversity overhead.
+func TestBudgetTradeBothWinnersExist(t *testing.T) {
+	t.Parallel()
+
+	// Universe A: one dominant large-region fault, and a second
+	// development costs 500 test-demand-equivalents. The fully tested
+	// single version wins: (1-q)^500 << p.
+	concentrated := mustFaultSet(t, []faultmodel.Fault{{P: 0.5, Q: 0.01}})
+	single, diverse, err := BudgetTrade(concentrated, 2000, 500)
+	if err != nil {
+		t.Fatalf("BudgetTrade: %v", err)
+	}
+	if single >= diverse {
+		t.Errorf("concentrated universe with overhead: single %v not below diverse %v", single, diverse)
+	}
+
+	// Universe B: many tiny-region faults that testing cannot reach even
+	// with the full budget. Diversity's p² factor wins despite the same
+	// overhead.
+	faults := make([]faultmodel.Fault, 50)
+	for i := range faults {
+		faults[i] = faultmodel.Fault{P: 0.2, Q: 1e-6}
+	}
+	dispersed := mustFaultSet(t, faults)
+	single, diverse, err = BudgetTrade(dispersed, 2000, 500)
+	if err != nil {
+		t.Fatalf("BudgetTrade: %v", err)
+	}
+	if diverse >= single {
+		t.Errorf("dispersed universe: diverse %v not below single %v", diverse, single)
+	}
+}
+
+// TestBudgetTradeZeroOverheadDiversityNeverLoses verifies the theorem in
+// the BudgetTrade doc comment: with no diversity overhead, the split-
+// budget 1oo2 pair is never worse on the mean, because per-fault survival
+// probabilities multiply — p²(1-q)^T <= p(1-q)^T.
+func TestBudgetTradeZeroOverheadDiversityNeverLoses(t *testing.T) {
+	t.Parallel()
+
+	err := quick.Check(func(raw []byte, rawBudget uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		if n > 10 {
+			n = 10
+		}
+		faults := make([]faultmodel.Fault, n)
+		for i := 0; i < n; i++ {
+			faults[i] = faultmodel.Fault{
+				P: float64(raw[2*i]) / 255,
+				Q: float64(raw[2*i+1]) / 255 / float64(n),
+			}
+		}
+		fs, err := faultmodel.New(faults)
+		if err != nil {
+			return true
+		}
+		budget := float64(rawBudget)
+		single, diverse, err := BudgetTrade(fs, budget, 0)
+		if err != nil {
+			return false
+		}
+		mu1, err := fs.MeanPFD(1)
+		if err != nil {
+			return false
+		}
+		mu2, err := fs.MeanPFD(2)
+		if err != nil {
+			return false
+		}
+		// Testing can only help each arrangement, and diversity never
+		// loses at zero overhead.
+		return single <= mu1+1e-15 && diverse <= mu2+1e-15 && diverse <= single+1e-15
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetTradeValidation(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{{P: 0.4, Q: 0.1}})
+	if _, _, err := BudgetTrade(fs, -1, 0); err == nil {
+		t.Error("negative budget succeeded, want error")
+	}
+	if _, _, err := BudgetTrade(fs, 100, 200); err == nil {
+		t.Error("overhead above budget succeeded, want error")
+	}
+	if _, _, err := BudgetTrade(fs, 100, -1); err == nil {
+		t.Error("negative overhead succeeded, want error")
+	}
+}

@@ -1,0 +1,177 @@
+package randx
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewCategoricalErrors(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{name: "empty", weights: nil},
+		{name: "negative", weights: []float64{0.5, -0.1}},
+		{name: "nan", weights: []float64{0.5, math.NaN()}},
+		{name: "inf", weights: []float64{math.Inf(1)}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := NewCategorical(tt.weights); err == nil {
+				t.Errorf("NewCategorical(%v) succeeded, want error", tt.weights)
+			}
+		})
+	}
+}
+
+func TestNewCategoricalZeroMass(t *testing.T) {
+	t.Parallel()
+
+	_, err := NewCategorical([]float64{0, 0, 0})
+	if !errors.Is(err, ErrNoMass) {
+		t.Errorf("NewCategorical(zeros) error = %v, want ErrNoMass", err)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{name: "uniform", weights: []float64{1, 1, 1, 1}},
+		{name: "skewed", weights: []float64{8, 1, 1}},
+		{name: "unnormalised", weights: []float64{20, 60, 120}},
+		{name: "with zero cell", weights: []float64{1, 0, 3}},
+		{name: "single", weights: []float64{2.5}},
+		{name: "many", weights: rampWeights(100)},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+
+			cat, err := NewCategorical(tt.weights)
+			if err != nil {
+				t.Fatalf("NewCategorical: %v", err)
+			}
+			if cat.Len() != len(tt.weights) {
+				t.Fatalf("Len = %d, want %d", cat.Len(), len(tt.weights))
+			}
+			total := 0.0
+			for _, w := range tt.weights {
+				total += w
+			}
+			r := NewStream(7)
+			const n = 200000
+			counts := make([]int, len(tt.weights))
+			for i := 0; i < n; i++ {
+				counts[cat.Draw(r)]++
+			}
+			for i, w := range tt.weights {
+				want := w / total
+				got := float64(counts[i]) / n
+				tol := 5*math.Sqrt(want*(1-want)/n) + 1e-9
+				if math.Abs(got-want) > tol {
+					t.Errorf("cell %d frequency %.5f, want %.5f±%.5f", i, got, want, tol)
+				}
+			}
+		})
+	}
+}
+
+func rampWeights(n int) []float64 {
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = float64(i + 1)
+	}
+	return ws
+}
+
+func TestCategoricalMatchesLinearScan(t *testing.T) {
+	t.Parallel()
+
+	// Both samplers must target the same distribution: compare empirical
+	// frequencies on a moderately skewed weight vector.
+	weights := []float64{0.05, 0.2, 0.5, 0.15, 0.1}
+	cat, err := NewCategorical(weights)
+	if err != nil {
+		t.Fatalf("NewCategorical: %v", err)
+	}
+	const n = 200000
+	aliasCounts := make([]int, len(weights))
+	scanCounts := make([]int, len(weights))
+	ra := NewStream(13)
+	rs := NewStream(29)
+	for i := 0; i < n; i++ {
+		aliasCounts[cat.Draw(ra)]++
+		idx, err := LinearScan(rs, weights)
+		if err != nil {
+			t.Fatalf("LinearScan: %v", err)
+		}
+		scanCounts[idx]++
+	}
+	for i := range weights {
+		a := float64(aliasCounts[i]) / n
+		s := float64(scanCounts[i]) / n
+		if math.Abs(a-s) > 0.01 {
+			t.Errorf("cell %d: alias frequency %.4f vs linear-scan %.4f", i, a, s)
+		}
+	}
+}
+
+func TestLinearScanErrors(t *testing.T) {
+	t.Parallel()
+
+	r := NewStream(1)
+	if _, err := LinearScan(r, []float64{0, 0}); !errors.Is(err, ErrNoMass) {
+		t.Errorf("LinearScan(zeros) error = %v, want ErrNoMass", err)
+	}
+	if _, err := LinearScan(r, []float64{1, -2}); err == nil {
+		t.Error("LinearScan with negative weight succeeded, want error")
+	}
+}
+
+func BenchmarkCategoricalAlias(b *testing.B) {
+	weights := rampWeights(1000)
+	cat, err := NewCategorical(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewStream(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cat.Draw(r)
+	}
+}
+
+func BenchmarkCategoricalLinearScan(b *testing.B) {
+	weights := rampWeights(1000)
+	r := NewStream(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LinearScan(r, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamNormal(b *testing.B) {
+	r := NewStream(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal()
+	}
+}
+
+func BenchmarkStreamGamma(b *testing.B) {
+	r := NewStream(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gamma(2.5)
+	}
+}

@@ -1,0 +1,276 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Stream couples a Source with samplers for the distributions used by the
+// fault-creation model and its Monte-Carlo harness. All methods are
+// deterministic functions of the seed, so every experiment in this
+// repository is exactly reproducible.
+//
+// A Stream is not safe for concurrent use; derive per-goroutine streams
+// with Split.
+type Stream struct {
+	src *Source
+
+	// Spare normal variate from the last Marsaglia polar draw, if any.
+	hasGauss bool
+	gauss    float64
+}
+
+// NewStream returns a Stream seeded with seed.
+func NewStream(seed uint64) *Stream {
+	return &Stream{src: NewSource(seed)}
+}
+
+// Split derives n independent child streams; see Source.Split.
+func (r *Stream) Split(n int) []*Stream {
+	sources := r.src.Split(n)
+	children := make([]*Stream, n)
+	for i, src := range sources {
+		children[i] = &Stream{src: src}
+	}
+	return children
+}
+
+// Uint64 returns 64 uniform random bits.
+func (r *Stream) Uint64() uint64 { return r.src.Uint64() }
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (r *Stream) Float64() float64 {
+	return float64(r.src.Uint64()>>11) * 0x1p-53
+}
+
+// Float64Open returns a uniform variate in the open interval (0, 1),
+// suitable as input to inverse-CDF transforms that diverge at 0 or 1.
+func (r *Stream) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0, matching
+// the contract of math/rand.
+func (r *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("randx: IntN called with non-positive n %d", n))
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := r.src.Uint64()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.src.Uint64()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1]
+// are clamped: p <= 0 never succeeds and p >= 1 always succeeds.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a standard normal variate via the Marsaglia polar method.
+func (r *Stream) Normal() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		factor := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * factor
+		r.hasGauss = true
+		return u * factor
+	}
+}
+
+// NormalMuSigma returns a normal variate with the given mean and standard
+// deviation.
+func (r *Stream) NormalMuSigma(mu, sigma float64) float64 {
+	return mu + sigma*r.Normal()
+}
+
+// Exponential returns an exponential variate with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Stream) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("randx: Exponential called with non-positive rate %v", rate))
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang (2000)
+// squeeze method, with the standard boosting trick for shape < 1.
+// It panics if shape <= 0.
+func (r *Stream) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("randx: Gamma called with non-positive shape %v", shape))
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1) and U uniform, then
+		// X*U^(1/shape) ~ Gamma(shape).
+		return r.Gamma(shape+1) * math.Pow(r.Float64Open(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Normal()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(alpha, beta) variate via the two-Gamma construction.
+// It panics if either parameter is non-positive.
+func (r *Stream) Beta(alpha, beta float64) float64 {
+	x := r.Gamma(alpha)
+	y := r.Gamma(beta)
+	return x / (x + y)
+}
+
+// Binomial returns a Binomial(n, p) variate. For small n it sums Bernoulli
+// trials; for large n it uses inversion over the CDF recurrence, which is
+// O(np) expected time — adequate for the moderate n used in this library.
+// It panics if n < 0 or p is outside [0, 1].
+func (r *Stream) Binomial(n int, p float64) int {
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("randx: Binomial called with negative n %d", n))
+	case p < 0 || p > 1 || math.IsNaN(p):
+		panic(fmt.Sprintf("randx: Binomial called with invalid p %v", p))
+	case p == 0 || n == 0:
+		return 0
+	case p == 1:
+		return n
+	}
+	// Exploit symmetry so the inversion loop runs over the smaller tail.
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if n <= 64 {
+		count := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				count++
+			}
+		}
+		return count
+	}
+	// Inversion: walk the PMF recurrence until the cumulative mass
+	// exceeds a uniform draw.
+	q := 1 - p
+	s := p / q
+	pmf := math.Pow(q, float64(n))
+	u := r.Float64()
+	cdf := pmf
+	for k := 0; k < n; k++ {
+		if u <= cdf {
+			return k
+		}
+		pmf *= s * float64(n-k) / float64(k+1)
+		cdf += pmf
+	}
+	return n
+}
+
+// Poisson returns a Poisson(lambda) variate. Knuth's product method is used
+// for small lambda; larger means split recursively via the additivity of
+// the Poisson distribution, keeping the method exact without a normal
+// approximation. It panics if lambda < 0.
+func (r *Stream) Poisson(lambda float64) int {
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic(fmt.Sprintf("randx: Poisson called with invalid lambda %v", lambda))
+	}
+	if lambda == 0 {
+		return 0
+	}
+	const chunk = 30
+	count := 0
+	for lambda > chunk {
+		count += r.poissonKnuth(chunk)
+		lambda -= chunk
+	}
+	return count + r.poissonKnuth(lambda)
+}
+
+func (r *Stream) poissonKnuth(lambda float64) int {
+	limit := math.Exp(-lambda)
+	k := 0
+	product := r.Float64Open()
+	for product > limit {
+		k++
+		product *= r.Float64Open()
+	}
+	return k
+}
+
+// Dirichlet fills out with a Dirichlet(alpha) variate (a random probability
+// vector). len(out) must equal len(alpha) and every alpha must be positive;
+// it panics otherwise.
+func (r *Stream) Dirichlet(alpha, out []float64) {
+	if len(alpha) != len(out) {
+		panic(fmt.Sprintf("randx: Dirichlet length mismatch: %d alphas, %d outputs", len(alpha), len(out)))
+	}
+	total := 0.0
+	for i, a := range alpha {
+		out[i] = r.Gamma(a)
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+}
+
+// Perm fills out with a uniform random permutation of 0..len(out)-1
+// (Fisher–Yates).
+func (r *Stream) Perm(out []int) {
+	for i := range out {
+		j := r.IntN(i + 1)
+		out[i] = out[j]
+		out[j] = i
+	}
+}
+
+// Shuffle permutes xs uniformly at random (Fisher–Yates).
+func (r *Stream) Shuffle(xs []float64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

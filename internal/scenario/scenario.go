@@ -1,0 +1,207 @@
+// Package scenario provides named, reproducible parameter regimes for the
+// fault-creation model.
+//
+// The paper's 2n parameters are "unknown and unmeasurable in practice"
+// (Section 3); its analysis proceeds by regimes — very high-quality
+// software with a real chance of zero faults (Section 4) versus software
+// with very many low-probability faults (Section 5). The generators here
+// realise those regimes as concrete fault sets so that every experiment
+// and example runs against the same, documented populations. All
+// generation is deterministic in the provided seed.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+// Scenario is a named fault-set regime.
+type Scenario struct {
+	// Name is a short identifier used in reports and bench output.
+	Name string
+	// Description explains which of the paper's regimes the scenario
+	// realises.
+	Description string
+	// FaultSet holds the generated model parameters.
+	FaultSet *faultmodel.FaultSet
+}
+
+// GeneratorConfig describes a random fault-set population.
+type GeneratorConfig struct {
+	// N is the number of potential faults.
+	N int
+	// PAlpha, PBeta parameterise the Beta distribution the presence
+	// probabilities p_i are drawn from.
+	PAlpha, PBeta float64
+	// PScale rescales the drawn p_i (useful to push a Beta shape into the
+	// "very small probabilities" regime). Scaled values are clamped to 1.
+	PScale float64
+	// QLogMu, QLogSigma parameterise the lognormal the raw region sizes
+	// are drawn from; fault sizes in real programs are heavy-tailed.
+	QLogMu, QLogSigma float64
+	// SumQ is the total demand-space probability the failure regions are
+	// normalised to (must be in (0, 1]).
+	SumQ float64
+}
+
+func (cfg GeneratorConfig) validate() error {
+	if cfg.N < 1 {
+		return fmt.Errorf("scenario: fault count %d must be at least 1", cfg.N)
+	}
+	if !(cfg.PAlpha > 0) || !(cfg.PBeta > 0) {
+		return fmt.Errorf("scenario: Beta shape parameters (%v, %v) must be positive", cfg.PAlpha, cfg.PBeta)
+	}
+	if !(cfg.PScale > 0) || cfg.PScale > 1 {
+		return fmt.Errorf("scenario: presence scale %v must be in (0, 1]", cfg.PScale)
+	}
+	if math.IsNaN(cfg.QLogMu) || !(cfg.QLogSigma >= 0) {
+		return fmt.Errorf("scenario: lognormal parameters (%v, %v) invalid", cfg.QLogMu, cfg.QLogSigma)
+	}
+	if !(cfg.SumQ > 0) || cfg.SumQ > 1 {
+		return fmt.Errorf("scenario: total region probability %v must be in (0, 1]", cfg.SumQ)
+	}
+	return nil
+}
+
+// Generate draws a fault set from the configured population using seed.
+func Generate(cfg GeneratorConfig, seed uint64) (*faultmodel.FaultSet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := randx.NewStream(seed)
+	faults := make([]faultmodel.Fault, cfg.N)
+	raw := make([]float64, cfg.N)
+	total := 0.0
+	for i := range faults {
+		p := r.Beta(cfg.PAlpha, cfg.PBeta) * cfg.PScale
+		if p > 1 {
+			p = 1
+		}
+		faults[i].P = p
+		raw[i] = math.Exp(r.NormalMuSigma(cfg.QLogMu, cfg.QLogSigma))
+		total += raw[i]
+	}
+	for i := range faults {
+		faults[i].Q = raw[i] / total * cfg.SumQ
+	}
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generated parameters invalid: %w", err)
+	}
+	return fs, nil
+}
+
+// SafetyGrade realises the paper's Section-4 regime: a handful of possible
+// faults, each very unlikely to survive the rigorous process, so the
+// versions have a high probability of being fault-free and the measure of
+// interest is P(no common fault).
+func SafetyGrade(seed uint64) (Scenario, error) {
+	fs, err := Generate(GeneratorConfig{
+		N:         8,
+		PAlpha:    1.2,
+		PBeta:     8,
+		PScale:    0.05, // mean presence probability ~0.65%
+		QLogMu:    math.Log(1e-4),
+		QLogSigma: 1.2,
+		SumQ:      0.002,
+	}, seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Name:        "safety-grade",
+		Description: "few potential faults, tiny presence probabilities; Section-4 near-fault-free regime",
+		FaultSet:    fs,
+	}, nil
+}
+
+// ManySmallFaults realises the paper's Section-5 regime: very many
+// possible faults with small region probabilities, where the PFD is a sum
+// of many independent contributions and the normal approximation is the
+// tool of interest.
+func ManySmallFaults(seed uint64) (Scenario, error) {
+	fs, err := Generate(GeneratorConfig{
+		N:         400,
+		PAlpha:    1.5,
+		PBeta:     12,
+		PScale:    0.5, // mean presence probability ~5.6%
+		QLogMu:    math.Log(2e-4),
+		QLogSigma: 0.9,
+		SumQ:      0.08,
+	}, seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Name:        "many-small-faults",
+		Description: "hundreds of low-probability faults; Section-5 normal-approximation regime",
+		FaultSet:    fs,
+	}, nil
+}
+
+// CommercialGrade is an intermediate regime: a few dozen faults with
+// moderate probabilities, loosely matching commercial development without
+// safety-specific V&V. It exercises the model between the two extremes.
+func CommercialGrade(seed uint64) (Scenario, error) {
+	fs, err := Generate(GeneratorConfig{
+		N:         40,
+		PAlpha:    2,
+		PBeta:     6,
+		PScale:    0.6, // mean presence probability ~15%
+		QLogMu:    math.Log(2e-3),
+		QLogSigma: 1.1,
+		SumQ:      0.15,
+	}, seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Name:        "commercial-grade",
+		Description: "moderate fault counts and probabilities; intermediate regime",
+		FaultSet:    fs,
+	}, nil
+}
+
+// TwoFault returns the paper's Appendix-A two-fault configuration with the
+// given presence probabilities and equal region sizes — the setting of the
+// single-fault-improvement analysis (experiment E05).
+func TwoFault(p1, p2 float64) (Scenario, error) {
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: p1, Q: 0.1},
+		{P: p2, Q: 0.1},
+	})
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Name:        "two-fault",
+		Description: "Appendix-A two-fault configuration",
+		FaultSet:    fs,
+	}, nil
+}
+
+// All returns one instance of each named random scenario, generated from
+// the same seed, plus a representative two-fault configuration. It is the
+// default population the experiment driver sweeps over.
+func All(seed uint64) ([]Scenario, error) {
+	safety, err := SafetyGrade(seed)
+	if err != nil {
+		return nil, err
+	}
+	many, err := ManySmallFaults(seed)
+	if err != nil {
+		return nil, err
+	}
+	commercial, err := CommercialGrade(seed)
+	if err != nil {
+		return nil, err
+	}
+	two, err := TwoFault(0.3, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{safety, many, commercial, two}, nil
+}

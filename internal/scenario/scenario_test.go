@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+
+	cfg := GeneratorConfig{
+		N: 50, PAlpha: 2, PBeta: 5, PScale: 0.5,
+		QLogMu: math.Log(1e-3), QLogSigma: 1, SumQ: 0.2,
+	}
+	a, err := Generate(cfg, 99)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg, 99)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Fault(i) != b.Fault(i) {
+			t.Fatalf("fault %d differs between identical seeds", i)
+		}
+	}
+	c, err := Generate(cfg, 100)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if a.Fault(i) != c.Fault(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sets")
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	t.Parallel()
+
+	cfg := GeneratorConfig{
+		N: 200, PAlpha: 2, PBeta: 5, PScale: 0.3,
+		QLogMu: math.Log(1e-3), QLogSigma: 1.5, SumQ: 0.25,
+	}
+	fs, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if fs.N() != cfg.N {
+		t.Errorf("N = %d, want %d", fs.N(), cfg.N)
+	}
+	if math.Abs(fs.SumQ()-cfg.SumQ) > 1e-9 {
+		t.Errorf("SumQ = %v, want %v", fs.SumQ(), cfg.SumQ)
+	}
+	for i := 0; i < fs.N(); i++ {
+		f := fs.Fault(i)
+		if f.P < 0 || f.P > cfg.PScale {
+			t.Errorf("fault %d: p=%v outside [0, %v]", i, f.P, cfg.PScale)
+		}
+		if f.Q <= 0 {
+			t.Errorf("fault %d: q=%v not positive", i, f.Q)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	t.Parallel()
+
+	base := GeneratorConfig{
+		N: 10, PAlpha: 1, PBeta: 1, PScale: 0.5,
+		QLogMu: 0, QLogSigma: 1, SumQ: 0.5,
+	}
+	tests := []struct {
+		name   string
+		mutate func(*GeneratorConfig)
+	}{
+		{name: "zero N", mutate: func(c *GeneratorConfig) { c.N = 0 }},
+		{name: "bad alpha", mutate: func(c *GeneratorConfig) { c.PAlpha = 0 }},
+		{name: "bad beta", mutate: func(c *GeneratorConfig) { c.PBeta = -1 }},
+		{name: "zero scale", mutate: func(c *GeneratorConfig) { c.PScale = 0 }},
+		{name: "scale above one", mutate: func(c *GeneratorConfig) { c.PScale = 1.5 }},
+		{name: "negative sigma", mutate: func(c *GeneratorConfig) { c.QLogSigma = -1 }},
+		{name: "zero sumQ", mutate: func(c *GeneratorConfig) { c.SumQ = 0 }},
+		{name: "sumQ above one", mutate: func(c *GeneratorConfig) { c.SumQ = 1.5 }},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg, 1); err == nil {
+				t.Errorf("Generate with %s succeeded, want error", tt.name)
+			}
+		})
+	}
+}
+
+func TestSafetyGradeRegime(t *testing.T) {
+	t.Parallel()
+
+	s, err := SafetyGrade(1)
+	if err != nil {
+		t.Fatalf("SafetyGrade: %v", err)
+	}
+	if s.Name == "" || s.Description == "" {
+		t.Error("scenario must carry a name and description")
+	}
+	fs := s.FaultSet
+	// The defining property of the regime: versions are usually fault
+	// free.
+	p0, err := fs.PNoFault(1)
+	if err != nil {
+		t.Fatalf("PNoFault: %v", err)
+	}
+	if p0 < 0.8 {
+		t.Errorf("safety-grade P(no fault) = %v, want > 0.8", p0)
+	}
+	if fs.PMax() > 0.1 {
+		t.Errorf("safety-grade pmax = %v, want small", fs.PMax())
+	}
+}
+
+func TestManySmallFaultsRegime(t *testing.T) {
+	t.Parallel()
+
+	s, err := ManySmallFaults(1)
+	if err != nil {
+		t.Fatalf("ManySmallFaults: %v", err)
+	}
+	fs := s.FaultSet
+	if fs.N() < 100 {
+		t.Errorf("regime needs many faults, got %d", fs.N())
+	}
+	// Versions essentially always contain faults here.
+	p0, err := fs.PNoFault(1)
+	if err != nil {
+		t.Fatalf("PNoFault: %v", err)
+	}
+	if p0 > 1e-3 {
+		t.Errorf("many-small-faults P(no fault) = %v, want ~0", p0)
+	}
+	// And the sigma-bound precondition holds (all p small).
+	if !fs.SigmaBoundHolds() {
+		t.Error("regime should keep all p below the golden threshold")
+	}
+}
+
+func TestCommercialGradeRegime(t *testing.T) {
+	t.Parallel()
+
+	s, err := CommercialGrade(1)
+	if err != nil {
+		t.Fatalf("CommercialGrade: %v", err)
+	}
+	if s.FaultSet.N() != 40 {
+		t.Errorf("N = %d, want 40", s.FaultSet.N())
+	}
+}
+
+func TestTwoFault(t *testing.T) {
+	t.Parallel()
+
+	s, err := TwoFault(0.3, 0.1)
+	if err != nil {
+		t.Fatalf("TwoFault: %v", err)
+	}
+	if s.FaultSet.N() != 2 || s.FaultSet.Fault(0).P != 0.3 || s.FaultSet.Fault(1).P != 0.1 {
+		t.Errorf("TwoFault parameters wrong: %+v", s.FaultSet.Faults())
+	}
+	if _, err := TwoFault(-1, 0.5); err == nil {
+		t.Error("TwoFault with invalid p succeeded, want error")
+	}
+}
+
+func TestAll(t *testing.T) {
+	t.Parallel()
+
+	scenarios, err := All(3)
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(scenarios) != 4 {
+		t.Fatalf("All returned %d scenarios, want 4", len(scenarios))
+	}
+	names := make(map[string]bool)
+	for _, s := range scenarios {
+		if names[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.FaultSet == nil {
+			t.Errorf("scenario %q has nil fault set", s.Name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"diversity/internal/randx"
+)
+
+// BootstrapCI is a percentile bootstrap confidence interval for a sample
+// statistic.
+type BootstrapCI struct {
+	// Point is the statistic evaluated on the original sample.
+	Point float64
+	// Lo and Hi bracket the statistic at the requested confidence level.
+	Lo, Hi float64
+	// Level is the nominal two-sided confidence level (e.g. 0.95).
+	Level float64
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for
+// statistic over xs using reps resamples drawn from r.
+//
+// The Monte-Carlo experiments report bootstrap intervals around estimated
+// PFD percentiles so that paper-vs-measured comparisons distinguish real
+// model disagreement from simulation noise.
+func Bootstrap(r *randx.Stream, xs []float64, statistic func([]float64) float64, reps int, level float64) (BootstrapCI, error) {
+	if len(xs) == 0 {
+		return BootstrapCI{}, ErrEmptySample
+	}
+	if reps < 2 {
+		return BootstrapCI{}, fmt.Errorf("stats: bootstrap requires at least 2 resamples, got %d", reps)
+	}
+	if level <= 0 || level >= 1 {
+		return BootstrapCI{}, fmt.Errorf("stats: bootstrap level must be in (0, 1), got %v", level)
+	}
+
+	point := statistic(xs)
+	resample := make([]float64, len(xs))
+	estimates := make([]float64, reps)
+	for rep := 0; rep < reps; rep++ {
+		for i := range resample {
+			resample[i] = xs[r.IntN(len(xs))]
+		}
+		estimates[rep] = statistic(resample)
+	}
+	alpha := (1 - level) / 2
+	lo, err := Quantile(estimates, alpha)
+	if err != nil {
+		return BootstrapCI{}, err
+	}
+	hi, err := Quantile(estimates, 1-alpha)
+	if err != nil {
+		return BootstrapCI{}, err
+	}
+	return BootstrapCI{Point: point, Lo: lo, Hi: hi, Level: level}, nil
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion with successes out of trials at the given confidence level.
+// It is used for Monte-Carlo estimates of event probabilities such as
+// P(no common fault), where the normal ("Wald") interval misbehaves for
+// proportions near 0.
+func WilsonInterval(successes, trials int, level float64) (lo, hi float64, err error) {
+	if trials <= 0 {
+		return 0, 0, fmt.Errorf("stats: Wilson interval requires positive trials, got %d", trials)
+	}
+	if successes < 0 || successes > trials {
+		return 0, 0, fmt.Errorf("stats: Wilson interval successes %d out of range [0, %d]", successes, trials)
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: Wilson interval level must be in (0, 1), got %v", level)
+	}
+	z, err := StdNormal.Quantile(1 - (1-level)/2)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * sqrtNonNeg(p*(1-p)/n+z2/(4*n*n))
+	return center - half, center + half, nil
+}
+
+func sqrtNonNeg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

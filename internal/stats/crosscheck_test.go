@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/randx"
+)
+
+// These tests cross-validate the randx samplers against the stats CDFs:
+// each side is implemented independently, so agreement checks both.
+
+func TestBetaSamplerMatchesBetaCDF(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct{ alpha, beta float64 }{
+		{alpha: 2, beta: 5},
+		{alpha: 0.5, beta: 0.5},
+		{alpha: 4, beta: 1.5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		r := randx.NewStream(uint64(tc.alpha*100 + tc.beta*10))
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = r.Beta(tc.alpha, tc.beta)
+		}
+		dist := Beta{Alpha: tc.alpha, Beta: tc.beta}
+		res, err := KSTest(xs, func(x float64) float64 {
+			c, err := dist.CDF(x)
+			if err != nil {
+				return math.NaN()
+			}
+			return c
+		})
+		if err != nil {
+			t.Fatalf("KSTest Beta(%v,%v): %v", tc.alpha, tc.beta, err)
+		}
+		if res.PValue < 0.001 {
+			t.Errorf("Beta(%v,%v) sampler rejected against CDF: D=%v p=%v", tc.alpha, tc.beta, res.Statistic, res.PValue)
+		}
+	}
+}
+
+func TestNormalSamplerMatchesNormalCDF(t *testing.T) {
+	t.Parallel()
+
+	r := randx.NewStream(5)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = r.NormalMuSigma(-1, 2.5)
+	}
+	dist := Normal{Mu: -1, Sigma: 2.5}
+	res, err := KSTest(xs, dist.CDF)
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("normal sampler rejected against CDF: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestBinomialSamplerMatchesPMF(t *testing.T) {
+	t.Parallel()
+
+	const n, p = 12, 0.3
+	const reps = 60000
+	r := randx.NewStream(9)
+	observed := make([]int, n+1)
+	for i := 0; i < reps; i++ {
+		observed[r.Binomial(n, p)]++
+	}
+	dist := Binomial{N: n, P: p}
+	expected := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		pmf, err := dist.PMF(k)
+		if err != nil {
+			t.Fatalf("PMF: %v", err)
+		}
+		expected[k] = pmf * reps
+	}
+	res, err := ChiSquareTest(observed, expected, 0)
+	if err != nil {
+		t.Fatalf("ChiSquareTest: %v", err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("binomial sampler rejected against PMF: chi2=%v df=%d p=%v", res.Statistic, res.DF, res.PValue)
+	}
+}
+
+func TestPoissonSamplerMatchesPMF(t *testing.T) {
+	t.Parallel()
+
+	const lambda = 6.5
+	const reps = 60000
+	r := randx.NewStream(13)
+	const maxK = 30
+	observed := make([]int, maxK+1)
+	for i := 0; i < reps; i++ {
+		k := r.Poisson(lambda)
+		if k > maxK {
+			k = maxK
+		}
+		observed[k]++
+	}
+	dist := Poisson{Lambda: lambda}
+	expected := make([]float64, maxK+1)
+	tail := 1.0
+	for k := 0; k < maxK; k++ {
+		pmf := dist.PMF(k)
+		expected[k] = pmf * reps
+		tail -= pmf
+	}
+	expected[maxK] = tail * reps
+	res, err := ChiSquareTest(observed, expected, 0)
+	if err != nil {
+		t.Fatalf("ChiSquareTest: %v", err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("Poisson sampler rejected against PMF: chi2=%v df=%d p=%v", res.Statistic, res.DF, res.PValue)
+	}
+}
+
+func TestExponentialSamplerMatchesClosedForm(t *testing.T) {
+	t.Parallel()
+
+	const rate = 1.7
+	r := randx.NewStream(21)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = r.Exponential(rate)
+	}
+	res, err := KSTest(xs, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-rate*x)
+	})
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("exponential sampler rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestGammaSamplerMatchesIncompleteGamma(t *testing.T) {
+	t.Parallel()
+
+	const shape = 3.2
+	r := randx.NewStream(33)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = r.Gamma(shape)
+	}
+	res, err := KSTest(xs, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		p, err := GammaP(shape, x)
+		if err != nil {
+			return math.NaN()
+		}
+		return p
+	})
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("gamma sampler rejected against GammaP: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmptySample is returned by descriptive statistics that are undefined
+// on an empty sample.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or an error for an empty sample.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs.
+// It requires at least two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance requires at least 2 observations, got %d", len(xs))
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Variance()
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the p-th sample quantile of xs using linear
+// interpolation between order statistics (Hyndman–Fan type 7, the R and
+// NumPy default). It returns an error for an empty sample or p outside
+// [0, 1]. xs is not modified.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile requires p in [0, 1], got %v", p)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p), nil
+}
+
+// quantileSorted computes the type-7 quantile of an already-sorted sample.
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Summary holds the descriptive statistics the experiment reports print
+// for a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+	Q05      float64 // 5th percentile
+	Q95      float64 // 95th percentile
+	Q99      float64 // 99th percentile
+	Skewness float64 // sample skewness (g1, biased)
+	Kurtosis float64 // sample excess kurtosis (g2, biased)
+}
+
+// Summarize computes a Summary of xs, or an error for an empty sample.
+// xs is not modified.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmptySample
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	mean := acc.Mean()
+	sd := 0.0
+	if len(xs) >= 2 {
+		v, err := acc.Variance()
+		if err != nil {
+			return Summary{}, err
+		}
+		sd = math.Sqrt(v)
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   mean,
+		StdDev: sd,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: quantileSorted(sorted, 0.5),
+		Q05:    quantileSorted(sorted, 0.05),
+		Q95:    quantileSorted(sorted, 0.95),
+		Q99:    quantileSorted(sorted, 0.99),
+	}
+	// Central-moment skewness/kurtosis (population denominators): adequate
+	// for the large Monte-Carlo samples they are reported on.
+	if sd > 0 {
+		n := float64(len(xs))
+		m3, m4 := 0.0, 0.0
+		for _, x := range xs {
+			d := x - mean
+			m3 += d * d * d
+			m4 += d * d * d * d
+		}
+		m2 := acc.populationVariance()
+		m3 /= n
+		m4 /= n
+		s.Skewness = m3 / math.Pow(m2, 1.5)
+		s.Kurtosis = m4/(m2*m2) - 3
+	}
+	return s, nil
+}
+
+// Accumulator computes running mean and variance with Welford's online
+// algorithm, which is numerically stable for the tiny PFD values (1e-9 and
+// below) that the safety-grade scenarios produce.
+//
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x into the running statistics.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations added.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance. It requires at least two
+// observations.
+func (a *Accumulator) Variance() (float64, error) {
+	if a.n < 2 {
+		return 0, fmt.Errorf("stats: variance requires at least 2 observations, got %d", a.n)
+	}
+	return a.m2 / float64(a.n-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() (float64, error) {
+	v, err := a.Variance()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// populationVariance returns the biased (n denominator) variance, used
+// internally for moment ratios.
+func (a *Accumulator) populationVariance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// Merge combines another accumulator into a (Chan et al. parallel
+// variance), so per-worker accumulators from the Monte-Carlo harness can
+// be reduced without collecting raw samples.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	nA, nB := float64(a.n), float64(b.n)
+	delta := b.mean - a.mean
+	total := nA + nB
+	a.mean += delta * nB / total
+	a.m2 += b.m2 + delta*delta*nA*nB/total
+	a.n += b.n
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples xs and ys. It returns an error if the lengths differ, fewer than
+// two pairs are given, or either sample has zero variance.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: correlation requires equal lengths, got %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: correlation requires at least 2 pairs, got %d", len(xs))
+	}
+	meanX, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	meanY, err := Mean(ys)
+	if err != nil {
+		return 0, err
+	}
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		dy := ys[i] - meanY
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: correlation undefined for zero-variance sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

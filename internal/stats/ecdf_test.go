@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"diversity/internal/randx"
+)
+
+func TestECDFBasics(t *testing.T) {
+	t.Parallel()
+
+	e, err := NewECDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	if e.N() != 4 {
+		t.Fatalf("N = %d, want 4", e.N())
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{x: 0.5, want: 0},
+		{x: 1, want: 0.25},
+		{x: 1.5, want: 0.25},
+		{x: 2, want: 0.75},
+		{x: 3, want: 1},
+		{x: 99, want: 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := e.Exceedance(2); got != 0.25 {
+		t.Errorf("Exceedance(2) = %v, want 0.25", got)
+	}
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("NewECDF(nil) error = %v, want ErrEmptySample", err)
+	}
+}
+
+func TestECDFQuantileAgreesWithQuantile(t *testing.T) {
+	t.Parallel()
+
+	r := randx.NewStream(5)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Normal()
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		want, err := Quantile(xs, p)
+		if err != nil {
+			t.Fatalf("Quantile: %v", err)
+		}
+		got, err := e.Quantile(p)
+		if err != nil {
+			t.Fatalf("ECDF.Quantile: %v", err)
+		}
+		if got != want {
+			t.Errorf("quantile mismatch at p=%v: %v vs %v", p, got, want)
+		}
+	}
+	if _, err := e.Quantile(-0.1); err == nil {
+		t.Error("ECDF.Quantile(-0.1) succeeded, want error")
+	}
+}
+
+func TestECDFConvergesToTrueCDF(t *testing.T) {
+	t.Parallel()
+
+	r := randx.NewStream(17)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := e.At(x); !almostEqual(got, x, 0.01) {
+			t.Errorf("uniform ECDF at %v = %v, want ~%v", x, got, x)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{0, 0.1, 0.15, 0.5, 0.99, 1.0, -0.5, 2}
+	h, err := NewHistogram(xs, 0, 1, 4)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("Under = %d, Over = %d, want 1, 1", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	// Bins: [0,0.25): 0, 0.1, 0.15 -> 3; [0.25,0.5): 0; [0.5,0.75): 0.5;
+	// [0.75,1]: 0.99, 1.0 -> 2.
+	want := []int{3, 0, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d count = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 0.125, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 0.125", got)
+	}
+	// Density of bin 0: 3 observations / (8 total * 0.25 width).
+	if got := h.Density(0); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("Density(0) = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("NewHistogram with 0 bins succeeded, want error")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 4); err == nil {
+		t.Error("NewHistogram with empty range succeeded, want error")
+	}
+	if _, err := NewHistogram(nil, 2, 1, 4); err == nil {
+		t.Error("NewHistogram with inverted range succeeded, want error")
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the numerical kernels. Under plain `go test` only the
+// seed corpus runs; `go test -fuzz=FuzzX` explores further.
+
+func FuzzGammaPInvariants(f *testing.F) {
+	f.Add(0.5, 0.25)
+	f.Add(1.0, 1.0)
+	f.Add(10.0, 5.0)
+	f.Add(100.0, 120.0)
+	f.Add(0.001, 1e-6)
+	f.Fuzz(func(t *testing.T, a, x float64) {
+		if !(a > 0) || !(x >= 0) || a > 1e6 || x > 1e6 {
+			t.Skip()
+		}
+		p, err := GammaP(a, x)
+		if err != nil {
+			t.Fatalf("GammaP(%v, %v): %v", a, x, err)
+		}
+		if math.IsNaN(p) || p < -1e-12 || p > 1+1e-12 {
+			t.Errorf("GammaP(%v, %v) = %v outside [0, 1]", a, x, p)
+		}
+		q, err := GammaQ(a, x)
+		if err != nil {
+			t.Fatalf("GammaQ(%v, %v): %v", a, x, err)
+		}
+		if math.Abs(p+q-1) > 1e-9 {
+			t.Errorf("P+Q = %v for a=%v x=%v", p+q, a, x)
+		}
+		// Monotone in x.
+		p2, err := GammaP(a, x+x/2+0.1)
+		if err != nil {
+			t.Fatalf("GammaP: %v", err)
+		}
+		if p2 < p-1e-9 {
+			t.Errorf("GammaP decreasing in x at a=%v x=%v: %v -> %v", a, x, p, p2)
+		}
+	})
+}
+
+func FuzzBetaIncInvariants(f *testing.F) {
+	f.Add(1.0, 1.0, 0.5)
+	f.Add(0.5, 0.5, 0.25)
+	f.Add(5.0, 2.0, 0.9)
+	f.Add(100.0, 50.0, 0.6)
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		if !(a > 0) || !(b > 0) || !(x >= 0 && x <= 1) || a > 1e5 || b > 1e5 {
+			t.Skip()
+		}
+		v, err := BetaInc(a, b, x)
+		if err != nil {
+			t.Fatalf("BetaInc(%v, %v, %v): %v", a, b, x, err)
+		}
+		if math.IsNaN(v) || v < -1e-12 || v > 1+1e-12 {
+			t.Errorf("BetaInc(%v, %v, %v) = %v outside [0, 1]", a, b, x, v)
+		}
+		// Reflection identity.
+		w, err := BetaInc(b, a, 1-x)
+		if err != nil {
+			t.Fatalf("BetaInc reflection: %v", err)
+		}
+		if math.Abs(v+w-1) > 1e-8 {
+			t.Errorf("I_x(a,b) + I_{1-x}(b,a) = %v for a=%v b=%v x=%v", v+w, a, b, x)
+		}
+	})
+}
+
+func FuzzNormalQuantileRoundTrip(f *testing.F) {
+	f.Add(0.5)
+	f.Add(0.001)
+	f.Add(0.999)
+	f.Add(1e-12)
+	f.Add(0.84)
+	f.Fuzz(func(t *testing.T, p float64) {
+		if !(p > 0 && p < 1) {
+			t.Skip()
+		}
+		z, err := StdNormal.Quantile(p)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", p, err)
+		}
+		back := StdNormal.CDF(z)
+		// Relative tolerance in probability space.
+		tol := 1e-9 + 1e-9*math.Min(p, 1-p)
+		if math.Abs(back-p) > tol && math.Abs(back-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	})
+}
+
+func FuzzKolmogorovQBounds(f *testing.F) {
+	f.Add(0.1)
+	f.Add(0.8275)
+	f.Add(3.0)
+	f.Fuzz(func(t *testing.T, lambda float64) {
+		if math.IsNaN(lambda) || lambda < 0 || lambda > 100 {
+			t.Skip()
+		}
+		q := kolmogorovQ(lambda)
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			t.Errorf("kolmogorovQ(%v) = %v outside [0, 1]", lambda, q)
+		}
+	})
+}

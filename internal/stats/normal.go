@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normal is a normal (Gaussian) distribution with mean Mu and standard
+// deviation Sigma.
+//
+// Section 5 of the paper approximates the distribution of the probability of
+// failure on demand (a sum of many independent fault contributions) by a
+// normal distribution via the central limit theorem, and reads confidence
+// bounds of the form mu + k*sigma from it. This type supplies the CDF and
+// the quantile function those bounds require.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// StdNormal is the standard normal distribution N(0, 1).
+var StdNormal = Normal{Mu: 0, Sigma: 1}
+
+// NewNormal returns a Normal with the given mean and standard deviation.
+// It returns an error if sigma is negative or any parameter is not finite.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return Normal{}, fmt.Errorf("stats: NewNormal(%v, %v): parameters must be finite", mu, sigma)
+	}
+	if sigma < 0 {
+		return Normal{}, fmt.Errorf("stats: NewNormal(%v, %v): sigma must be non-negative", mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Mean returns the distribution mean.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns the distribution variance.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// StdDev returns the distribution standard deviation.
+func (n Normal) StdDev() float64 { return n.Sigma }
+
+// PDF returns the probability density at x. A zero-Sigma distribution is
+// treated as a point mass: PDF is +Inf at Mu and 0 elsewhere.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x == n.Mu {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(-z)
+}
+
+// Survival returns P(X > x) = 1 - CDF(x), computed to preserve precision in
+// the far upper tail.
+func (n Normal) Survival(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 1
+		}
+		return 0
+	}
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(z)
+}
+
+// Quantile returns the p-th quantile (inverse CDF), i.e. the x with
+// P(X <= x) = p. It returns an error if p is outside (0, 1); for p exactly
+// 0 or 1 the quantile is infinite and the caller should handle that case
+// explicitly.
+func (n Normal) Quantile(p float64) (float64, error) {
+	z, err := stdNormalQuantile(p)
+	if err != nil {
+		return 0, err
+	}
+	return n.Mu + n.Sigma*z, nil
+}
+
+// stdNormalQuantile computes the standard normal quantile with the
+// Wichura AS 241 (PPND16) rational approximations, accurate to ~1e-16,
+// followed by one Halley refinement step against math.Erfc for good
+// measure.
+func stdNormalQuantile(p float64) (float64, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: normal quantile requires p in (0, 1), got %v", p)
+	}
+	q := p - 0.5
+	var z float64
+	if math.Abs(q) <= 0.425 {
+		r := 0.180625 - q*q
+		z = q * rationalAS241(r, as241A[:], as241B[:])
+	} else {
+		r := p
+		if q > 0 {
+			r = 1 - p
+		}
+		r = math.Sqrt(-math.Log(r))
+		if r <= 5 {
+			r -= 1.6
+			z = rationalAS241(r, as241C[:], as241D[:])
+		} else {
+			r -= 5
+			z = rationalAS241(r, as241E[:], as241F[:])
+		}
+		if q < 0 {
+			z = -z
+		}
+	}
+	// One Halley step: f(z) = Phi(z) - p.
+	f := 0.5*math.Erfc(-z/math.Sqrt2) - p
+	if f != 0 {
+		pdf := math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+		if pdf > 0 {
+			u := f / pdf
+			z -= u / (1 + z*u/2)
+		}
+	}
+	return z, nil
+}
+
+// rationalAS241 evaluates the degree-7 rational minimax approximations used
+// by AS 241: (num polynomial in r)/(den polynomial in r).
+func rationalAS241(r float64, num, den []float64) float64 {
+	n := num[7]
+	for i := 6; i >= 0; i-- {
+		n = n*r + num[i]
+	}
+	d := den[7]
+	for i := 6; i >= 0; i-- {
+		d = d*r + den[i]
+	}
+	return n / d
+}
+
+// AS 241 PPND16 coefficients (Wichura, 1988), central region.
+var as241A = [8]float64{
+	3.3871328727963666080e0,
+	1.3314166789178437745e2,
+	1.9715909503065514427e3,
+	1.3731693765509461125e4,
+	4.5921953931549871457e4,
+	6.7265770927008700853e4,
+	3.3430575583588128105e4,
+	2.5090809287301226727e3,
+}
+
+var as241B = [8]float64{
+	1.0,
+	4.2313330701600911252e1,
+	6.8718700749205790830e2,
+	5.3941960214247511077e3,
+	2.1213794301586595867e4,
+	3.9307895800092710610e4,
+	2.8729085735721942674e4,
+	5.2264952788528545610e3,
+}
+
+// AS 241 coefficients, intermediate region (r in (0.425, ~5]).
+var as241C = [8]float64{
+	1.42343711074968357734e0,
+	4.63033784615654529590e0,
+	5.76949722146069140550e0,
+	3.64784832476320460504e0,
+	1.27045825245236838258e0,
+	2.41780725177450611770e-1,
+	2.27238449892691845833e-2,
+	7.74545014278341407640e-4,
+}
+
+var as241D = [8]float64{
+	1.0,
+	2.05319162663775882187e0,
+	1.67638483018380384940e0,
+	6.89767334985100004550e-1,
+	1.48103976427480074590e-1,
+	1.51986665636164571966e-2,
+	5.47593808499534494600e-4,
+	1.05075007164441684324e-9,
+}
+
+// AS 241 coefficients, far-tail region (r > 5).
+var as241E = [8]float64{
+	6.65790464350110377720e0,
+	5.46378491116411436990e0,
+	1.78482653991729133580e0,
+	2.96560571828504891230e-1,
+	2.65321895265761230930e-2,
+	1.24266094738807843860e-3,
+	2.71155556874348757815e-5,
+	2.01033439929228813265e-7,
+}
+
+var as241F = [8]float64{
+	1.0,
+	5.99832206555887937690e-1,
+	1.36929880922735805310e-1,
+	1.48753612908506148525e-2,
+	7.86869131145613259100e-4,
+	1.84631831751005468180e-5,
+	1.42151175831644588870e-7,
+	2.04426310338993978564e-15,
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		z, want float64
+	}{
+		{z: 0, want: 0.5},
+		{z: 1, want: 0.8413447460685429},
+		{z: -1, want: 0.15865525393145707},
+		{z: 1.96, want: 0.9750021048517795},
+		{z: 2.33, want: 0.9900969244408357},
+		{z: 3, want: 0.9986501019683699},
+		{z: -6, want: 9.865876450376946e-10},
+	}
+	for _, tt := range tests {
+		if got := StdNormal.CDF(tt.z); !almostEqual(got, tt.want, 1e-10) {
+			t.Errorf("Phi(%v) = %.16g, want %.16g", tt.z, got, tt.want)
+		}
+	}
+}
+
+// TestNormalThreeSigma pins the paper's Section 5 statement
+// P(Theta <= mu + 3 sigma) = 0.99865003.
+func TestNormalThreeSigma(t *testing.T) {
+	t.Parallel()
+
+	n := Normal{Mu: 0.37, Sigma: 0.045}
+	got := n.CDF(n.Mu + 3*n.Sigma)
+	if !almostEqual(got, 0.99865003, 1e-7) {
+		t.Errorf("P(X <= mu+3sigma) = %.8f, want 0.99865003 (paper, Section 5)", got)
+	}
+}
+
+// TestNormal99PercentQuantile pins the paper's Section 5 statement that the
+// 99% confidence level corresponds to mu + 2.33 sigma.
+func TestNormal99PercentQuantile(t *testing.T) {
+	t.Parallel()
+
+	z, err := StdNormal.Quantile(0.99)
+	if err != nil {
+		t.Fatalf("Quantile(0.99): %v", err)
+	}
+	if math.Abs(z-2.33) > 0.005 {
+		t.Errorf("z(0.99) = %.4f, want ~2.33 (paper, Section 5)", z)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	dist := Normal{Mu: -3, Sigma: 2.5}
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.1, 0.5, 0.84, 0.99, 1 - 1e-6, 1 - 1e-12} {
+		x, err := dist.Quantile(p)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", p, err)
+		}
+		back := dist.CDF(x)
+		if !almostEqual(back, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %.16g", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileProperty(t *testing.T) {
+	t.Parallel()
+
+	// Property: quantile is the inverse of the CDF over (0, 1), for any
+	// finite mu and positive sigma.
+	err := quick.Check(func(seedP uint32, rawMu int16, rawSigma uint8) bool {
+		p := (float64(seedP) + 1) / (float64(math.MaxUint32) + 2) // (0,1)
+		mu := float64(rawMu) / 100
+		sigma := float64(rawSigma)/50 + 0.01
+		dist := Normal{Mu: mu, Sigma: sigma}
+		x, err := dist.Quantile(p)
+		if err != nil {
+			return false
+		}
+		return almostEqual(dist.CDF(x), p, 1e-8)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileErrors(t *testing.T) {
+	t.Parallel()
+
+	for _, p := range []float64{-0.1, 0, 1, 1.5, math.NaN()} {
+		if _, err := StdNormal.Quantile(p); err == nil {
+			t.Errorf("Quantile(%v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestNormalSurvivalTail(t *testing.T) {
+	t.Parallel()
+
+	// Survival must stay accurate far into the tail where 1-CDF loses all
+	// precision.
+	got := StdNormal.Survival(10)
+	want := 7.61985302416053e-24 // erfc(10/sqrt(2))/2
+	if !almostEqual(got, want, 1e-6) {
+		t.Errorf("Survival(10) = %g, want %g", got, want)
+	}
+	if s := StdNormal.Survival(-10); !almostEqual(s, 1, 1e-15) {
+		t.Errorf("Survival(-10) = %v, want ~1", s)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	t.Parallel()
+
+	if got := StdNormal.PDF(0); !almostEqual(got, 1/math.Sqrt(2*math.Pi), 1e-14) {
+		t.Errorf("phi(0) = %v", got)
+	}
+	// Integral of the PDF over a wide grid should be ~1.
+	sum := 0.0
+	const dx = 0.001
+	for x := -8.0; x <= 8; x += dx {
+		sum += StdNormal.PDF(x) * dx
+	}
+	if !almostEqual(sum, 1, 1e-3) {
+		t.Errorf("integral of PDF = %v, want ~1", sum)
+	}
+}
+
+func TestNormalZeroSigma(t *testing.T) {
+	t.Parallel()
+
+	point := Normal{Mu: 2, Sigma: 0}
+	if got := point.CDF(1.999); got != 0 {
+		t.Errorf("point-mass CDF below mean = %v, want 0", got)
+	}
+	if got := point.CDF(2); got != 1 {
+		t.Errorf("point-mass CDF at mean = %v, want 1", got)
+	}
+	if got := point.Survival(2); got != 0 {
+		t.Errorf("point-mass survival at mean = %v, want 0", got)
+	}
+	if got := point.PDF(3); got != 0 {
+		t.Errorf("point-mass PDF off mean = %v, want 0", got)
+	}
+	if !math.IsInf(point.PDF(2), 1) {
+		t.Errorf("point-mass PDF at mean = %v, want +Inf", point.PDF(2))
+	}
+}
+
+func TestNewNormalValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewNormal(0, -1); err == nil {
+		t.Error("NewNormal(0, -1) succeeded, want error")
+	}
+	if _, err := NewNormal(math.NaN(), 1); err == nil {
+		t.Error("NewNormal(NaN, 1) succeeded, want error")
+	}
+	if _, err := NewNormal(math.Inf(1), 1); err == nil {
+		t.Error("NewNormal(inf, 1) succeeded, want error")
+	}
+	n, err := NewNormal(1, 2)
+	if err != nil {
+		t.Fatalf("NewNormal(1, 2): %v", err)
+	}
+	if n.Mean() != 1 || n.StdDev() != 2 || n.Variance() != 4 {
+		t.Errorf("NewNormal(1, 2) moments wrong: %+v", n)
+	}
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// almostEqual reports whether a and b agree to within tol absolutely or
+// relatively.
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	t.Parallel()
+
+	// Reference values: P(a, x) identities. For a = 1, P(1, x) = 1-e^-x;
+	// for a = 1/2, P(1/2, x) = erf(sqrt(x)).
+	tests := []struct {
+		a, x, want float64
+	}{
+		{a: 1, x: 0.5, want: 1 - math.Exp(-0.5)},
+		{a: 1, x: 2, want: 1 - math.Exp(-2)},
+		{a: 1, x: 10, want: 1 - math.Exp(-10)},
+		{a: 0.5, x: 0.25, want: math.Erf(0.5)},
+		{a: 0.5, x: 4, want: math.Erf(2)},
+		{a: 3, x: 3, want: 0.5768099188731565},   // 1 - e^-3 (1 + 3 + 4.5)
+		{a: 10, x: 5, want: 0.03182805730620475}, // 1 - PoissonCDF(9; 5)
+		{a: 10, x: 15, want: 0.9301463393005902}, // 1 - PoissonCDF(9; 15), exact identity
+	}
+	for _, tt := range tests {
+		got, err := GammaP(tt.a, tt.x)
+		if err != nil {
+			t.Fatalf("GammaP(%v, %v): %v", tt.a, tt.x, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("GammaP(%v, %v) = %.16g, want %.16g", tt.a, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	t.Parallel()
+
+	for _, a := range []float64{0.3, 1, 2.5, 7, 40} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 10, 60} {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatalf("GammaP(%v, %v): %v", a, x, err)
+			}
+			q, err := GammaQ(a, x)
+			if err != nil {
+				t.Fatalf("GammaQ(%v, %v): %v", a, x, err)
+			}
+			if !almostEqual(p+q, 1, 1e-12) {
+				t.Errorf("P+Q = %v for a=%v x=%v, want 1", p+q, a, x)
+			}
+			if p < 0 || p > 1 {
+				t.Errorf("GammaP(%v, %v) = %v outside [0,1]", a, x, p)
+			}
+		}
+	}
+}
+
+func TestGammaPEdges(t *testing.T) {
+	t.Parallel()
+
+	if p, err := GammaP(2, 0); err != nil || p != 0 {
+		t.Errorf("GammaP(2, 0) = %v, %v; want 0, nil", p, err)
+	}
+	if p, err := GammaP(2, math.Inf(1)); err != nil || p != 1 {
+		t.Errorf("GammaP(2, inf) = %v, %v; want 1, nil", p, err)
+	}
+	if _, err := GammaP(-1, 1); err == nil {
+		t.Error("GammaP(-1, 1) succeeded, want error")
+	}
+	if _, err := GammaP(1, -1); err == nil {
+		t.Error("GammaP(1, -1) succeeded, want error")
+	}
+	if _, err := GammaP(math.NaN(), 1); err == nil {
+		t.Error("GammaP(NaN, 1) succeeded, want error")
+	}
+}
+
+func TestBetaIncKnownValues(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1, 1) = x (uniform CDF).
+		{a: 1, b: 1, x: 0.3, want: 0.3},
+		// I_x(1, b) = 1-(1-x)^b.
+		{a: 1, b: 3, x: 0.2, want: 1 - math.Pow(0.8, 3)},
+		// I_x(a, 1) = x^a.
+		{a: 4, b: 1, x: 0.7, want: math.Pow(0.7, 4)},
+		// Symmetry point of a symmetric beta.
+		{a: 5, b: 5, x: 0.5, want: 0.5},
+		// scipy betainc(2, 5, 0.3) reference.
+		{a: 2, b: 5, x: 0.3, want: 0.579825},
+		// scipy betainc(0.5, 0.5, 0.25) = 1/3 (arcsine law).
+		{a: 0.5, b: 0.5, x: 0.25, want: 1.0 / 3.0},
+	}
+	for _, tt := range tests {
+		got, err := BetaInc(tt.a, tt.b, tt.x)
+		if err != nil {
+			t.Fatalf("BetaInc(%v, %v, %v): %v", tt.a, tt.b, tt.x, err)
+		}
+		if !almostEqual(got, tt.want, 1e-6) {
+			t.Errorf("BetaInc(%v, %v, %v) = %.10g, want %.10g", tt.a, tt.b, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestBetaIncSymmetry(t *testing.T) {
+	t.Parallel()
+
+	// I_x(a, b) = 1 - I_{1-x}(b, a).
+	for _, a := range []float64{0.5, 1, 2, 8} {
+		for _, b := range []float64{0.5, 1.5, 4} {
+			for _, x := range []float64{0.1, 0.37, 0.5, 0.82} {
+				left, err := BetaInc(a, b, x)
+				if err != nil {
+					t.Fatalf("BetaInc: %v", err)
+				}
+				right, err := BetaInc(b, a, 1-x)
+				if err != nil {
+					t.Fatalf("BetaInc: %v", err)
+				}
+				if !almostEqual(left, 1-right, 1e-12) {
+					t.Errorf("symmetry violated: I_%v(%v,%v)=%v, 1-I_%v(%v,%v)=%v",
+						x, a, b, left, 1-x, b, a, 1-right)
+				}
+			}
+		}
+	}
+}
+
+func TestBetaIncMonotone(t *testing.T) {
+	t.Parallel()
+
+	prev := -1.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		xc := math.Min(x, 1)
+		v, err := BetaInc(2.5, 3.5, xc)
+		if err != nil {
+			t.Fatalf("BetaInc(2.5, 3.5, %v): %v", xc, err)
+		}
+		if v < prev-1e-14 {
+			t.Fatalf("BetaInc not monotone at x=%v: %v < %v", xc, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBetaIncErrors(t *testing.T) {
+	t.Parallel()
+
+	if _, err := BetaInc(0, 1, 0.5); err == nil {
+		t.Error("BetaInc(0,1,0.5) succeeded, want error")
+	}
+	if _, err := BetaInc(1, 1, -0.1); err == nil {
+		t.Error("BetaInc(1,1,-0.1) succeeded, want error")
+	}
+	if _, err := BetaInc(1, 1, 1.1); err == nil {
+		t.Error("BetaInc(1,1,1.1) succeeded, want error")
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	t.Parallel()
+
+	// B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+	tests := []struct {
+		a, b, want float64
+	}{
+		{a: 1, b: 1, want: 0},
+		{a: 2, b: 3, want: math.Log(1.0 / 12.0)},
+		{a: 0.5, b: 0.5, want: math.Log(math.Pi)},
+	}
+	for _, tt := range tests {
+		if got := LogBeta(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("LogBeta(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{n: 5, k: 2, want: math.Log(10)},
+		{n: 10, k: 0, want: 0},
+		{n: 10, k: 10, want: 0},
+		{n: 52, k: 5, want: math.Log(2598960)},
+	}
+	for _, tt := range tests {
+		got, err := LogChoose(tt.n, tt.k)
+		if err != nil {
+			t.Fatalf("LogChoose(%d, %d): %v", tt.n, tt.k, err)
+		}
+		if !almostEqual(got, tt.want, 1e-10) {
+			t.Errorf("LogChoose(%d, %d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+	if _, err := LogChoose(3, 5); err == nil {
+		t.Error("LogChoose(3, 5) succeeded, want error")
+	}
+	if _, err := LogChoose(-1, 0); err == nil {
+		t.Error("LogChoose(-1, 0) succeeded, want error")
+	}
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a Kolmogorov–Smirnov test.
+type KSResult struct {
+	// Statistic is the maximum absolute deviation D between the compared
+	// distribution functions.
+	Statistic float64
+	// PValue is the asymptotic two-sided p-value of D.
+	PValue float64
+}
+
+// KSTest performs a one-sample, two-sided Kolmogorov–Smirnov test of the
+// sample xs against the continuous reference CDF cdf.
+//
+// Experiment E09 uses this test to measure how quickly the distribution of
+// the system PFD approaches the paper's Section-5 normal approximation as
+// the number of potential faults grows.
+func KSTest(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{}, ErrEmptySample
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return KSResult{}, fmt.Errorf("stats: reference CDF returned invalid value %v at %v", f, x)
+		}
+		upper := float64(i+1)/float64(n) - f
+		lower := f - float64(i)/float64(n)
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return KSResult{Statistic: d, PValue: ksPValue(d, float64(n))}, nil
+}
+
+// KSTestTwoSample performs a two-sided two-sample Kolmogorov–Smirnov test.
+func KSTestTwoSample(xs, ys []float64) (KSResult, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return KSResult{}, ErrEmptySample
+	}
+	a := make([]float64, len(xs))
+	copy(a, xs)
+	sort.Float64s(a)
+	b := make([]float64, len(ys))
+	copy(b, ys)
+	sort.Float64s(b)
+
+	d := 0.0
+	i, j := 0, 0
+	nA, nB := float64(len(a)), float64(len(b))
+	for i < len(a) && j < len(b) {
+		// Advance past every observation equal to the current smallest
+		// value in BOTH samples before comparing the empirical CDFs:
+		// evaluating mid-tie would inflate D on heavily tied data (e.g.
+		// PFD samples that are mostly exactly zero).
+		v := a[i]
+		if b[j] < v {
+			v = b[j]
+		}
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/nA - float64(j)/nB)
+		if diff > d {
+			d = diff
+		}
+	}
+	en := nA * nB / (nA + nB)
+	return KSResult{Statistic: d, PValue: ksPValue(d, en)}, nil
+}
+
+// ksPValue returns the asymptotic Kolmogorov p-value with the
+// Stephens small-sample correction, as in Numerical Recipes.
+func ksPValue(d, en float64) float64 {
+	sqrtEn := math.Sqrt(en)
+	lambda := (sqrtEn + 0.12 + 0.11/sqrtEn) * d
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ evaluates the Kolmogorov distribution survival function
+// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	sum := 0.0
+	termPrev := 0.0
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * 2 * math.Exp(a2*float64(j)*float64(j))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(sum) || math.Abs(term) <= 1e-12*termPrev {
+			if sum < 0 {
+				return 0
+			}
+			if sum > 1 {
+				return 1
+			}
+			return sum
+		}
+		termPrev = math.Abs(term)
+		sign = -sign
+	}
+	return math.Max(0, math.Min(1, sum))
+}
+
+// ChiSquareResult is the outcome of a chi-square goodness-of-fit test.
+type ChiSquareResult struct {
+	Statistic float64
+	DF        int
+	PValue    float64
+}
+
+// ChiSquareTest compares observed counts against expected counts with the
+// given number of additional fitted parameters (reducing the degrees of
+// freedom). Bins with expected count below 5 are pooled into their
+// neighbour, the standard validity fix.
+func ChiSquareTest(observed []int, expected []float64, fittedParams int) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square requires equal lengths, got %d and %d", len(observed), len(expected))
+	}
+	if len(observed) == 0 {
+		return ChiSquareResult{}, ErrEmptySample
+	}
+	// Pool sparse bins left to right.
+	var obs []float64
+	var exp []float64
+	accObs, accExp := 0.0, 0.0
+	for i := range observed {
+		if expected[i] < 0 || math.IsNaN(expected[i]) {
+			return ChiSquareResult{}, fmt.Errorf("stats: invalid expected count %v at bin %d", expected[i], i)
+		}
+		accObs += float64(observed[i])
+		accExp += expected[i]
+		if accExp >= 5 {
+			obs = append(obs, accObs)
+			exp = append(exp, accExp)
+			accObs, accExp = 0, 0
+		}
+	}
+	if accExp > 0 && len(exp) > 0 {
+		// Fold the trailing remainder into the last kept bin.
+		obs[len(obs)-1] += accObs
+		exp[len(exp)-1] += accExp
+	} else if accExp > 0 {
+		obs = append(obs, accObs)
+		exp = append(exp, accExp)
+	}
+
+	df := len(exp) - 1 - fittedParams
+	if df < 1 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square has %d degrees of freedom after pooling; need >= 1", df)
+	}
+	stat := 0.0
+	for i := range exp {
+		if exp[i] == 0 {
+			if obs[i] != 0 {
+				return ChiSquareResult{}, fmt.Errorf("stats: observed count %v in zero-expectation bin %d", obs[i], i)
+			}
+			continue
+		}
+		d := obs[i] - exp[i]
+		stat += d * d / exp[i]
+	}
+	// P(X^2 >= stat) = Q(df/2, stat/2).
+	p, err := GammaQ(float64(df)/2, stat/2)
+	if err != nil {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square p-value: %w", err)
+	}
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: p}, nil
+}

@@ -1,0 +1,69 @@
+package system
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper assumes "perfect adjudication (simple OR combination of binary
+// outputs)". This file relaxes that: a real voter/actuator stage can
+// itself fail to act on a demand. With an adjudication stage that fails
+// (independently of the software, per demand) with probability
+// adjudicatorPFD, the system misses a demand when either the software
+// arrangement misses it or the adjudication stage fails:
+//
+//	PFD_total = 1 - (1 - PFD_software)·(1 - PFD_adjudicator).
+//
+// The practical point for assessors: the adjudicator's contribution floors
+// the achievable system PFD, so software diversity beyond that floor buys
+// nothing — a quantitative version of the classic "the voter becomes the
+// bottleneck" argument against very deep software redundancy.
+
+// PFDWithAdjudicator returns the total system PFD when the adjudication
+// stage fails independently with the given probability per demand.
+func (s *System) PFDWithAdjudicator(adjudicatorPFD float64) (float64, error) {
+	if math.IsNaN(adjudicatorPFD) || adjudicatorPFD < 0 || adjudicatorPFD > 1 {
+		return 0, fmt.Errorf("system: adjudicator PFD %v must be a probability", adjudicatorPFD)
+	}
+	software := s.PFD()
+	return 1 - (1-software)*(1-adjudicatorPFD), nil
+}
+
+// AdjudicatorFloor returns the smallest total system PFD achievable with
+// the given adjudicator, no matter how good the software channels are:
+// the adjudicator's own PFD.
+func AdjudicatorFloor(adjudicatorPFD float64) (float64, error) {
+	if math.IsNaN(adjudicatorPFD) || adjudicatorPFD < 0 || adjudicatorPFD > 1 {
+		return 0, fmt.Errorf("system: adjudicator PFD %v must be a probability", adjudicatorPFD)
+	}
+	return adjudicatorPFD, nil
+}
+
+// DiversityWorthwhile reports whether adding the second software version
+// still reduces the TOTAL system PFD by at least the factor `minGain`,
+// given the adjudicator's reliability: with a poor adjudicator the gain
+// saturates. singlePFD and pairPFD are the software-only PFDs of the
+// one-version and two-version arrangements.
+func DiversityWorthwhile(singlePFD, pairPFD, adjudicatorPFD, minGain float64) (bool, error) {
+	for _, v := range []struct {
+		name  string
+		value float64
+	}{
+		{name: "single-version PFD", value: singlePFD},
+		{name: "pair PFD", value: pairPFD},
+		{name: "adjudicator PFD", value: adjudicatorPFD},
+	} {
+		if math.IsNaN(v.value) || v.value < 0 || v.value > 1 {
+			return false, fmt.Errorf("system: %s %v must be a probability", v.name, v.value)
+		}
+	}
+	if math.IsNaN(minGain) || minGain <= 0 {
+		return false, fmt.Errorf("system: minimum gain %v must be positive", minGain)
+	}
+	totalSingle := 1 - (1-singlePFD)*(1-adjudicatorPFD)
+	totalPair := 1 - (1-pairPFD)*(1-adjudicatorPFD)
+	if totalPair == 0 {
+		return true, nil
+	}
+	return totalSingle/totalPair >= minGain, nil
+}

@@ -1,0 +1,121 @@
+package system
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPFDWithAdjudicator(t *testing.T) {
+	t.Parallel()
+
+	fs, vs := develop(t,
+		[]float64{0.01, 0.02},
+		[][]bool{
+			{true, true},
+			{true, false},
+		})
+	sys, err := New(fs, Arch1OutOfM, vs...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	software := sys.PFD() // only fault 0 common: 0.01
+	if math.Abs(software-0.01) > 1e-15 {
+		t.Fatalf("software PFD = %v, want 0.01", software)
+	}
+	total, err := sys.PFDWithAdjudicator(0.001)
+	if err != nil {
+		t.Fatalf("PFDWithAdjudicator: %v", err)
+	}
+	want := 1 - (1-0.01)*(1-0.001)
+	if math.Abs(total-want) > 1e-15 {
+		t.Errorf("total PFD = %v, want %v", total, want)
+	}
+	// Perfect adjudicator reproduces the software PFD.
+	total, err = sys.PFDWithAdjudicator(0)
+	if err != nil {
+		t.Fatalf("PFDWithAdjudicator(0): %v", err)
+	}
+	if math.Abs(total-software) > 1e-15 {
+		t.Errorf("perfect adjudicator total %v != software %v", total, software)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := sys.PFDWithAdjudicator(bad); err == nil {
+			t.Errorf("PFDWithAdjudicator(%v) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAdjudicatorFloor(t *testing.T) {
+	t.Parallel()
+
+	floor, err := AdjudicatorFloor(0.0005)
+	if err != nil {
+		t.Fatalf("AdjudicatorFloor: %v", err)
+	}
+	if floor != 0.0005 {
+		t.Errorf("floor = %v, want 0.0005", floor)
+	}
+	if _, err := AdjudicatorFloor(2); err == nil {
+		t.Error("invalid PFD succeeded, want error")
+	}
+}
+
+// TestDiversityWorthwhileSaturation: with a perfect adjudicator, diversity
+// delivers its software gain; with a poor adjudicator, the total gain
+// saturates and diversity stops being worthwhile.
+func TestDiversityWorthwhileSaturation(t *testing.T) {
+	t.Parallel()
+
+	const (
+		single = 1e-3
+		pair   = 1e-5 // software-only gain 100x
+	)
+	ok, err := DiversityWorthwhile(single, pair, 0, 50)
+	if err != nil {
+		t.Fatalf("DiversityWorthwhile: %v", err)
+	}
+	if !ok {
+		t.Error("perfect adjudicator: 100x software gain should exceed 50x")
+	}
+	// Adjudicator at 1e-3 dominates both arrangements: total gain ~2x.
+	ok, err = DiversityWorthwhile(single, pair, 1e-3, 50)
+	if err != nil {
+		t.Fatalf("DiversityWorthwhile: %v", err)
+	}
+	if ok {
+		t.Error("poor adjudicator: gain should saturate below 50x")
+	}
+	// But a modest 1.5x threshold is still met.
+	ok, err = DiversityWorthwhile(single, pair, 1e-3, 1.5)
+	if err != nil {
+		t.Fatalf("DiversityWorthwhile: %v", err)
+	}
+	if !ok {
+		t.Error("poor adjudicator: ~2x gain should exceed 1.5x")
+	}
+}
+
+func TestDiversityWorthwhileValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := DiversityWorthwhile(-1, 0.1, 0.1, 2); err == nil {
+		t.Error("invalid single PFD succeeded, want error")
+	}
+	if _, err := DiversityWorthwhile(0.1, 2, 0.1, 2); err == nil {
+		t.Error("invalid pair PFD succeeded, want error")
+	}
+	if _, err := DiversityWorthwhile(0.1, 0.01, math.NaN(), 2); err == nil {
+		t.Error("NaN adjudicator succeeded, want error")
+	}
+	if _, err := DiversityWorthwhile(0.1, 0.01, 0.001, 0); err == nil {
+		t.Error("zero gain threshold succeeded, want error")
+	}
+	// Zero total pair PFD: trivially worthwhile.
+	ok, err := DiversityWorthwhile(0.5, 0, 0, 1000)
+	if err != nil {
+		t.Fatalf("DiversityWorthwhile: %v", err)
+	}
+	if !ok {
+		t.Error("zero pair PFD should be trivially worthwhile")
+	}
+}

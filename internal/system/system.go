@@ -1,0 +1,125 @@
+// Package system assembles developed program versions into redundant
+// system architectures and computes their probability of failure on demand
+// at failure-region granularity.
+//
+// The paper studies the 1-out-of-2 protection configuration of Fig. 1: two
+// channels whose binary shutdown outputs are OR-ed, so the system fails on
+// a demand only when every channel fails on it. Under the disjoint-region
+// model a region causes system failure exactly when the corresponding
+// fault is present in all channels. The package generalises this to
+// 1-out-of-m and, as an extension, to majority-voted N-version systems
+// where a region defeats the system when strictly more than half the
+// versions contain the fault.
+package system
+
+import (
+	"errors"
+	"fmt"
+
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+)
+
+// ErrNoVersions is returned when a system is assembled with no versions.
+var ErrNoVersions = errors.New("system: at least one version is required")
+
+// Architecture identifies how channel failures combine into system failure.
+type Architecture int
+
+const (
+	// Arch1OutOfM is the parallel/OR protection arrangement: the system
+	// fails on a demand only if every channel fails (the paper's Fig. 1
+	// for m = 2). "1-out-of-m" reads: one working channel suffices.
+	Arch1OutOfM Architecture = iota + 1
+	// ArchMajority is a majority-voting N-version system: the system
+	// fails when more than half the versions fail on the demand.
+	ArchMajority
+)
+
+// String returns the architecture name.
+func (a Architecture) String() string {
+	switch a {
+	case Arch1OutOfM:
+		return "1-out-of-m"
+	case ArchMajority:
+		return "majority"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// System is a redundant software system: a set of versions over a common
+// fault universe combined by an adjudication architecture.
+type System struct {
+	fs       *faultmodel.FaultSet
+	versions []*devsim.Version
+	arch     Architecture
+}
+
+// New assembles a system. It returns an error if no versions are given,
+// the architecture is unknown, or any version was developed against a
+// different fault universe size than fs.
+func New(fs *faultmodel.FaultSet, arch Architecture, versions ...*devsim.Version) (*System, error) {
+	if len(versions) == 0 {
+		return nil, ErrNoVersions
+	}
+	if arch != Arch1OutOfM && arch != ArchMajority {
+		return nil, fmt.Errorf("system: unknown architecture %d", int(arch))
+	}
+	for i, v := range versions {
+		if v.NumPotential() != fs.N() {
+			return nil, fmt.Errorf("system: version %d has %d potential faults, fault set has %d", i, v.NumPotential(), fs.N())
+		}
+	}
+	s := &System{fs: fs, versions: make([]*devsim.Version, len(versions)), arch: arch}
+	copy(s.versions, versions)
+	return s, nil
+}
+
+// NumVersions returns the number of channels.
+func (s *System) NumVersions() int { return len(s.versions) }
+
+// Architecture returns the adjudication architecture.
+func (s *System) Architecture() Architecture { return s.arch }
+
+// FailsOnFault reports whether the region of potential fault i defeats the
+// whole system: all versions contain it (1-out-of-m) or more than half do
+// (majority). It panics if i is out of range, mirroring slice indexing.
+func (s *System) FailsOnFault(i int) bool {
+	count := 0
+	for _, v := range s.versions {
+		if v.Has(i) {
+			count++
+		}
+	}
+	switch s.arch {
+	case ArchMajority:
+		return 2*count > len(s.versions)
+	default: // Arch1OutOfM
+		return count == len(s.versions)
+	}
+}
+
+// PFD returns the system probability of failure on demand: the summed
+// region probabilities of the faults that defeat the system.
+func (s *System) PFD() float64 {
+	sum := 0.0
+	for i := 0; i < s.fs.N(); i++ {
+		if s.FailsOnFault(i) {
+			sum += s.fs.Fault(i).Q
+		}
+	}
+	return sum
+}
+
+// SystemFaultCount returns the number of potential faults that defeat the
+// system.
+func (s *System) SystemFaultCount() int {
+	count := 0
+	for i := 0; i < s.fs.N(); i++ {
+		if s.FailsOnFault(i) {
+			count++
+		}
+	}
+	return count
+}

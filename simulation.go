@@ -1,0 +1,172 @@
+package diversity
+
+import (
+	"diversity/internal/calibrate"
+	"diversity/internal/demandspace"
+	"diversity/internal/devsim"
+	"diversity/internal/elm"
+	"diversity/internal/faultmodel"
+	"diversity/internal/knightleveson"
+	"diversity/internal/plant"
+	"diversity/internal/process"
+)
+
+// Demand-space and protection-system simulation types, re-exported. These
+// are the geometric substrate of the paper's Fig. 1 (dual-channel
+// protection system) and Fig. 2 (failure regions in the demand space).
+type (
+	// Point is a demand: a point in the unit hypercube.
+	Point = demandspace.Point
+	// Region is a measurable subset of the demand space.
+	Region = demandspace.Region
+	// Box is an axis-aligned failure region.
+	Box = demandspace.Box
+	// Ball is a spherical failure region.
+	Ball = demandspace.Ball
+	// GeomVersion is a version as the union of its failure regions.
+	GeomVersion = demandspace.GeomVersion
+	// Profile is a demand distribution over the demand space.
+	Profile = demandspace.Profile
+	// UniformProfile distributes demands uniformly.
+	UniformProfile = demandspace.UniformProfile
+	// PlantConfig parameterises a protection-system mission simulation.
+	PlantConfig = plant.Config
+	// PlantResult holds protection-system mission statistics.
+	PlantResult = plant.Result
+	// KnightLevesonConfig parameterises the synthetic Knight-Leveson
+	// replica.
+	KnightLevesonConfig = knightleveson.Config
+	// KnightLevesonOutcome holds the replica's measurements.
+	KnightLevesonOutcome = knightleveson.Outcome
+	// Improvement is a process-improvement transformation of a fault
+	// set (Section 4.2).
+	Improvement = process.Improvement
+	// TrajectoryPoint records gain measures along an improvement
+	// trajectory.
+	TrajectoryPoint = process.TrajectoryPoint
+	// EckhardtLee is the Eckhardt-Lee baseline model.
+	EckhardtLee = elm.EckhardtLee
+	// LittlewoodMiller is the Littlewood-Miller baseline model.
+	LittlewoodMiller = elm.LittlewoodMiller
+)
+
+// Process improvements, re-exported.
+type (
+	// SingleFaultImprovement reduces one fault's presence probability
+	// (Section 4.2.1 / Appendix A).
+	SingleFaultImprovement = process.SingleFault
+	// ProportionalImprovement reduces every presence probability by the
+	// same factor (Section 4.2.2 / Appendix B).
+	ProportionalImprovement = process.Proportional
+	// FaultClassImprovement reduces a subset of presence probabilities.
+	FaultClassImprovement = process.FaultClass
+)
+
+// NewBox returns an axis-aligned failure region.
+func NewBox(lo, hi Point) (Box, error) { return demandspace.NewBox(lo, hi) }
+
+// NewBall returns a spherical failure region.
+func NewBall(center Point, radius float64) (Ball, error) {
+	return demandspace.NewBall(center, radius)
+}
+
+// NewUniformProfile returns a uniform demand profile of dimension d.
+func NewUniformProfile(d int) (UniformProfile, error) { return demandspace.NewUniformProfile(d) }
+
+// NewGeomVersion builds a version from its failure regions.
+func NewGeomVersion(d int, regions ...Region) (*GeomVersion, error) {
+	return demandspace.NewGeomVersion(d, regions...)
+}
+
+// RunPlant simulates one protection-system mission (Fig. 1).
+func RunPlant(cfg PlantConfig) (*PlantResult, error) { return plant.Run(cfg) }
+
+// StripLayout assigns each fault of a fault set a disjoint failure region
+// with uniform-profile measure q_i, bridging the fault-level model to the
+// geometric simulation.
+func StripLayout(fs *FaultSet) ([]Region, error) { return plant.StripLayout(fs) }
+
+// BuildChannel assembles a channel's failure geometry from the faults a
+// developed version contains.
+func BuildChannel(layout []Region, present func(i int) bool) (*GeomVersion, error) {
+	return plant.BuildChannel(layout, present)
+}
+
+// RunKnightLeveson runs the synthetic Knight-Leveson replica (the paper's
+// Section-7 qualitative check).
+func RunKnightLeveson(cfg KnightLevesonConfig) (*KnightLevesonOutcome, error) {
+	return knightleveson.Run(cfg)
+}
+
+// TraceImprovement evaluates the paper's gain measures along a process
+// improvement trajectory (Section 4.2).
+func TraceImprovement(fs *FaultSet, imp Improvement, amounts []float64, k float64) ([]TrajectoryPoint, error) {
+	return process.Trace(fs, imp, amounts, k)
+}
+
+// StatisticalTesting is the testing/debugging improvement: each fault
+// survives T operational-profile test demands with probability (1-q)^T.
+type StatisticalTesting = process.StatisticalTesting
+
+// ApplyTesting returns the fault set after statistical testing with the
+// given number of test demands: p_i -> p_i·(1-q_i)^demands.
+func ApplyTesting(fs *FaultSet, demands float64) (*FaultSet, error) {
+	return process.ApplyTesting(fs, demands)
+}
+
+// BudgetTrade compares "one version tested with the whole budget" against
+// "two diverse versions splitting the budget after paying a development
+// overhead" — the N-version-vs-one-good-version trade.
+func BudgetTrade(fs *FaultSet, totalDemands, diversityOverhead float64) (single, diverse float64, err error) {
+	return process.BudgetTrade(fs, totalDemands, diversityOverhead)
+}
+
+// TwoProcess models forced diversity: the two channels come from
+// different development processes over the same fault universe.
+type TwoProcess = faultmodel.TwoProcess
+
+// NewTwoProcess builds a forced-diversity model from per-process fault
+// sets sharing the same failure regions.
+func NewTwoProcess(a, b *FaultSet) (*TwoProcess, error) { return faultmodel.NewTwoProcess(a, b) }
+
+// Observations is fault-occurrence evidence from past projects: how many
+// of the observed versions contained each fault class (Section 6.3).
+type Observations = calibrate.Observations
+
+// PmaxBound is a simultaneous upper confidence bound on pmax estimated
+// from such evidence.
+type PmaxBound = calibrate.PmaxBound
+
+// EstimatePmax returns a simultaneous upper confidence bound on pmax from
+// past-project fault counts, ready to drive formulas (4), (11) and (12).
+func EstimatePmax(o Observations, level float64) (PmaxBound, error) {
+	return calibrate.UpperPmax(o, level)
+}
+
+// CommonPFD returns the 1-out-of-2 system PFD of a pair of developed
+// versions: the summed region probabilities of their common faults.
+func CommonPFD(fs *FaultSet, a, b *Version) (float64, error) { return devsim.CommonPFD(fs, a, b) }
+
+// ELFromFaultSet maps a fault set onto the Eckhardt-Lee demand space whose
+// cells are the failure regions; the two models then agree exactly on mean
+// PFDs.
+func ELFromFaultSet(fs *FaultSet) (*EckhardtLee, error) { return elm.FromFaultSet(fs) }
+
+// NewLittlewoodMiller constructs a Littlewood-Miller two-methodology model
+// over a common demand profile.
+func NewLittlewoodMiller(weights, thetaA, thetaB []float64) (*LittlewoodMiller, error) {
+	return elm.NewLittlewoodMiller(weights, thetaA, thetaB)
+}
+
+// interface conformance guards: the facade's aliases must stay aligned
+// with the interfaces they are documented to satisfy.
+var (
+	_ Region  = Box{}
+	_ Region  = Ball{}
+	_ Profile = UniformProfile{}
+	_         = faultmodel.MaxExactFaults
+)
+
+// MaxExactFaults bounds the fault count for which ExactPFD enumerates the
+// full distribution.
+const MaxExactFaults = faultmodel.MaxExactFaults
