@@ -4,6 +4,9 @@
 // (equation 10), and confidence bounds under the Section-5 normal
 // approximation — optionally with the exact PFD distribution quantiles.
 //
+// The computation runs as an analytic job on the unified execution engine
+// (internal/engine); -no-cache disables the engine's result cache.
+//
 // Usage:
 //
 //	diversity -model model.json [-k 1.0] [-confidence 0.99] [-scenario name] [-seed 1]
@@ -14,25 +17,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"diversity/internal/faultmodel"
-	"diversity/internal/modelfile"
+	"diversity/internal/cliutil"
+	"diversity/internal/engine"
 	"diversity/internal/report"
-	"diversity/internal/scenario"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "diversity:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("diversity", flag.ContinueOnError)
 	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
 	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade")
@@ -40,25 +47,36 @@ func run(args []string, out io.Writer) error {
 	confidence := flags.Float64("confidence", 0.99, "confidence level for the normal-approximation bound")
 	seed := flags.Uint64("seed", 1, "seed for scenario generation")
 	adjudicator := flags.Float64("adjudicator", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
+	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
 	if *adjudicator < 0 || *adjudicator > 1 {
 		return fmt.Errorf("adjudicator PFD %v must be a probability", *adjudicator)
 	}
+	if *k < 0 {
+		return fmt.Errorf("sigma multiplier k=%v must be non-negative", *k)
+	}
 
-	fs, name, err := selectModel(*modelPath, *scenarioName, *seed)
+	model, err := cliutil.JobModel(*modelPath, *scenarioName, *seed)
 	if err != nil {
 		return err
 	}
+	eng := engine.New(engine.Options{DisableCache: *noCache})
+	res, err := eng.Run(ctx, engine.NewAnalyticJob(engine.AnalyticSpec{
+		Model:      model,
+		K:          *k,
+		Confidence: *confidence,
+	}))
+	if err != nil {
+		return err
+	}
+
+	fs, name, ar := res.FaultSet, res.ModelName, res.Analytic
 	if name == "" {
 		name = "unnamed model"
 	}
-
-	rep, err := fs.Gain(*k)
-	if err != nil {
-		return err
-	}
+	rep := ar.Gain
 	fmt.Fprintf(out, "Model: %s (%d potential faults, pmax = %s, sum q = %s)\n\n",
 		name, fs.N(), report.Fmt(fs.PMax()), report.Fmt(fs.SumQ()))
 
@@ -84,25 +102,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	factor, err := faultmodel.SigmaBoundFactor(fs.PMax())
-	if err != nil {
-		return err
-	}
 	gainRows := []struct{ name, value, source string }{
 		{name: "guaranteed mean gain (1/pmax)", value: report.Fmt(1 / fs.PMax()), source: "eq (4)"},
-		{name: "sigma bound factor sqrt(pmax(1+pmax))", value: report.Fmt(factor), source: "eq (9)"},
+		{name: "sigma bound factor sqrt(pmax(1+pmax))", value: report.Fmt(ar.SigmaBoundFactor), source: "eq (9)"},
 		{name: "two-version bound from moments", value: report.Fmt(rep.Bound11), source: "formula (11)"},
 		{name: "two-version bound from one-version bound", value: report.Fmt(rep.Bound12), source: "formula (12)"},
 		{name: "realised bound ratio", value: report.Fmt(rep.BoundRatio), source: "Section 5.2"},
 		{name: "realised bound difference", value: report.Fmt(rep.BoundDiff), source: "Section 5.2"},
 	}
-	if ratio, err := fs.RiskRatio(); err == nil {
+	if ar.HasRiskRatio {
 		gainRows = append(gainRows, struct{ name, value, source string }{
-			name: "risk ratio P(N2>0)/P(N1>0)", value: report.Fmt(ratio), source: "eq (10)",
+			name: "risk ratio P(N2>0)/P(N1>0)", value: report.Fmt(ar.RiskRatio), source: "eq (10)",
 		})
 	}
 	gainRows = append(gainRows, struct{ name, value, source string }{
-		name: "success ratio P(N2=0)/P(N1=0)", value: report.Fmt(fs.SuccessRatio()), source: "footnote 5",
+		name: "success ratio P(N2=0)/P(N1=0)", value: report.Fmt(ar.SuccessRatio), source: "footnote 5",
 	})
 	for _, row := range gainRows {
 		if err := bounds.AddRow(row.name, row.value, row.source); err != nil {
@@ -120,28 +134,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, m := range []int{1, 2} {
-		bound, err := fs.ConfidenceBoundAt(m, *confidence)
-		if err != nil {
-			return err
-		}
+	for _, cb := range ar.Bounds {
 		exactText := "n/a (too many faults)"
-		if fs.N() <= faultmodel.MaxExactFaults {
-			dist, err := fs.ExactPFD(m)
-			if err != nil {
-				return err
-			}
-			q, err := dist.Quantile(*confidence)
-			if err != nil {
-				return err
-			}
-			exactText = report.Fmt(q)
+		if cb.HasExact {
+			exactText = report.Fmt(cb.ExactQuantile)
 		}
 		label := "1 version"
-		if m == 2 {
+		if cb.Versions == 2 {
 			label = "1-out-of-2"
 		}
-		if err := conf.AddRow(label, report.Fmt(bound), exactText); err != nil {
+		if err := conf.AddRow(label, report.Fmt(cb.Bound), exactText); err != nil {
 			return err
 		}
 	}
@@ -174,34 +176,4 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
-}
-
-func selectModel(modelPath, scenarioName string, seed uint64) (*faultmodel.FaultSet, string, error) {
-	switch {
-	case modelPath != "" && scenarioName != "":
-		return nil, "", fmt.Errorf("specify either -model or -scenario, not both")
-	case modelPath != "":
-		return modelfile.Load(modelPath)
-	case scenarioName != "":
-		sc, err := scenarioByName(scenarioName, seed)
-		if err != nil {
-			return nil, "", err
-		}
-		return sc.FaultSet, sc.Name, nil
-	default:
-		return nil, "", fmt.Errorf("a model is required: pass -model <file> or -scenario <name>")
-	}
-}
-
-func scenarioByName(name string, seed uint64) (scenario.Scenario, error) {
-	switch name {
-	case "safety-grade":
-		return scenario.SafetyGrade(seed)
-	case "many-small-faults":
-		return scenario.ManySmallFaults(seed)
-	case "commercial-grade":
-		return scenario.CommercialGrade(seed)
-	default:
-		return scenario.Scenario{}, fmt.Errorf("unknown scenario %q (want safety-grade, many-small-faults or commercial-grade)", name)
-	}
 }

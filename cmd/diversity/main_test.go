@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,7 +22,7 @@ func TestRunWithModelFile(t *testing.T) {
 
 	path := writeModel(t, `{"name": "unit", "faults": [{"p": 0.1, "q": 0.01}, {"p": 0.05, "q": 0.02}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	text := out.String()
@@ -43,7 +44,7 @@ func TestRunWithScenario(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			var out strings.Builder
-			if err := run([]string{"-scenario", name}, &out); err != nil {
+			if err := run(context.Background(), []string{"-scenario", name}, &out); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			if !strings.Contains(out.String(), "Model: "+name) {
@@ -57,20 +58,20 @@ func TestRunErrors(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("no model succeeded, want error")
 	}
-	if err := run([]string{"-scenario", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "bogus"}, &out); err == nil {
 		t.Error("unknown scenario succeeded, want error")
 	}
-	if err := run([]string{"-model", "x", "-scenario", "safety-grade"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", "x", "-scenario", "safety-grade"}, &out); err == nil {
 		t.Error("both -model and -scenario succeeded, want error")
 	}
-	if err := run([]string{"-model", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
 		t.Error("missing model file succeeded, want error")
 	}
 	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
-	if err := run([]string{"-model", path, "-confidence", "0.3"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-confidence", "0.3"}, &out); err == nil {
 		t.Error("confidence below the median succeeded, want error")
 	}
 }
@@ -80,7 +81,7 @@ func TestRunCustomK(t *testing.T) {
 
 	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-k", "2.33"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-k", "2.33"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "mu+2.3*sigma") {
@@ -93,7 +94,7 @@ func TestRunWithAdjudicator(t *testing.T) {
 
 	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-adjudicator", "0.0001"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-adjudicator", "0.0001"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	text := out.String()
@@ -102,7 +103,41 @@ func TestRunWithAdjudicator(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
 	}
-	if err := run([]string{"-model", path, "-adjudicator", "2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-adjudicator", "2"}, &out); err == nil {
 		t.Error("invalid adjudicator PFD succeeded, want error")
+	}
+}
+
+// TestFlagValidation checks that invalid flag combinations fail with a
+// clear error before any computation starts.
+func TestFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
+	cases := []struct {
+		name    string
+		args    []string
+		wantSub string
+	}{
+		{"no model", nil, "a model is required"},
+		{"both model and scenario", []string{"-model", path, "-scenario", "safety-grade"}, "not both"},
+		{"unknown scenario", []string{"-scenario", "bogus"}, `unknown scenario "bogus"`},
+		{"negative k", []string{"-model", path, "-k", "-1"}, "must be non-negative"},
+		{"adjudicator above one", []string{"-model", path, "-adjudicator", "2"}, "must be a probability"},
+		{"negative adjudicator", []string{"-model", path, "-adjudicator", "-0.5"}, "must be a probability"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var out strings.Builder
+			err := run(context.Background(), tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.wantSub)
+			}
+		})
 	}
 }

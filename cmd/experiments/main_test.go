@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestRunList(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	code, err := run([]string{"-list"}, &out)
+	code, err := run(context.Background(), []string{"-list"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -27,7 +28,7 @@ func TestRunSingleExperiment(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	code, err := run([]string{"-id", "E08", "-quick"}, &out)
+	code, err := run(context.Background(), []string{"-id", "E08", "-quick"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -46,7 +47,7 @@ func TestRunMultipleIDs(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	code, err := run([]string{"-id", "E07, E02", "-quick"}, &out)
+	code, err := run(context.Background(), []string{"-id", "E07, E02", "-quick"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestRunUnknownID(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	if _, err := run([]string{"-id", "E99"}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-id", "E99"}, &out); err == nil {
 		t.Error("unknown experiment succeeded, want error")
 	}
 }
@@ -71,7 +72,7 @@ func TestRunBadFlag(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	if _, err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("bad flag succeeded, want error")
 	}
 }
@@ -80,7 +81,7 @@ func TestRunMarkdown(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	code, err := run([]string{"-id", "E07,E08", "-quick", "-markdown"}, &out)
+	code, err := run(context.Background(), []string{"-id", "E07,E08", "-quick", "-markdown"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -102,5 +103,35 @@ func TestRunMarkdown(t *testing.T) {
 	}
 	if strings.Contains(text, "experiment(s) passed") {
 		t.Error("markdown mode leaked the plain-text footer")
+	}
+}
+
+// TestFlagValidation checks that invalid invocations fail with a clear
+// error before any experiment work starts.
+func TestFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantSub string
+	}{
+		{"unknown experiment", []string{"-id", "E99"}, `unknown experiment "E99"`},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"blank id", []string{"-id", ","}, "unknown experiment"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var out strings.Builder
+			_, err := run(context.Background(), tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.wantSub)
+			}
+		})
 	}
 }

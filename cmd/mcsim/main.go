@@ -3,6 +3,12 @@
 // assembles them into 1-out-of-m or majority-voted systems, and reports
 // the simulated PFD populations next to the model's analytic predictions.
 //
+// Runs are expressed as engine jobs and executed through the unified
+// execution engine (internal/engine): Ctrl-C cancels a long run promptly,
+// -progress reports replications completed on stderr, and repeated
+// identical jobs within one process are served from the engine's result
+// cache (disable with -no-cache).
+//
 // Usage:
 //
 //	mcsim -scenario commercial-grade -reps 200000 [-versions 2] [-arch 1oom]
@@ -10,29 +16,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"diversity/internal/devsim"
-	"diversity/internal/faultmodel"
-	"diversity/internal/modelfile"
+	"diversity/internal/cliutil"
+	"diversity/internal/engine"
 	"diversity/internal/montecarlo"
 	"diversity/internal/report"
-	"diversity/internal/scenario"
 	"diversity/internal/stats"
 	"diversity/internal/system"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("mcsim", flag.ContinueOnError)
 	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
 	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade")
@@ -44,53 +53,76 @@ func run(args []string, out io.Writer) error {
 	correlation := flags.Float64("correlation", 0, "common-cause probability (0 = the paper's independent model)")
 	boost := flags.Float64("boost", 3, "common-cause boost factor (with -correlation > 0)")
 	rare := flags.Bool("rare", false, "estimate P(system carries any fault) by importance sampling (for safety-grade regimes)")
+	progress := flags.Bool("progress", false, "report progress on stderr as replications complete")
+	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
 
-	fs, name, err := selectModel(*modelPath, *scenarioName, *seed)
+	// Flag validation happens before any model loading or simulation work.
+	if err := cliutil.ValidateCounts(*reps, *workers); err != nil {
+		return err
+	}
+	if *versions < 1 {
+		return fmt.Errorf("versions per replication %d must be at least 1", *versions)
+	}
+	arch, err := engine.ParseArch(*archName)
 	if err != nil {
 		return err
 	}
-	var arch system.Architecture
-	switch *archName {
-	case "1oom":
-		arch = system.Arch1OutOfM
-	case "majority":
-		arch = system.ArchMajority
-	default:
-		return fmt.Errorf("unknown architecture %q (want 1oom or majority)", *archName)
+	if *correlation < 0 || *correlation > 1 {
+		return fmt.Errorf("correlation %v must be a probability", *correlation)
 	}
+
+	model, err := cliutil.JobModel(*modelPath, *scenarioName, *seed)
+	if err != nil {
+		return err
+	}
+	opts := engine.Options{DisableCache: *noCache}
+	if *progress {
+		opts.Progress = cliutil.ProgressPrinter(os.Stderr)
+	}
+	eng := engine.New(opts)
+
 	if *rare {
-		return runRare(out, fs, name, *versions, *reps, *seed)
-	}
-	var proc devsim.Process
-	if *correlation > 0 {
-		proc, err = devsim.NewCommonCauseProcess(fs, *correlation, *boost)
+		res, err := eng.Run(ctx, engine.NewRareEventJob(engine.RareEventSpec{
+			Model:      model,
+			Versions:   *versions,
+			Reps:       *reps,
+			Seed:       *seed,
+			TiltTarget: 0.3,
+		}))
 		if err != nil {
 			return err
 		}
-	} else {
-		proc = devsim.NewIndependentProcess(fs)
+		return renderRare(out, res, *versions, *reps)
 	}
 
-	res, err := montecarlo.Run(montecarlo.Config{
-		Process:  proc,
-		Versions: *versions,
-		Arch:     arch,
-		Reps:     *reps,
-		Workers:  *workers,
-		Seed:     *seed,
-	})
+	res, err := eng.Run(ctx, engine.NewMonteCarloJob(engine.MonteCarloSpec{
+		Model:       model,
+		Versions:    *versions,
+		Arch:        *archName,
+		Reps:        *reps,
+		Workers:     *workers,
+		Seed:        *seed,
+		Correlation: *correlation,
+		Boost:       *boost,
+	}))
 	if err != nil {
 		return err
 	}
+	return renderSimulation(out, res, *versions, *reps, arch)
+}
 
+// renderSimulation prints the simulated PFD populations next to the
+// model's analytic predictions.
+func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, arch system.Architecture) error {
+	fs, name, res := eres.FaultSet, eres.ModelName, eres.MonteCarlo
 	if name == "" {
 		name = "unnamed model"
 	}
 	fmt.Fprintf(out, "Model: %s — %d replications of %d versions (%s adjudication)\n\n",
-		name, *reps, *versions, arch)
+		name, reps, versions, arch)
 
 	verStats, err := stats.Summarize(res.VersionPFD)
 	if err != nil {
@@ -114,12 +146,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	modelMu2, modelSigma2 := "n/a", "n/a"
-	if *versions >= 1 && arch == system.Arch1OutOfM {
-		mu, err := fs.MeanPFD(*versions)
+	if versions >= 1 && arch == system.Arch1OutOfM {
+		mu, err := fs.MeanPFD(versions)
 		if err != nil {
 			return err
 		}
-		sg, err := fs.SigmaPFD(*versions)
+		sg, err := fs.SigmaPFD(versions)
 		if err != nil {
 			return err
 		}
@@ -153,18 +185,18 @@ func run(args []string, out io.Writer) error {
 	}
 	modelSys := "n/a"
 	if arch == system.Arch1OutOfM {
-		v, err := fs.PNoFault(*versions)
+		v, err := fs.PNoFault(versions)
 		if err != nil {
 			return err
 		}
 		modelSys = report.Fmt(v)
 	}
 	if err := events.AddRow("version fault-free", fmt.Sprintf("%d", res.VersionFaultFree),
-		report.Fmt(float64(res.VersionFaultFree)/float64(*reps)), report.Fmt(noFault1)); err != nil {
+		report.Fmt(float64(res.VersionFaultFree)/float64(reps)), report.Fmt(noFault1)); err != nil {
 		return err
 	}
 	if err := events.AddRow("system fault-free", fmt.Sprintf("%d", res.SystemFaultFree),
-		report.Fmt(float64(res.SystemFaultFree)/float64(*reps)), modelSys); err != nil {
+		report.Fmt(float64(res.SystemFaultFree)/float64(reps)), modelSys); err != nil {
 		return err
 	}
 	if err := events.Render(out); err != nil {
@@ -173,7 +205,7 @@ func run(args []string, out io.Writer) error {
 
 	if ratio, err := res.RiskRatio(); err == nil {
 		fmt.Fprintf(out, "\nEmpirical risk ratio P(N_sys>0)/P(N1>0) = %s", report.Fmt(ratio))
-		if modelRatio, err := fs.RiskRatio(); err == nil && arch == system.Arch1OutOfM && *versions == 2 {
+		if modelRatio, err := fs.RiskRatio(); err == nil && arch == system.Arch1OutOfM && versions == 2 {
 			fmt.Fprintf(out, " (model eq (10): %s)", report.Fmt(modelRatio))
 		}
 		fmt.Fprintln(out)
@@ -181,23 +213,12 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runRare estimates P(N_m > 0) with importance sampling and prints it
-// against the naive estimator and the closed form.
-func runRare(out io.Writer, fs *faultmodel.FaultSet, name string, versions, reps int, seed uint64) error {
+// renderRare prints the importance-sampled estimate against the naive
+// estimator and the closed form.
+func renderRare(out io.Writer, eres *engine.Result, versions, reps int) error {
+	name, re := eres.ModelName, eres.RareEvent
 	if name == "" {
 		name = "unnamed model"
-	}
-	truth, err := fs.PAnyFault(versions)
-	if err != nil {
-		return err
-	}
-	is, err := montecarlo.EstimateRareSystemFault(fs, versions, reps, seed, 0.3)
-	if err != nil {
-		return err
-	}
-	naive, err := montecarlo.EstimateNaiveSystemFault(fs, versions, reps, seed)
-	if err != nil {
-		return err
 	}
 	fmt.Fprintf(out, "Model: %s — rare-event estimation of P(N_%d > 0) over %d replications\n\n", name, versions, reps)
 	tbl, err := report.NewTable("P(system carries any defeating fault)",
@@ -209,8 +230,8 @@ func runRare(out io.Writer, fs *faultmodel.FaultSet, name string, versions, reps
 		name string
 		est  montecarlo.RareEventEstimate
 	}{
-		{name: "importance sampling", est: is},
-		{name: "naive Monte Carlo", est: naive},
+		{name: "importance sampling", est: re.ImportanceSampling},
+		{name: "naive Monte Carlo", est: re.Naive},
 	}
 	for _, row := range rows {
 		if err := tbl.AddRow(row.name, report.Fmt(row.est.Probability),
@@ -218,33 +239,8 @@ func runRare(out io.Writer, fs *faultmodel.FaultSet, name string, versions, reps
 			return err
 		}
 	}
-	if err := tbl.AddRow("closed form (eq 10 numerator)", report.Fmt(truth), "", ""); err != nil {
+	if err := tbl.AddRow("closed form (eq 10 numerator)", report.Fmt(re.ClosedForm), "", ""); err != nil {
 		return err
 	}
 	return tbl.Render(out)
-}
-
-func selectModel(modelPath, scenarioName string, seed uint64) (*faultmodel.FaultSet, string, error) {
-	switch {
-	case modelPath != "" && scenarioName != "":
-		return nil, "", fmt.Errorf("specify either -model or -scenario, not both")
-	case modelPath != "":
-		return modelfile.Load(modelPath)
-	case scenarioName != "":
-		switch scenarioName {
-		case "safety-grade":
-			sc, err := scenario.SafetyGrade(seed)
-			return sc.FaultSet, sc.Name, err
-		case "many-small-faults":
-			sc, err := scenario.ManySmallFaults(seed)
-			return sc.FaultSet, sc.Name, err
-		case "commercial-grade":
-			sc, err := scenario.CommercialGrade(seed)
-			return sc.FaultSet, sc.Name, err
-		default:
-			return nil, "", fmt.Errorf("unknown scenario %q", scenarioName)
-		}
-	default:
-		return nil, "", fmt.Errorf("a model is required: pass -model <file> or -scenario <name>")
-	}
 }

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func writeModel(t *testing.T, doc string) string {
@@ -21,7 +23,7 @@ func TestRunBasicSimulation(t *testing.T) {
 
 	path := writeModel(t, `{"name": "sim", "faults": [{"p": 0.3, "q": 0.05}, {"p": 0.2, "q": 0.1}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-reps", "20000", "-seed", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-reps", "20000", "-seed", "3"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	text := out.String()
@@ -40,7 +42,7 @@ func TestRunMajority(t *testing.T) {
 
 	path := writeModel(t, `{"faults": [{"p": 0.3, "q": 0.05}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-reps", "5000", "-versions", "3", "-arch", "majority"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-reps", "5000", "-versions", "3", "-arch", "majority"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "majority adjudication") {
@@ -53,7 +55,7 @@ func TestRunWithCorrelation(t *testing.T) {
 
 	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.05}, {"p": 0.1, "q": 0.05}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-reps", "5000", "-correlation", "0.2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-reps", "5000", "-correlation", "0.2"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "Simulated PFD populations") {
@@ -65,7 +67,7 @@ func TestRunScenario(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	if err := run([]string{"-scenario", "commercial-grade", "-reps", "5000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scenario", "commercial-grade", "-reps", "5000"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "commercial-grade") {
@@ -77,20 +79,20 @@ func TestRunErrors(t *testing.T) {
 	t.Parallel()
 
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("no model succeeded, want error")
 	}
-	if err := run([]string{"-scenario", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scenario", "bogus"}, &out); err == nil {
 		t.Error("unknown scenario succeeded, want error")
 	}
 	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.05}]}`)
-	if err := run([]string{"-model", path, "-arch", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-arch", "bogus"}, &out); err == nil {
 		t.Error("unknown architecture succeeded, want error")
 	}
-	if err := run([]string{"-model", path, "-reps", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-reps", "0"}, &out); err == nil {
 		t.Error("zero reps succeeded, want error")
 	}
-	if err := run([]string{"-model", path, "-correlation", "2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-correlation", "2"}, &out); err == nil {
 		t.Error("invalid correlation succeeded, want error")
 	}
 }
@@ -100,7 +102,7 @@ func TestRunRareEstimation(t *testing.T) {
 
 	path := writeModel(t, `{"name": "rare", "faults": [{"p": 0.003, "q": 0.001}, {"p": 0.002, "q": 0.002}]}`)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-reps", "20000", "-rare"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-reps", "20000", "-rare"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	text := out.String()
@@ -108,5 +110,47 @@ func TestRunRareEstimation(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestFlagValidation checks that invalid flag combinations fail with a
+// clear error before any simulation work starts: the huge replication
+// counts below would take minutes if validation ran after the work.
+func TestFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.05}]}`)
+	cases := []struct {
+		name    string
+		args    []string
+		wantSub string
+	}{
+		{"zero reps", []string{"-model", path, "-reps", "0"}, "replication count 0"},
+		{"negative reps", []string{"-model", path, "-reps", "-5"}, "replication count -5"},
+		{"negative workers", []string{"-model", path, "-reps", "100000000", "-workers", "-1"}, "worker count -1"},
+		{"zero versions", []string{"-model", path, "-reps", "100000000", "-versions", "0"}, "versions per replication 0"},
+		{"unknown arch", []string{"-model", path, "-arch", "sideways"}, `unknown architecture "sideways"`},
+		{"correlation above one", []string{"-model", path, "-correlation", "2"}, "must be a probability"},
+		{"both model and scenario", []string{"-model", path, "-scenario", "safety-grade"}, "not both"},
+		{"no model", nil, "a model is required"},
+		{"unknown scenario", []string{"-scenario", "bogus"}, `unknown scenario "bogus"`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var out strings.Builder
+			start := time.Now()
+			err := run(context.Background(), tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.wantSub)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Errorf("validation took %v; it must fail before any work starts", elapsed)
+			}
+		})
 	}
 }

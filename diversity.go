@@ -46,8 +46,11 @@
 package diversity
 
 import (
+	"context"
+
 	"diversity/internal/bayes"
 	"diversity/internal/devsim"
+	"diversity/internal/engine"
 	"diversity/internal/faultmodel"
 	"diversity/internal/montecarlo"
 	"diversity/internal/randx"
@@ -156,8 +159,21 @@ func NewStream(seed uint64) *Stream { return randx.NewStream(seed) }
 func NewIndependentProcess(fs *FaultSet) Process { return devsim.NewIndependentProcess(fs) }
 
 // MonteCarlo replicates the fault creation process, returning simulated
-// version and system PFD populations.
-func MonteCarlo(cfg MonteCarloConfig) (*MonteCarloResult, error) { return montecarlo.Run(cfg) }
+// version and system PFD populations. It delegates to the unified
+// execution engine with a background context; see MonteCarloContext to
+// make long runs cancellable.
+func MonteCarlo(cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	return MonteCarloContext(context.Background(), cfg)
+}
+
+// MonteCarloContext is MonteCarlo under a context: a cancelled context
+// stops the replication workers promptly and returns an error wrapping
+// ctx.Err(). Configurations carry an opaque development process, so these
+// runs bypass the engine's result cache; use RunJob with a Monte-Carlo
+// job spec for cacheable runs.
+func MonteCarloContext(ctx context.Context, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	return engine.Default().RunConfig(ctx, cfg)
+}
 
 // PriorFromModel builds a Bayesian prior over the two-version system PFD
 // from the fault-set model.

@@ -1,0 +1,74 @@
+// Package cliutil holds the flag-handling helpers shared by the cmd/
+// tools: model selection (previously duplicated verbatim between mcsim
+// and diversity), fail-fast count validation, and progress printing for
+// engine-routed runs.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+
+	"diversity/internal/engine"
+	"diversity/internal/modelfile"
+	"diversity/internal/scenario"
+)
+
+// JobModel builds the engine model spec selected by the -model/-scenario
+// flag pair. A model file is loaded eagerly and inlined into the spec so
+// that the job hash covers the model parameters rather than the path; a
+// scenario is validated here but carried by reference (name + seed).
+func JobModel(modelPath, scenarioName string, seed uint64) (engine.ModelSpec, error) {
+	switch {
+	case modelPath != "" && scenarioName != "":
+		return engine.ModelSpec{}, fmt.Errorf("specify either -model or -scenario, not both")
+	case modelPath != "":
+		fs, name, err := modelfile.Load(modelPath)
+		if err != nil {
+			return engine.ModelSpec{}, err
+		}
+		return engine.ModelFromFaultSet(fs, name), nil
+	case scenarioName != "":
+		if _, err := scenario.ByName(scenarioName, seed); err != nil {
+			return engine.ModelSpec{}, err
+		}
+		return engine.ModelSpec{Scenario: scenarioName, ScenarioSeed: seed}, nil
+	default:
+		return engine.ModelSpec{}, fmt.Errorf("a model is required: pass -model <file> or -scenario <name>")
+	}
+}
+
+// ValidateCounts fails fast — before any model loading or simulation
+// work — on replication and worker counts no run mode accepts.
+func ValidateCounts(reps, workers int) error {
+	if reps < 1 {
+		return fmt.Errorf("replication count %d must be at least 1 (pass -reps >= 1)", reps)
+	}
+	if workers < 0 {
+		return fmt.Errorf("worker count %d must not be negative (0 means all cores)", workers)
+	}
+	return nil
+}
+
+// ProgressPrinter returns an engine progress hook that writes compact
+// updates to w (conventionally stderr, keeping stdout byte-stable): one
+// line per stage change and one per completed decile within a stage.
+func ProgressPrinter(w io.Writer) func(engine.Progress) {
+	lastStage := ""
+	lastDecile := -1
+	return func(p engine.Progress) {
+		if p.Stage != lastStage {
+			lastStage = p.Stage
+			lastDecile = -1
+		}
+		if p.Total <= 0 {
+			fmt.Fprintf(w, "progress: %s\n", p.Stage)
+			return
+		}
+		decile := p.Done * 10 / p.Total
+		if decile <= lastDecile {
+			return
+		}
+		lastDecile = decile
+		fmt.Fprintf(w, "progress: %s %3d%% (%d/%d)\n", p.Stage, p.Done*100/p.Total, p.Done, p.Total)
+	}
+}

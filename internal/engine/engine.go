@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"diversity/internal/devsim"
+	"diversity/internal/experiments"
+	"diversity/internal/faultmodel"
+	"diversity/internal/montecarlo"
+)
+
+// Progress is one progress report from a running job.
+type Progress struct {
+	// Stage identifies the phase: "replications" while Monte-Carlo
+	// replications complete, an experiment ID while the suite runs, or an
+	// estimator name during rare-event jobs.
+	Stage string
+	// Done and Total count units within the stage: replications for
+	// simulation stages, experiments for suite runs.
+	Done, Total int
+}
+
+// Options configure an Engine.
+type Options struct {
+	// CacheSize caps the number of cached results; values <= 0 select the
+	// default of 128.
+	CacheSize int
+	// DisableCache turns result caching off entirely.
+	DisableCache bool
+	// Progress, when non-nil, receives progress reports. The engine
+	// serialises calls, so the callback needs no locking of its own.
+	Progress func(Progress)
+}
+
+// Engine executes jobs, caching results by canonical job hash.
+type Engine struct {
+	cache      *lruCache // nil when caching is disabled
+	progressMu sync.Mutex
+	progress   func(Progress)
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	e := &Engine{progress: opts.Progress}
+	if !opts.DisableCache {
+		size := opts.CacheSize
+		if size <= 0 {
+			size = 128
+		}
+		e.cache = newLRUCache(size)
+	}
+	return e
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the shared process-wide engine (default cache size, no
+// progress hook). The facade's Run-style helpers route through it.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}
+
+// Run executes a job through the default engine.
+func Run(ctx context.Context, job Job) (*Result, error) {
+	return Default().Run(ctx, job)
+}
+
+// emit forwards a progress report to the configured hook, serialising
+// concurrent reporters (Monte-Carlo workers report from their shards).
+func (e *Engine) emit(p Progress) {
+	if e.progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
+	e.progress(p)
+}
+
+// Result is the outcome of a job: a kind-discriminated envelope plus the
+// resolved model. Results served from the cache are shared — treat every
+// field as immutable.
+type Result struct {
+	// Kind echoes the job kind; Hash is the canonical job hash.
+	Kind JobKind
+	Hash string
+	// FromCache reports that the result was served from the cache without
+	// recomputation.
+	FromCache bool
+	// ModelName and FaultSet describe the resolved model (nil for
+	// experiment-suite jobs, which sweep their own scenario populations).
+	ModelName string
+	FaultSet  *faultmodel.FaultSet
+	// Exactly one of the following is set, matching Kind.
+	MonteCarlo  *montecarlo.Result
+	RareEvent   *RareEventResult
+	Experiments []*experiments.Result
+	Analytic    *AnalyticResult
+}
+
+// RareEventResult pairs the importance-sampled estimate with the naive
+// baseline and the closed form it cross-checks.
+type RareEventResult struct {
+	ImportanceSampling montecarlo.RareEventEstimate
+	Naive              montecarlo.RareEventEstimate
+	// ClosedForm is the exact P(N_m > 0) = 1 - Π(1 - p_i^m).
+	ClosedForm float64
+}
+
+// ConfidenceBound is one row of the analytic report's confidence table.
+type ConfidenceBound struct {
+	// Versions is the system size m the bound is for.
+	Versions int
+	// Bound is the normal-approximation bound at the requested level.
+	Bound float64
+	// ExactQuantile is the same level's quantile of the exact PFD
+	// distribution; HasExact reports whether the fault universe was small
+	// enough to enumerate it.
+	ExactQuantile float64
+	HasExact      bool
+}
+
+// AnalyticResult carries the assessor-facing quantities of an analytic
+// job: everything the diversity CLI tabulates.
+type AnalyticResult struct {
+	// Gain holds the µ/σ moments and the formula (11)/(12) bounds at the
+	// requested k.
+	Gain faultmodel.GainReport
+	// SigmaBoundFactor is sqrt(pmax(1+pmax)), equation (9).
+	SigmaBoundFactor float64
+	// RiskRatio is the equation-(10) ratio; HasRiskRatio is false when it
+	// is undefined (no fault can occur).
+	RiskRatio    float64
+	HasRiskRatio bool
+	// SuccessRatio is the footnote-5 ratio P(N2=0)/P(N1=0).
+	SuccessRatio float64
+	// Confidence echoes the requested level; Bounds holds the one- and
+	// two-version rows.
+	Confidence float64
+	Bounds     []ConfidenceBound
+}
+
+// Run executes a job: validate, consult the cache, compute, store. It is
+// the single execution path for every run mode; a cancelled context makes
+// the underlying simulation loops return promptly with an error wrapping
+// ctx.Err().
+func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := job.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		if cached, ok := e.cache.get(hash); ok {
+			hit := *cached
+			hit.FromCache = true
+			return &hit, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: job cancelled before start: %w", err)
+	}
+	job = job.normalized()
+	var res *Result
+	switch job.Kind {
+	case JobMonteCarlo:
+		res, err = e.runMonteCarlo(ctx, job.MonteCarlo)
+	case JobRareEvent:
+		res, err = e.runRareEvent(ctx, job.RareEvent)
+	case JobExperiments:
+		res, err = e.runExperiments(ctx, job.Experiments)
+	case JobAnalytic:
+		res, err = e.runAnalytic(job.Analytic)
+	default:
+		err = fmt.Errorf("engine: unknown job kind %q", job.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Kind = job.Kind
+	res.Hash = hash
+	if e.cache != nil {
+		e.cache.put(hash, res)
+	}
+	return res, nil
+}
+
+// RunConfig executes a raw Monte-Carlo configuration through the engine's
+// execution core. The facade's MonteCarlo helpers delegate here: an opaque
+// Process cannot be canonically hashed, so these runs get cancellation and
+// progress reporting but bypass the cache.
+func (e *Engine) RunConfig(ctx context.Context, cfg montecarlo.Config) (*montecarlo.Result, error) {
+	if cfg.Progress == nil && e.progress != nil {
+		cfg.Progress = func(done, total int) {
+			e.emit(Progress{Stage: "replications", Done: done, Total: total})
+		}
+	}
+	return montecarlo.RunContext(ctx, cfg)
+}
+
+func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec) (*Result, error) {
+	fs, name, err := spec.Model.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	arch, err := ParseArch(spec.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	var proc devsim.Process
+	if spec.Correlation > 0 {
+		proc, err = devsim.NewCommonCauseProcess(fs, spec.Correlation, spec.Boost)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		proc = devsim.NewIndependentProcess(fs)
+	}
+	mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
+		Process:  proc,
+		Versions: spec.Versions,
+		Arch:     arch,
+		Reps:     spec.Reps,
+		Workers:  spec.Workers,
+		Seed:     spec.Seed,
+		Progress: func(done, total int) {
+			e.emit(Progress{Stage: "replications", Done: done, Total: total})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ModelName: name, FaultSet: fs, MonteCarlo: mc}, nil
+}
+
+func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec) (*Result, error) {
+	fs, name, err := spec.Model.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	truth, err := fs.PAnyFault(spec.Versions)
+	if err != nil {
+		return nil, err
+	}
+	e.emit(Progress{Stage: "importance sampling", Done: 0, Total: spec.Reps})
+	is, err := montecarlo.EstimateRareSystemFaultContext(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget)
+	if err != nil {
+		return nil, err
+	}
+	e.emit(Progress{Stage: "naive Monte Carlo", Done: 0, Total: spec.Reps})
+	naive, err := montecarlo.EstimateNaiveSystemFaultContext(ctx, fs, spec.Versions, spec.Reps, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ModelName: name,
+		FaultSet:  fs,
+		RareEvent: &RareEventResult{ImportanceSampling: is, Naive: naive, ClosedForm: truth},
+	}, nil
+}
+
+func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec) (*Result, error) {
+	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick}
+	results := make([]*experiments.Result, 0, len(spec.IDs))
+	for i, id := range spec.IDs {
+		e.emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})
+		res, err := experiments.RunContext(ctx, id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	e.emit(Progress{Stage: "done", Done: len(spec.IDs), Total: len(spec.IDs)})
+	return &Result{Experiments: results}, nil
+}
+
+func (e *Engine) runAnalytic(spec *AnalyticSpec) (*Result, error) {
+	fs, name, err := spec.Model.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	gain, err := fs.Gain(spec.K)
+	if err != nil {
+		return nil, err
+	}
+	factor, err := faultmodel.SigmaBoundFactor(fs.PMax())
+	if err != nil {
+		return nil, err
+	}
+	ar := &AnalyticResult{
+		Gain:             gain,
+		SigmaBoundFactor: factor,
+		SuccessRatio:     fs.SuccessRatio(),
+		Confidence:       spec.Confidence,
+	}
+	if ratio, err := fs.RiskRatio(); err == nil {
+		ar.RiskRatio, ar.HasRiskRatio = ratio, true
+	}
+	for _, m := range []int{1, 2} {
+		bound, err := fs.ConfidenceBoundAt(m, spec.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		cb := ConfidenceBound{Versions: m, Bound: bound}
+		if fs.N() <= faultmodel.MaxExactFaults {
+			dist, err := fs.ExactPFD(m)
+			if err != nil {
+				return nil, err
+			}
+			q, err := dist.Quantile(spec.Confidence)
+			if err != nil {
+				return nil, err
+			}
+			cb.ExactQuantile, cb.HasExact = q, true
+		}
+		ar.Bounds = append(ar.Bounds, cb)
+	}
+	return &Result{ModelName: name, FaultSet: fs, Analytic: ar}, nil
+}

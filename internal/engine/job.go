@@ -1,0 +1,346 @@
+// Package engine is the unified execution layer: every run path of the
+// repository — Monte-Carlo simulation of the fault creation process,
+// rare-event estimation, the paper's experiment suite, and the analytic
+// assessor report — is expressed as a typed, JSON-serialisable Job and
+// executed through a single Run(ctx, job) entry point.
+//
+// Jobs are hermetic: a job spec names its model either as a scenario
+// (name + generation seed) or as inline fault parameters, never as a file
+// path, so the canonical JSON encoding of a job fully determines its
+// result. That makes jobs hashable, and the engine exploits it with an
+// in-memory LRU result cache keyed by the canonical job hash: repeated
+// identical runs (same model, seed, reps, arch, workers) are served
+// without recomputation. Execution is context-aware end to end —
+// cancellation propagates into the Monte-Carlo worker shards — and a
+// progress hook reports replications completed and per-experiment stages.
+// The engine is the substrate for serving, batching and sharding layers;
+// the three CLIs (mcsim, diversity, experiments) are thin clients of it.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"diversity/internal/experiments"
+	"diversity/internal/faultmodel"
+	"diversity/internal/scenario"
+	"diversity/internal/system"
+)
+
+// JobKind identifies what a job computes.
+type JobKind string
+
+const (
+	// JobMonteCarlo replicates the fault creation process and measures
+	// the version and system PFD populations.
+	JobMonteCarlo JobKind = "montecarlo"
+	// JobRareEvent estimates P(system carries any defeating fault) by
+	// importance sampling, with the naive estimator and the closed form
+	// alongside.
+	JobRareEvent JobKind = "rare-event"
+	// JobExperiments runs paper-vs-measured experiments from the suite.
+	JobExperiments JobKind = "experiments"
+	// JobAnalytic computes the assessor-facing analytic report: moments,
+	// gain bounds, risk ratios, and confidence bounds.
+	JobAnalytic JobKind = "analytic"
+)
+
+// hashDomain versions the canonical encoding; bump it when a change to the
+// job schema or to result semantics must invalidate previously cached or
+// persisted hashes.
+const hashDomain = "diversity/engine/v1"
+
+// ModelSpec names the fault-set model a job runs against. Exactly one of
+// Scenario or Faults must be set. Model files are resolved to inline
+// faults by the caller (see cliutil.JobModel) so that the spec — and hence
+// the job hash — depends on the model parameters, not on a path.
+type ModelSpec struct {
+	// Scenario is a named scenario regime (see internal/scenario);
+	// ScenarioSeed drives its generation.
+	Scenario     string `json:"scenario,omitempty"`
+	ScenarioSeed uint64 `json:"scenarioSeed,omitempty"`
+	// Faults are inline model parameters; Name is their display name.
+	Faults []faultmodel.Fault `json:"faults,omitempty"`
+	Name   string             `json:"name,omitempty"`
+}
+
+func (m ModelSpec) validate() error {
+	switch {
+	case m.Scenario != "" && len(m.Faults) > 0:
+		return fmt.Errorf("engine: model spec names scenario %q and %d inline faults; want exactly one", m.Scenario, len(m.Faults))
+	case m.Scenario == "" && len(m.Faults) == 0:
+		return fmt.Errorf("engine: model spec is empty: set Scenario or Faults")
+	}
+	return nil
+}
+
+// Resolve generates or assembles the fault set the spec names, returning
+// it with its display name.
+func (m ModelSpec) Resolve() (*faultmodel.FaultSet, string, error) {
+	if err := m.validate(); err != nil {
+		return nil, "", err
+	}
+	if m.Scenario != "" {
+		sc, err := scenario.ByName(m.Scenario, m.ScenarioSeed)
+		if err != nil {
+			return nil, "", fmt.Errorf("engine: %w", err)
+		}
+		return sc.FaultSet, sc.Name, nil
+	}
+	fs, err := faultmodel.New(m.Faults)
+	if err != nil {
+		return nil, "", fmt.Errorf("engine: inline model invalid: %w", err)
+	}
+	return fs, m.Name, nil
+}
+
+// ModelFromFaultSet returns an inline ModelSpec carrying the fault set's
+// parameters.
+func ModelFromFaultSet(fs *faultmodel.FaultSet, name string) ModelSpec {
+	faults := make([]faultmodel.Fault, fs.N())
+	for i := range faults {
+		faults[i] = fs.Fault(i)
+	}
+	return ModelSpec{Faults: faults, Name: name}
+}
+
+// MonteCarloSpec parameterises a Monte-Carlo replication job.
+type MonteCarloSpec struct {
+	Model ModelSpec `json:"model"`
+	// Versions is the number of versions per replication.
+	Versions int `json:"versions"`
+	// Arch is the adjudication architecture: "1oom" (default) or
+	// "majority".
+	Arch string `json:"arch,omitempty"`
+	// Reps is the number of replications; Workers the number of worker
+	// goroutines (0 = all cores; normalised before hashing because the
+	// shard split affects the sampled streams).
+	Reps    int    `json:"reps"`
+	Workers int    `json:"workers,omitempty"`
+	Seed    uint64 `json:"seed"`
+	// Correlation > 0 develops versions with the common-cause process
+	// (Boost is its boost factor); zero is the paper's independent model.
+	Correlation float64 `json:"correlation,omitempty"`
+	Boost       float64 `json:"boost,omitempty"`
+}
+
+// RareEventSpec parameterises an importance-sampling estimation job.
+type RareEventSpec struct {
+	Model    ModelSpec `json:"model"`
+	Versions int       `json:"versions"`
+	Reps     int       `json:"reps"`
+	Seed     uint64    `json:"seed"`
+	// TiltTarget is the per-fault presence probability under the tilted
+	// measure; 0 selects the default of 0.3.
+	TiltTarget float64 `json:"tiltTarget,omitempty"`
+}
+
+// ExperimentsSpec parameterises a paper-experiment suite job.
+type ExperimentsSpec struct {
+	// IDs selects experiments in run order; empty means the full suite.
+	IDs  []string `json:"ids,omitempty"`
+	Seed uint64   `json:"seed"`
+	// Quick reduces replication counts by roughly an order of magnitude.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// AnalyticSpec parameterises an assessor-report job.
+type AnalyticSpec struct {
+	Model ModelSpec `json:"model"`
+	// K is the sigma multiplier for the µ+kσ bounds.
+	K float64 `json:"k"`
+	// Confidence is the level for the normal-approximation bounds.
+	Confidence float64 `json:"confidence"`
+}
+
+// Job is one unit of executable work: a kind plus the matching spec. Jobs
+// marshal to canonical JSON and are hashable; construct them with the
+// NewXxxJob helpers or directly.
+type Job struct {
+	Kind        JobKind          `json:"kind"`
+	MonteCarlo  *MonteCarloSpec  `json:"montecarlo,omitempty"`
+	RareEvent   *RareEventSpec   `json:"rareEvent,omitempty"`
+	Experiments *ExperimentsSpec `json:"experiments,omitempty"`
+	Analytic    *AnalyticSpec    `json:"analytic,omitempty"`
+}
+
+// NewMonteCarloJob wraps a Monte-Carlo spec as a Job.
+func NewMonteCarloJob(spec MonteCarloSpec) Job {
+	return Job{Kind: JobMonteCarlo, MonteCarlo: &spec}
+}
+
+// NewRareEventJob wraps a rare-event spec as a Job.
+func NewRareEventJob(spec RareEventSpec) Job {
+	return Job{Kind: JobRareEvent, RareEvent: &spec}
+}
+
+// NewExperimentsJob wraps an experiment-suite spec as a Job.
+func NewExperimentsJob(spec ExperimentsSpec) Job {
+	return Job{Kind: JobExperiments, Experiments: &spec}
+}
+
+// NewAnalyticJob wraps an analytic spec as a Job.
+func NewAnalyticJob(spec AnalyticSpec) Job {
+	return Job{Kind: JobAnalytic, Analytic: &spec}
+}
+
+// ParseArch maps a spec architecture name to the system architecture; the
+// empty string selects the 1-out-of-m default.
+func ParseArch(name string) (system.Architecture, error) {
+	switch name {
+	case "", "1oom":
+		return system.Arch1OutOfM, nil
+	case "majority":
+		return system.ArchMajority, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q (want 1oom or majority)", name)
+	}
+}
+
+// Validate checks that the job carries exactly the spec its kind requires
+// and that the spec's parameters are executable. It mirrors the checks the
+// underlying run paths perform, so invalid jobs fail before any work (and
+// before touching the cache).
+func (j Job) Validate() error {
+	specs := 0
+	for _, set := range []bool{j.MonteCarlo != nil, j.RareEvent != nil, j.Experiments != nil, j.Analytic != nil} {
+		if set {
+			specs++
+		}
+	}
+	if specs != 1 {
+		return fmt.Errorf("engine: job must carry exactly one spec, has %d", specs)
+	}
+	switch j.Kind {
+	case JobMonteCarlo:
+		spec := j.MonteCarlo
+		if spec == nil {
+			return fmt.Errorf("engine: %s job is missing its spec", j.Kind)
+		}
+		if err := spec.Model.validate(); err != nil {
+			return err
+		}
+		if spec.Versions < 1 {
+			return fmt.Errorf("engine: versions per replication %d must be at least 1", spec.Versions)
+		}
+		if spec.Reps < 1 {
+			return fmt.Errorf("engine: replication count %d must be at least 1", spec.Reps)
+		}
+		if spec.Workers < 0 {
+			return fmt.Errorf("engine: worker count %d must not be negative", spec.Workers)
+		}
+		if _, err := ParseArch(spec.Arch); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		if spec.Correlation < 0 || spec.Correlation > 1 {
+			return fmt.Errorf("engine: correlation %v must be a probability", spec.Correlation)
+		}
+	case JobRareEvent:
+		spec := j.RareEvent
+		if spec == nil {
+			return fmt.Errorf("engine: %s job is missing its spec", j.Kind)
+		}
+		if err := spec.Model.validate(); err != nil {
+			return err
+		}
+		if spec.Versions < 1 {
+			return fmt.Errorf("engine: versions per replication %d must be at least 1", spec.Versions)
+		}
+		if spec.Reps < 2 {
+			return fmt.Errorf("engine: replication count %d must be at least 2", spec.Reps)
+		}
+		if spec.TiltTarget < 0 || spec.TiltTarget >= 1 {
+			return fmt.Errorf("engine: tilt target %v must be in [0, 1)", spec.TiltTarget)
+		}
+	case JobExperiments:
+		if j.Experiments == nil {
+			return fmt.Errorf("engine: %s job is missing its spec", j.Kind)
+		}
+	case JobAnalytic:
+		spec := j.Analytic
+		if spec == nil {
+			return fmt.Errorf("engine: %s job is missing its spec", j.Kind)
+		}
+		if err := spec.Model.validate(); err != nil {
+			return err
+		}
+		if spec.K < 0 {
+			return fmt.Errorf("engine: sigma multiplier k=%v must be non-negative", spec.K)
+		}
+	default:
+		return fmt.Errorf("engine: unknown job kind %q", j.Kind)
+	}
+	return nil
+}
+
+// normalized returns the job with derived defaults filled in, so that two
+// specs describing the same computation hash identically: Monte-Carlo
+// worker counts are resolved (0 → all cores) and clamped to the
+// replication count (the shard split, and hence the sampled streams,
+// depends on the effective worker count); a zero rare-event tilt becomes
+// the 0.3 default; an empty experiment selection becomes the full suite;
+// an empty architecture becomes the explicit 1oom default.
+func (j Job) normalized() Job {
+	switch j.Kind {
+	case JobMonteCarlo:
+		spec := *j.MonteCarlo
+		if spec.Workers <= 0 {
+			spec.Workers = runtime.GOMAXPROCS(0)
+		}
+		if spec.Workers > spec.Reps {
+			spec.Workers = spec.Reps
+		}
+		if spec.Arch == "" {
+			spec.Arch = "1oom"
+		}
+		if spec.Correlation == 0 {
+			spec.Boost = 0
+		}
+		j.MonteCarlo = &spec
+	case JobRareEvent:
+		spec := *j.RareEvent
+		if spec.TiltTarget == 0 {
+			spec.TiltTarget = 0.3
+		}
+		j.RareEvent = &spec
+	case JobExperiments:
+		spec := *j.Experiments
+		if len(spec.IDs) == 0 {
+			spec.IDs = experiments.IDs()
+		}
+		j.Experiments = &spec
+	}
+	return j
+}
+
+// CanonicalJSON returns the canonical encoding of the normalised job: the
+// deterministic, schema-ordered JSON document the job hash is computed
+// over.
+func (j Job) CanonicalJSON() ([]byte, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	doc, err := json.Marshal(j.normalized())
+	if err != nil {
+		return nil, fmt.Errorf("engine: encoding job: %w", err)
+	}
+	return doc, nil
+}
+
+// Hash returns the canonical job hash: hex SHA-256 over a domain prefix
+// and the canonical JSON. Jobs with equal hashes compute identical
+// results, which is what makes the hash a sound cache key.
+func (j Job) Hash() (string, error) {
+	doc, err := j.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(hashDomain))
+	h.Write([]byte{0})
+	h.Write(doc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ var _ = register("E23", runE23Adjudicator)
 // combination of binary outputs"): a real voter/actuator stage fails on a
 // demand with its own probability, flooring the total system PFD and
 // saturating the gain that software diversity can deliver.
-func runE23Adjudicator(cfg Config) (*Result, error) {
+func runE23Adjudicator(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E23",
 		Title: "Extension: imperfect adjudication floors the diversity gain",

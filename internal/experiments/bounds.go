@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -17,7 +18,7 @@ var _ = register("E07", runE07PmaxTable)
 
 // runE07PmaxTable regenerates the paper's only numeric table (Section
 // 5.1): pmax against the bound factor sqrt(pmax(1+pmax)).
-func runE07PmaxTable(cfg Config) (*Result, error) {
+func runE07PmaxTable(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E07",
 		Title: "Section 5.1 table: pmax vs sqrt(pmax(1+pmax))",
@@ -83,7 +84,7 @@ var _ = register("E08", runE08WorkedExample)
 
 // runE08WorkedExample regenerates the Section-5.1 worked example:
 // µ1 = 0.01, σ1 = 0.001, 84% confidence (k = 1), pmax = 0.1.
-func runE08WorkedExample(cfg Config) (*Result, error) {
+func runE08WorkedExample(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E08",
 		Title: "Section 5.1 worked example: assessor bounds at 84% confidence",
@@ -161,7 +162,7 @@ var _ = register("E09", runE09NormalApprox)
 // the normal approximation N(µ, σ) describes the exact PFD distribution as
 // the number of potential faults grows, and how accurate the resulting
 // percentile bounds are.
-func runE09NormalApprox(cfg Config) (*Result, error) {
+func runE09NormalApprox(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E09",
 		Title: "Section 5 normal approximation: CLT quality vs fault count",
@@ -233,7 +234,7 @@ func runE09NormalApprox(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := montecarlo.Run(montecarlo.Config{
+	mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 		Process:  devsim.NewIndependentProcess(sc.FaultSet),
 		Versions: 2,
 		Reps:     cfg.reps(100000),
@@ -299,7 +300,7 @@ var _ = register("E10", runE10BoundTrends)
 // improvement the bound RATIO grows; under single-fault improvement it can
 // move either way; and the bound DIFFERENCE grows with any increase of any
 // p_i.
-func runE10BoundTrends(cfg Config) (*Result, error) {
+func runE10BoundTrends(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E10",
 		Title: "Section 5.2: bound-gain trends under process improvement",

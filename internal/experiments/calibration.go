@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,7 +23,7 @@ var _ = register("E22", runE22Calibration)
 // fault counts, feeds it into formulas (4) and (12), and verifies that the
 // resulting reliability claims hold against the true model at the stated
 // confidence.
-func runE22Calibration(cfg Config) (*Result, error) {
+func runE22Calibration(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E22",
 		Title: "Extension: assessor calibration of pmax from past projects (Section 6.3)",

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -89,8 +90,9 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
-// Runner executes one experiment.
-type Runner func(cfg Config) (*Result, error)
+// Runner executes one experiment. The context is threaded into every
+// simulation-backed workload so long experiments cancel promptly.
+type Runner func(ctx context.Context, cfg Config) (*Result, error)
 
 // registry maps experiment IDs to runners. Populated by the e*.go files.
 var registry = map[string]Runner{}
@@ -115,13 +117,24 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. It is equivalent to
+// RunContext with a background context.
 func Run(id string, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext executes the experiment with the given ID under a context;
+// a cancelled context aborts the experiment's simulation workloads and
+// returns an error wrapping ctx.Err().
+func RunContext(ctx context.Context, id string, cfg Config) (*Result, error) {
 	runner, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	res, err := runner(cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res, err := runner(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
@@ -130,9 +143,16 @@ func Run(id string, cfg Config) (*Result, error) {
 
 // RunAll executes every registered experiment in ID order.
 func RunAll(cfg Config) ([]*Result, error) {
+	return RunAllContext(context.Background(), cfg)
+}
+
+// RunAllContext executes every registered experiment in ID order under a
+// context, checking for cancellation between experiments as well as inside
+// each experiment's workloads.
+func RunAllContext(ctx context.Context, cfg Config) ([]*Result, error) {
 	var results []*Result
 	for _, id := range IDs() {
-		res, err := Run(id, cfg)
+		res, err := RunContext(ctx, id, cfg)
 		if err != nil {
 			return nil, err
 		}

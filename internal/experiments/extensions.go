@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -23,7 +24,7 @@ var _ = register("E18", runE18ForcedDiversity)
 // per-fault average skill, forcing diversity never raises the mean system
 // PFD — and helps most when the processes' difficulty profiles are
 // anti-correlated.
-func runE18ForcedDiversity(cfg Config) (*Result, error) {
+func runE18ForcedDiversity(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E18",
 		Title: "Extension: forced diversity (two development processes)",
@@ -132,7 +133,7 @@ var _ = register("E19", runE19NVersion)
 // N-version arrangements: 1-out-of-m systems (a fault must survive every
 // development) and 2-out-of-3 majority voting, comparing analytic means
 // with Monte Carlo.
-func runE19NVersion(cfg Config) (*Result, error) {
+func runE19NVersion(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E19",
 		Title: "Extension: N-version arrangements (1-out-of-m, 2-out-of-3)",
@@ -184,7 +185,7 @@ func runE19NVersion(cfg Config) (*Result, error) {
 	}
 	means := make([]float64, len(arrangements))
 	for i, arr := range arrangements {
-		mc, err := montecarlo.Run(montecarlo.Config{
+		mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 			Process:  devsim.NewIndependentProcess(fs),
 			Versions: arr.versions,
 			Arch:     arr.arch,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -18,7 +19,7 @@ var _ = register("E15", runE15KnightLeveson)
 // the Knight–Leveson experiment: over a 27-version population, diversity
 // reduces the sample mean of the PFD and greatly reduces its standard
 // deviation, while the version PFD sample itself is far from normal.
-func runE15KnightLeveson(cfg Config) (*Result, error) {
+func runE15KnightLeveson(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E15",
 		Title: "Section 7: Knight-Leveson qualitative check (synthetic replica)",
@@ -95,7 +96,7 @@ var _ = register("E16", runE16ELLM)
 // runE16ELLM re-derives the Eckhardt–Lee / Littlewood–Miller baseline
 // conclusions inside this model (the paper: "easily re-derived here") and
 // exhibits the LM regime that diverse methodologies can beat independence.
-func runE16ELLM(cfg Config) (*Result, error) {
+func runE16ELLM(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E16",
 		Title: "Section 2 / EL-LM baselines: coincident-failure results re-derived",
@@ -189,7 +190,7 @@ var _ = register("E17", runE17Bayes)
 // runE17Bayes exercises the paper's proposed extension (conclusions /
 // ref [14]): the fault-creation model as a physically motivated prior for
 // Bayesian assessment from observed failure-free operation.
-func runE17Bayes(cfg Config) (*Result, error) {
+func runE17Bayes(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E17",
 		Title: "Extension: model-based Bayesian assessment from operation",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -21,7 +22,7 @@ var _ = register("E11", runE11DemandSpace)
 // abstraction: failure regions of assorted shapes in a 2-D demand space,
 // with the simulated PFD of a version equal to the summed measures of its
 // disjoint regions.
-func runE11DemandSpace(cfg Config) (*Result, error) {
+func runE11DemandSpace(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E11",
 		Title: "Fig. 2 / Section 2.1: failure regions in a 2-D demand space",
@@ -138,7 +139,7 @@ var _ = register("E12", runE12ProtectionSystem)
 // protection DES; the observed system PFD must match the fault-level
 // model's common-fault PFD, and the long-run average over many
 // development pairs must approach µ2.
-func runE12ProtectionSystem(cfg Config) (*Result, error) {
+func runE12ProtectionSystem(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E12",
 		Title: "Fig. 1: dual-channel 1-out-of-2 protection system simulation",
@@ -243,7 +244,7 @@ var _ = register("E13", runE13Correlation)
 // runE13Correlation probes Section 6.1: how positive (common-cause) and
 // negative (resource-shift) correlation between development mistakes move
 // the model's predictions, with marginals held fixed.
-func runE13Correlation(cfg Config) (*Result, error) {
+func runE13Correlation(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E13",
 		Title: "Section 6.1 sensitivity: correlated development mistakes",
@@ -279,7 +280,7 @@ func runE13Correlation(cfg Config) (*Result, error) {
 	}
 	results := make(map[string]*montecarlo.Result, len(rows))
 	for _, rw := range rows {
-		mc, err := montecarlo.Run(montecarlo.Config{
+		mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 			Process:  rw.proc,
 			Versions: 2,
 			Reps:     reps,
@@ -390,7 +391,7 @@ var _ = register("E14", runE14Overlap)
 // runE14Overlap probes Section 6.2: with overlapping failure regions the
 // disjointness assumption overstates the PFD — a pessimistic, hence
 // safe-side, error whose size grows with the overlap.
-func runE14Overlap(cfg Config) (*Result, error) {
+func runE14Overlap(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E14",
 		Title: "Section 6.2 sensitivity: overlapping failure regions",

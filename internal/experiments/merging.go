@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -20,7 +21,7 @@ var _ = register("E24", runE24FaultMerging)
 // "solving these models for higher values of the q_i parameters (and
 // correspondingly lower values of n) gives a first approximation to
 // modelling the effects of positive correlation".
-func runE24FaultMerging(cfg Config) (*Result, error) {
+func runE24FaultMerging(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E24",
 		Title: "Section 6.1 device: merged faults = perfectly correlated mistakes",
@@ -46,7 +47,7 @@ func runE24FaultMerging(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	reps := cfg.reps(200000)
-	mcTied, err := montecarlo.Run(montecarlo.Config{
+	mcTied, err := montecarlo.RunContext(ctx, montecarlo.Config{
 		Process:  tied,
 		Versions: 2,
 		Reps:     reps,
@@ -55,7 +56,7 @@ func runE24FaultMerging(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mcMerged, err := montecarlo.Run(montecarlo.Config{
+	mcMerged, err := montecarlo.RunContext(ctx, montecarlo.Config{
 		Process:  devsim.NewIndependentProcess(merged),
 		Versions: 2,
 		Reps:     reps,

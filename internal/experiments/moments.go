@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -18,7 +19,7 @@ var _ = register("E01", runE01Moments)
 // runE01Moments regenerates the Section-3 moment formulas (equations 1–2):
 // analytic µ1, σ1, µ2, σ2 against Monte-Carlo sample moments over version
 // populations, for each named scenario.
-func runE01Moments(cfg Config) (*Result, error) {
+func runE01Moments(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E01",
 		Title: "Section 3 eqs (1)-(2): PFD moments, model vs Monte Carlo",
@@ -37,7 +38,7 @@ func runE01Moments(cfg Config) (*Result, error) {
 	reps := cfg.reps(200000)
 	for _, sc := range scenarios {
 		fs := sc.FaultSet
-		mc, err := montecarlo.Run(montecarlo.Config{
+		mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 			Process:  devsim.NewIndependentProcess(fs),
 			Versions: 2,
 			Reps:     reps,
@@ -116,7 +117,7 @@ var _ = register("E02", runE02MeanBound)
 // runE02MeanBound regenerates the Section-3.1.1 result (equation 4):
 // µ2 <= pmax·µ1 — the assessor's guaranteed mean-gain bound — across
 // pmax regimes, reporting how tight the bound is.
-func runE02MeanBound(cfg Config) (*Result, error) {
+func runE02MeanBound(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E02",
 		Title: "Section 3.1.1 eq (4): guaranteed mean-PFD bound mu2 <= pmax*mu1",
@@ -181,7 +182,7 @@ var _ = register("E03", runE03SigmaBound)
 // runE03SigmaBound regenerates Section 3.1.2 (equations 5–9): the
 // standard-deviation ordering σ2 <= σ1 under the golden-ratio threshold
 // and the bound factor sqrt(pmax(1+pmax)).
-func runE03SigmaBound(cfg Config) (*Result, error) {
+func runE03SigmaBound(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E03",
 		Title: "Section 3.1.2 eqs (5)-(9): sigma ordering and bound factor",

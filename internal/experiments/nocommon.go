@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -20,7 +21,7 @@ var _ = register("E04", runE04NoCommonFault)
 // runE04NoCommonFault regenerates Section 4.1 (equation 10): the ratio
 // P(N2>0)/P(N1>0) — analytic versus Monte-Carlo — plus footnote 5's
 // success-ratio identity Π(1+p_i).
-func runE04NoCommonFault(cfg Config) (*Result, error) {
+func runE04NoCommonFault(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E04",
 		Title: "Section 4.1 eq (10): probability of no common fault",
@@ -50,7 +51,7 @@ func runE04NoCommonFault(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		mc, err := montecarlo.Run(montecarlo.Config{
+		mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 			Process:  devsim.NewIndependentProcess(fs),
 			Versions: 2,
 			Reps:     reps,
@@ -107,7 +108,7 @@ var _ = register("E05", runE05SingleFaultImprovement)
 // the risk ratio as a function of a single fault's presence probability is
 // non-monotone, with the stationary point given in closed form; improving
 // an already-unlikely fault class further REDUCES the gain from diversity.
-func runE05SingleFaultImprovement(cfg Config) (*Result, error) {
+func runE05SingleFaultImprovement(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E05",
 		Title: "Section 4.2.1 / Appendix A: single-fault process improvement",
@@ -223,7 +224,7 @@ var _ = register("E06", runE06ProportionalImprovement)
 // increasing in k — proportional process improvement always increases the
 // gain from diversity — verified analytically for random base vectors and
 // by Monte Carlo along one trajectory.
-func runE06ProportionalImprovement(cfg Config) (*Result, error) {
+func runE06ProportionalImprovement(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E06",
 		Title: "Section 4.2.2 / Appendix B: proportional process improvement",
@@ -294,7 +295,7 @@ func runE06ProportionalImprovement(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		mc, err := montecarlo.Run(montecarlo.Config{
+		mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 			Process:  devsim.NewIndependentProcess(improved),
 			Versions: 2,
 			Reps:     reps,

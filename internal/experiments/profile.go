@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -21,7 +22,7 @@ var _ = register("E25", runE25ProfileSensitivity)
 // experiment measures the same failure regions under a uniform assessment
 // profile and a peaked operational profile, and quantifies the
 // misprediction of both channel and system PFD.
-func runE25ProfileSensitivity(cfg Config) (*Result, error) {
+func runE25ProfileSensitivity(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E25",
 		Title: "Extension: demand-profile sensitivity of the q_i (Section 2.1)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -19,7 +20,7 @@ var _ = register("E20", runE20TestingTrade)
 // refs [6, 7, 13]): statistical testing as a realistic, NON-proportional
 // process improvement, and the budget trade between "one well-tested
 // version" and "two diverse, less-tested versions".
-func runE20TestingTrade(cfg Config) (*Result, error) {
+func runE20TestingTrade(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E20",
 		Title: "Extension: statistical testing vs diversity (refs [1,6,7,13])",
@@ -170,7 +171,7 @@ var _ = register("E21", runE21FunctionalDiversity)
 // regions depend on the same demand variable, the regions can coincide;
 // when each channel's regions depend on its own variable, the overlap is a
 // small rectangle and the channels fail nearly independently.
-func runE21FunctionalDiversity(cfg Config) (*Result, error) {
+func runE21FunctionalDiversity(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		ID:    "E21",
 		Title: "Extension: functional diversity in the demand space (Fig. 1 caption)",

@@ -11,15 +11,23 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"diversity/internal/devsim"
 	"diversity/internal/randx"
 	"diversity/internal/system"
 )
+
+// ctxCheckEvery is the number of replications a worker completes between
+// context checks and progress reports: coarse enough to keep the per-sample
+// hot path branch-free, fine enough that cancelling a multi-million-rep run
+// takes effect promptly.
+const ctxCheckEvery = 8192
 
 // Config parameterises a Monte-Carlo run.
 type Config struct {
@@ -38,6 +46,12 @@ type Config struct {
 	Workers int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Progress, when non-nil, is called as replications complete with the
+	// total completed so far and the configured total. It is invoked from
+	// worker goroutines at shard-chunk granularity (never per sample) and
+	// must therefore be safe for concurrent use. Progress does not affect
+	// the sampled distribution.
+	Progress func(done, total int)
 }
 
 // Result collects the outcome of a run.
@@ -77,8 +91,17 @@ func (res *Result) RiskRatio() (float64, error) {
 	return res.PSystemAnyFault() / denom, nil
 }
 
-// Run executes the configured Monte-Carlo experiment.
+// Run executes the configured Monte-Carlo experiment. It is equivalent to
+// RunContext with a background context.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the configured Monte-Carlo experiment under a
+// context. Cancellation is checked once per worker shard chunk (every
+// ctxCheckEvery replications), not per sample; a cancelled run returns an
+// error wrapping ctx.Err() and discards any partial results.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Process == nil {
 		return nil, errors.New("montecarlo: config requires a development process")
 	}
@@ -98,6 +121,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if workers > cfg.Reps {
 		workers = cfg.Reps
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("montecarlo: run cancelled before start: %w", err)
 	}
 
 	fs := cfg.Process.FaultSet()
@@ -129,6 +155,7 @@ func Run(cfg Config) (*Result, error) {
 		mu       sync.Mutex
 		firstErr error
 	)
+	var done atomic.Int64
 	counts := make([][2]int, workers) // per-worker (versionFaultFree, systemFaultFree)
 	for w := 0; w < workers; w++ {
 		w := w
@@ -137,26 +164,39 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			r := streams[w]
 			versions := make([]*devsim.Version, cfg.Versions)
-			for rep := shards[w].lo; rep < shards[w].hi; rep++ {
-				for i := range versions {
-					versions[i] = cfg.Process.Develop(r)
-				}
-				sys, err := system.New(fs, arch, versions...)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+			for lo := shards[w].lo; lo < shards[w].hi; lo += ctxCheckEvery {
+				if ctx.Err() != nil {
 					return
 				}
-				res.VersionPFD[rep] = versions[0].PFD()
-				res.SystemPFD[rep] = sys.PFD()
-				if versions[0].FaultCount() == 0 {
-					counts[w][0]++
+				hi := lo + ctxCheckEvery
+				if hi > shards[w].hi {
+					hi = shards[w].hi
 				}
-				if sys.SystemFaultCount() == 0 {
-					counts[w][1]++
+				for rep := lo; rep < hi; rep++ {
+					for i := range versions {
+						versions[i] = cfg.Process.Develop(r)
+					}
+					sys, err := system.New(fs, arch, versions...)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					res.VersionPFD[rep] = versions[0].PFD()
+					res.SystemPFD[rep] = sys.PFD()
+					if versions[0].FaultCount() == 0 {
+						counts[w][0]++
+					}
+					if sys.SystemFaultCount() == 0 {
+						counts[w][1]++
+					}
+				}
+				completed := done.Add(int64(hi - lo))
+				if cfg.Progress != nil {
+					cfg.Progress(int(completed), cfg.Reps)
 				}
 			}
 		}()
@@ -164,6 +204,9 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, fmt.Errorf("montecarlo: replication failed: %w", firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("montecarlo: run cancelled after %d of %d replications: %w", done.Load(), cfg.Reps, err)
 	}
 	for _, c := range counts {
 		res.VersionFaultFree += c[0]

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,6 +45,12 @@ type RareEventEstimate struct {
 // measure, typically 0.2-0.5; faults whose natural probability already
 // exceeds it keep their natural probability.
 func EstimateRareSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64, tiltTarget float64) (RareEventEstimate, error) {
+	return EstimateRareSystemFaultContext(context.Background(), fs, m, reps, seed, tiltTarget)
+}
+
+// EstimateRareSystemFaultContext is EstimateRareSystemFault under a
+// context; cancellation is checked every ctxCheckEvery replications.
+func EstimateRareSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSet, m, reps int, seed uint64, tiltTarget float64) (RareEventEstimate, error) {
 	if fs == nil {
 		return RareEventEstimate{}, errors.New("montecarlo: fault set must not be nil")
 	}
@@ -83,6 +90,11 @@ func EstimateRareSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64, 
 	sum, sumSq := 0.0, 0.0
 	hits := 0
 	for rep := 0; rep < reps; rep++ {
+		if rep%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return RareEventEstimate{}, fmt.Errorf("montecarlo: rare-event estimation cancelled after %d of %d replications: %w", rep, reps, err)
+			}
+		}
 		logW := 0.0
 		event := false
 		for i := 0; i < n; i++ {
@@ -121,6 +133,12 @@ func EstimateRareSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64, 
 // simulation of the fault indicators — the ablation baseline for
 // EstimateRareSystemFault.
 func EstimateNaiveSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64) (RareEventEstimate, error) {
+	return EstimateNaiveSystemFaultContext(context.Background(), fs, m, reps, seed)
+}
+
+// EstimateNaiveSystemFaultContext is EstimateNaiveSystemFault under a
+// context; cancellation is checked every ctxCheckEvery replications.
+func EstimateNaiveSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSet, m, reps int, seed uint64) (RareEventEstimate, error) {
 	if fs == nil {
 		return RareEventEstimate{}, errors.New("montecarlo: fault set must not be nil")
 	}
@@ -138,6 +156,11 @@ func EstimateNaiveSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64)
 	r := randx.NewStream(seed)
 	hits := 0
 	for rep := 0; rep < reps; rep++ {
+		if rep%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return RareEventEstimate{}, fmt.Errorf("montecarlo: naive estimation cancelled after %d of %d replications: %w", rep, reps, err)
+			}
+		}
 		for i := 0; i < n; i++ {
 			if r.Bernoulli(probs[i]) {
 				hits++

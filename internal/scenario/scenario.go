@@ -13,6 +13,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
@@ -181,6 +182,26 @@ func TwoFault(p1, p2 float64) (Scenario, error) {
 		Description: "Appendix-A two-fault configuration",
 		FaultSet:    fs,
 	}, nil
+}
+
+// Names returns the names accepted by ByName, in presentation order.
+func Names() []string {
+	return []string{"safety-grade", "many-small-faults", "commercial-grade"}
+}
+
+// ByName generates the named scenario from seed. It is the single
+// name-to-scenario mapping shared by the CLIs and the execution engine.
+func ByName(name string, seed uint64) (Scenario, error) {
+	switch name {
+	case "safety-grade":
+		return SafetyGrade(seed)
+	case "many-small-faults":
+		return ManySmallFaults(seed)
+	case "commercial-grade":
+		return CommercialGrade(seed)
+	default:
+		return Scenario{}, fmt.Errorf("unknown scenario %q (want %s)", name, strings.Join(Names(), ", "))
+	}
 }
 
 // All returns one instance of each named random scenario, generated from

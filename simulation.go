@@ -1,15 +1,86 @@
 package diversity
 
 import (
+	"context"
+
 	"diversity/internal/calibrate"
 	"diversity/internal/demandspace"
 	"diversity/internal/devsim"
 	"diversity/internal/elm"
+	"diversity/internal/engine"
 	"diversity/internal/faultmodel"
 	"diversity/internal/knightleveson"
 	"diversity/internal/plant"
 	"diversity/internal/process"
 )
+
+// Execution-engine types, re-exported. Every run path — Monte-Carlo
+// simulation, rare-event estimation, the experiment suite, and the
+// analytic assessor report — can be expressed as a JSON-serialisable Job
+// and executed through RunJob (or an Engine with its own cache and
+// progress hook). Identical jobs are served from an LRU result cache
+// keyed by the canonical job hash.
+type (
+	// Job is a typed, hashable unit of executable work.
+	Job = engine.Job
+	// JobKind discriminates what a job computes.
+	JobKind = engine.JobKind
+	// JobResult is the kind-discriminated outcome of a job.
+	JobResult = engine.Result
+	// JobModelSpec names the model a job runs against (scenario reference
+	// or inline faults).
+	JobModelSpec = engine.ModelSpec
+	// MonteCarloSpec parameterises a Monte-Carlo replication job.
+	MonteCarloSpec = engine.MonteCarloSpec
+	// RareEventSpec parameterises an importance-sampling job.
+	RareEventSpec = engine.RareEventSpec
+	// ExperimentsSpec parameterises a paper-experiment suite job.
+	ExperimentsSpec = engine.ExperimentsSpec
+	// AnalyticSpec parameterises an assessor-report job.
+	AnalyticSpec = engine.AnalyticSpec
+	// Engine executes jobs with result caching and progress reporting.
+	Engine = engine.Engine
+	// EngineOptions configure a new Engine.
+	EngineOptions = engine.Options
+	// EngineProgress is one progress report from a running job.
+	EngineProgress = engine.Progress
+)
+
+// Job kinds, re-exported.
+const (
+	JobMonteCarlo  = engine.JobMonteCarlo
+	JobRareEvent   = engine.JobRareEvent
+	JobExperiments = engine.JobExperiments
+	JobAnalytic    = engine.JobAnalytic
+)
+
+// NewEngine returns an execution engine with its own result cache and
+// progress hook.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// RunJob executes a job through the shared process-wide engine: repeated
+// identical jobs are served from its result cache, and a cancelled
+// context stops simulation workloads promptly.
+func RunJob(ctx context.Context, job Job) (*JobResult, error) { return engine.Run(ctx, job) }
+
+// NewMonteCarloJob wraps a Monte-Carlo spec as a Job.
+func NewMonteCarloJob(spec MonteCarloSpec) Job { return engine.NewMonteCarloJob(spec) }
+
+// NewRareEventJob wraps a rare-event spec as a Job.
+func NewRareEventJob(spec RareEventSpec) Job { return engine.NewRareEventJob(spec) }
+
+// NewExperimentsJob wraps an experiment-suite spec as a Job.
+func NewExperimentsJob(spec ExperimentsSpec) Job { return engine.NewExperimentsJob(spec) }
+
+// NewAnalyticJob wraps an analytic spec as a Job.
+func NewAnalyticJob(spec AnalyticSpec) Job { return engine.NewAnalyticJob(spec) }
+
+// JobModelFromFaultSet returns an inline model spec carrying the fault
+// set's parameters, for jobs over models that did not come from a named
+// scenario.
+func JobModelFromFaultSet(fs *FaultSet, name string) JobModelSpec {
+	return engine.ModelFromFaultSet(fs, name)
+}
 
 // Demand-space and protection-system simulation types, re-exported. These
 // are the geometric substrate of the paper's Fig. 1 (dual-channel
