@@ -48,6 +48,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := flags.Uint64("seed", 1, "seed for scenario generation")
 	adjudicator := flags.Float64("adjudicator", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
+	tf := cliutil.RegisterTelemetryFlags(flags)
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +63,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng := engine.New(engine.Options{DisableCache: *noCache})
+	tel, err := tf.Open(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer tel.Shutdown()
+	eng := engine.New(tel.EngineOptions(engine.Options{DisableCache: *noCache}))
 	res, err := eng.Run(ctx, engine.NewAnalyticJob(engine.AnalyticSpec{
 		Model:      model,
 		K:          *k,
@@ -175,5 +181,5 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				report.Fmt(totalSingle/totalPair), report.Fmt(rep.Mu1/rep.Mu2))
 		}
 	}
-	return nil
+	return tel.Flush()
 }

@@ -9,6 +9,11 @@
 // identical jobs within one process are served from the engine's result
 // cache (disable with -no-cache).
 //
+// Observability (shared with the other CLIs): -metrics-addr serves
+// expvar and pprof over HTTP, -telemetry-json writes the final metrics
+// snapshot, and -log-level controls the structured stderr log. None of
+// the telemetry flags change what is written to stdout.
+//
 // Usage:
 //
 //	mcsim -scenario commercial-grade -reps 200000 [-versions 2] [-arch 1oom]
@@ -55,6 +60,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	rare := flags.Bool("rare", false, "estimate P(system carries any fault) by importance sampling (for safety-grade regimes)")
 	progress := flags.Bool("progress", false, "report progress on stderr as replications complete")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
+	tf := cliutil.RegisterTelemetryFlags(flags)
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -78,7 +84,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := engine.Options{DisableCache: *noCache}
+	tel, err := tf.Open(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer tel.Shutdown()
+	opts := tel.EngineOptions(engine.Options{DisableCache: *noCache})
 	if *progress {
 		opts.Progress = cliutil.ProgressPrinter(os.Stderr)
 	}
@@ -95,7 +106,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return renderRare(out, res, *versions, *reps)
+		if err := renderRare(out, res, *versions, *reps); err != nil {
+			return err
+		}
+		return tel.Flush()
 	}
 
 	res, err := eng.Run(ctx, engine.NewMonteCarloJob(engine.MonteCarloSpec{
@@ -111,7 +125,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return renderSimulation(out, res, *versions, *reps, arch)
+	if err := renderSimulation(out, res, *versions, *reps, arch); err != nil {
+		return err
+	}
+	return tel.Flush()
 }
 
 // renderSimulation prints the simulated PFD populations next to the

@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"diversity/internal/telemetry"
 )
 
 func writeModel(t *testing.T, doc string) string {
@@ -110,6 +113,70 @@ func TestRunRareEstimation(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestTelemetryRun is the observability acceptance check: a fixed-seed
+// run with every telemetry flag set writes a snapshot carrying the job
+// duration, cache hit/miss counts and replications/sec — while stdout
+// stays byte-identical to a run without any telemetry flags.
+func TestTelemetryRun(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"name": "telemetry", "faults": [{"p": 0.3, "q": 0.05}, {"p": 0.2, "q": 0.1}]}`)
+	base := []string{"-model", path, "-reps", "20000", "-seed", "3"}
+
+	var plain strings.Builder
+	if err := run(context.Background(), base, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	snapPath := filepath.Join(t.TempDir(), "telemetry.json")
+	instrumented := append(append([]string{}, base...),
+		"-telemetry-json", snapPath, "-metrics-addr", "127.0.0.1:0", "-log-level", "error")
+	var metered strings.Builder
+	if err := run(context.Background(), instrumented, &metered); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+
+	if plain.String() != metered.String() {
+		t.Errorf("telemetry flags changed stdout:\n--- plain ---\n%s\n--- instrumented ---\n%s", plain.String(), metered.String())
+	}
+
+	doc, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(doc, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if h := snap.Histograms["engine.job_duration_seconds.montecarlo"]; h.Count != 1 {
+		t.Errorf("job duration observations = %d, want 1", h.Count)
+	}
+	if _, ok := snap.Counters["engine.cache.hits"]; !ok {
+		t.Error("snapshot missing engine.cache.hits")
+	}
+	if snap.Counters["engine.cache.misses"] != 1 {
+		t.Errorf("cache misses = %d, want 1", snap.Counters["engine.cache.misses"])
+	}
+	if snap.Gauges["montecarlo.replications_per_second"] <= 0 {
+		t.Errorf("replications_per_second = %v, want > 0", snap.Gauges["montecarlo.replications_per_second"])
+	}
+	if len(snap.Runs) != 1 {
+		t.Errorf("snapshot carries %d run traces, want 1", len(snap.Runs))
+	}
+}
+
+// TestTelemetryBadFlags: telemetry flag validation fails fast.
+func TestTelemetryBadFlags(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.05}]}`)
+	var out strings.Builder
+	err := run(context.Background(), []string{"-model", path, "-reps", "100000000", "-log-level", "loud"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown log level") {
+		t.Fatalf("bad -log-level: err = %v, want unknown log level", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package diversity_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -245,6 +246,41 @@ func TestFacadeStationaryAndExact(t *testing.T) {
 	}
 	if dist.Len() < 2 {
 		t.Errorf("exact distribution has %d support points", dist.Len())
+	}
+}
+
+// TestFacadeEngineTelemetry exercises the telemetry re-exports:
+// NewMetricsRegistry feeds a registry to the shared engine through
+// SetEngineOptions, RunJob records into it, and the snapshot carries
+// the engine counters. Not parallel: it reconfigures the process-wide
+// default engine.
+func TestFacadeEngineTelemetry(t *testing.T) {
+	reg := diversity.NewMetricsRegistry()
+	diversity.SetEngineOptions(diversity.EngineOptions{Telemetry: reg})
+	defer diversity.SetEngineOptions(diversity.EngineOptions{})
+
+	job := diversity.NewMonteCarloJob(diversity.MonteCarloSpec{
+		Model:    diversity.JobModelSpec{Scenario: "commercial-grade", ScenarioSeed: 1},
+		Versions: 2,
+		Reps:     2000,
+		Seed:     7,
+	})
+	if _, err := diversity.RunJob(context.Background(), job); err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if _, err := diversity.RunJob(context.Background(), job); err != nil {
+		t.Fatalf("RunJob (cached): %v", err)
+	}
+
+	var snap diversity.MetricsSnapshot = reg.Snapshot()
+	if snap.Counters["engine.cache.misses"] != 1 {
+		t.Errorf("cache misses = %d, want 1", snap.Counters["engine.cache.misses"])
+	}
+	if snap.Counters["engine.cache.hits"] != 1 {
+		t.Errorf("cache hits = %d, want 1", snap.Counters["engine.cache.hits"])
+	}
+	if snap.Histograms["engine.job_duration_seconds.montecarlo"].Count != 1 {
+		t.Error("snapshot missing the montecarlo job duration observation")
 	}
 }
 

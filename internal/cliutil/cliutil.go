@@ -1,16 +1,24 @@
 // Package cliutil holds the flag-handling helpers shared by the cmd/
 // tools: model selection (previously duplicated verbatim between mcsim
-// and diversity), fail-fast count validation, and progress printing for
-// engine-routed runs.
+// and diversity), fail-fast count validation, progress printing for
+// engine-routed runs, and the shared observability surface — the
+// -metrics-addr, -telemetry-json and -log-level flags every CLI exposes.
 package cliutil
 
 import (
+	"expvar"
+	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 
 	"diversity/internal/engine"
 	"diversity/internal/modelfile"
 	"diversity/internal/scenario"
+	"diversity/internal/telemetry"
 )
 
 // JobModel builds the engine model spec selected by the -model/-scenario
@@ -47,6 +55,111 @@ func ValidateCounts(reps, workers int) error {
 		return fmt.Errorf("worker count %d must not be negative (0 means all cores)", workers)
 	}
 	return nil
+}
+
+// TelemetryFlags holds the values of the shared observability flags.
+type TelemetryFlags struct {
+	// MetricsAddr is the -metrics-addr value: the address to serve
+	// expvar (/debug/vars) and pprof (/debug/pprof/) on, empty for off.
+	MetricsAddr string
+	// JSONPath is the -telemetry-json value: where to write the final
+	// metrics snapshot, empty for off, "-" for stderr.
+	JSONPath string
+	// LogLevel is the -log-level value.
+	LogLevel string
+}
+
+// RegisterTelemetryFlags registers the shared observability flags —
+// -metrics-addr, -telemetry-json and -log-level — on fs and returns the
+// struct their values land in.
+func RegisterTelemetryFlags(fs *flag.FlagSet) *TelemetryFlags {
+	tf := &TelemetryFlags{}
+	fs.StringVar(&tf.MetricsAddr, "metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (e.g. localhost:6060; empty = off)")
+	fs.StringVar(&tf.JSONPath, "telemetry-json", "", "write the final telemetry snapshot as JSON to this file (\"-\" for stderr)")
+	fs.StringVar(&tf.LogLevel, "log-level", "warn", "structured log level on stderr: debug | info | warn | error")
+	return tf
+}
+
+// Telemetry is one CLI process's opened observability state: the
+// metrics registry and logger to hand to the engine, plus the optional
+// metrics listener and snapshot destination.
+type Telemetry struct {
+	Registry *telemetry.Registry
+	Logger   *slog.Logger
+	// Addr is the bound metrics listener address ("" when -metrics-addr
+	// was not given); with ":0" the kernel picks the port, so Addr is
+	// how callers learn it.
+	Addr     string
+	server   *http.Server
+	jsonPath string
+}
+
+// Open builds the observability state the flags ask for: a logger at
+// the requested level writing to stderr, a fresh metrics registry, and
+// — when -metrics-addr is set — a running HTTP listener with the
+// registry published to expvar.
+func (tf *TelemetryFlags) Open(stderr io.Writer) (*Telemetry, error) {
+	logger, err := telemetry.NewLogger(stderr, tf.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	t := &Telemetry{Registry: telemetry.NewRegistry(), Logger: logger, jsonPath: tf.JSONPath}
+	if tf.MetricsAddr != "" {
+		server, addr, err := ServeMetrics(tf.MetricsAddr, t.Registry)
+		if err != nil {
+			return nil, err
+		}
+		t.server, t.Addr = server, addr
+		logger.Info("metrics listener started", "addr", addr)
+	}
+	return t, nil
+}
+
+// EngineOptions returns opts with the telemetry registry and logger
+// attached.
+func (t *Telemetry) EngineOptions(opts engine.Options) engine.Options {
+	opts.Telemetry = t.Registry
+	opts.Logger = t.Logger
+	return opts
+}
+
+// Shutdown stops the metrics listener, if one is running. Deferred by
+// the CLIs so in-process test runs do not leak listeners.
+func (t *Telemetry) Shutdown() {
+	if t.server != nil {
+		t.server.Close()
+	}
+}
+
+// Flush writes the final snapshot to the -telemetry-json destination;
+// it is a no-op when the flag was not given.
+func (t *Telemetry) Flush() error {
+	if t.jsonPath == "" {
+		return nil
+	}
+	return t.Registry.WriteJSONFile(t.jsonPath)
+}
+
+// ServeMetrics publishes reg to expvar under "telemetry" and starts an
+// HTTP listener on addr serving the process expvar variables on
+// /debug/vars and the net/http/pprof profiles under /debug/pprof/. It
+// returns the running server and the bound address (useful with ":0").
+func ServeMetrics(addr string, reg *telemetry.Registry) (*http.Server, string, error) {
+	reg.PublishExpvar("telemetry")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	server := &http.Server{Handler: mux}
+	go server.Serve(ln)
+	return server, ln.Addr().String(), nil
 }
 
 // ProgressPrinter returns an engine progress hook that writes compact

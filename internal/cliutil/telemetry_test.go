@@ -1,0 +1,145 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diversity/internal/engine"
+	"diversity/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeMetricsEndpoints is the -metrics-addr integration test: the
+// listener must serve both the expvar variables on /debug/vars
+// (including the published telemetry registry) and the pprof index and
+// profiles under /debug/pprof/.
+func TestServeMetricsEndpoints(t *testing.T) {
+	t.Parallel()
+
+	reg := telemetry.NewRegistry()
+	reg.Counter("engine.cache.misses").Add(3)
+	server, addr, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer server.Close()
+
+	status, body := get(t, "http://"+addr+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d, want 200", status)
+	}
+	// The expvar namespace is process-global and first-publish-wins, so
+	// another test's registry may own the "telemetry" name; assert the
+	// variable is present and decodes as a snapshot rather than pinning
+	// whose counters it carries.
+	var vars struct {
+		Telemetry *telemetry.Snapshot `json:"telemetry"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if vars.Telemetry == nil || vars.Telemetry.Counters == nil {
+		t.Errorf("/debug/vars has no telemetry snapshot:\n%s", body)
+	}
+
+	status, body = get(t, "http://"+addr+"/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d, want 200", status)
+	}
+	if !strings.Contains(body, "goroutine") || !strings.Contains(body, "heap") {
+		t.Errorf("pprof index missing expected profiles:\n%s", body)
+	}
+	if status, _ := get(t, "http://"+addr+"/debug/pprof/goroutine?debug=1"); status != http.StatusOK {
+		t.Errorf("/debug/pprof/goroutine status = %d, want 200", status)
+	}
+}
+
+// TestTelemetryFlagsEndToEnd drives the flag bundle the way the CLIs
+// do: register, parse, open, run an engine job with the returned
+// options, flush, and check the snapshot file has the headline metrics.
+func TestTelemetryFlagsEndToEnd(t *testing.T) {
+	t.Parallel()
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := RegisterTelemetryFlags(fs)
+	snapPath := filepath.Join(t.TempDir(), "telemetry.json")
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0", "-telemetry-json", snapPath, "-log-level", "error"}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tel, err := tf.Open(io.Discard)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer tel.Shutdown()
+	if tel.Addr == "" {
+		t.Fatal("metrics listener bound no address")
+	}
+
+	eng := engine.New(tel.EngineOptions(engine.Options{}))
+	job := engine.NewMonteCarloJob(engine.MonteCarloSpec{
+		Model:    engine.ModelSpec{Scenario: "commercial-grade", ScenarioSeed: 1},
+		Versions: 2,
+		Reps:     2000,
+		Seed:     1,
+	})
+	if _, err := eng.Run(context.Background(), job); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tel.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	doc, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(doc, &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v", err)
+	}
+	if snap.Counters["engine.cache.misses"] != 1 {
+		t.Errorf("snapshot cache misses = %d, want 1", snap.Counters["engine.cache.misses"])
+	}
+	if snap.Histograms["engine.job_duration_seconds.montecarlo"].Count != 1 {
+		t.Error("snapshot missing the montecarlo job duration histogram")
+	}
+	if snap.Gauges["montecarlo.replications_per_second"] <= 0 {
+		t.Error("snapshot missing a positive replications_per_second gauge")
+	}
+	if len(snap.Runs) != 1 {
+		t.Errorf("snapshot has %d run traces, want 1", len(snap.Runs))
+	}
+}
+
+// TestTelemetryFlagsRejectBadLevel: an unknown -log-level fails at Open
+// with a clear error.
+func TestTelemetryFlagsRejectBadLevel(t *testing.T) {
+	t.Parallel()
+
+	tf := &TelemetryFlags{LogLevel: "loud"}
+	if _, err := tf.Open(io.Discard); err == nil || !strings.Contains(err.Error(), "unknown log level") {
+		t.Fatalf("Open with bad level: err = %v, want unknown log level", err)
+	}
+}

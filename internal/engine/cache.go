@@ -41,22 +41,25 @@ func (c *lruCache) get(key string) (*Result, bool) {
 	return el.Value.(*lruEntry).res, true
 }
 
-// put stores res under key, evicting the least recently used entry when
-// the cache is full.
-func (c *lruCache) put(key string, res *Result) {
+// put stores res under key, evicting the least recently used entries
+// when the cache is full, and returns how many entries were evicted.
+func (c *lruCache) put(key string, res *Result) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		el.Value.(*lruEntry).res = res
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	evicted := 0
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 // len returns the number of cached entries.

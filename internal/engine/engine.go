@@ -3,12 +3,15 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"diversity/internal/devsim"
 	"diversity/internal/experiments"
 	"diversity/internal/faultmodel"
 	"diversity/internal/montecarlo"
+	"diversity/internal/telemetry"
 )
 
 // Progress is one progress report from a running job.
@@ -32,6 +35,16 @@ type Options struct {
 	// Progress, when non-nil, receives progress reports. The engine
 	// serialises calls, so the callback needs no locking of its own.
 	Progress func(Progress)
+	// Telemetry, when non-nil, receives the engine's metrics — job
+	// durations by kind, cache hit/miss/eviction counts, queue-to-start
+	// latency, and the Monte-Carlo and experiment measurements of the
+	// packages the engine drives — plus one trace of nested timed spans
+	// (job → stage → worker shard) per executed run. Metric names and
+	// the span hierarchy are documented in DESIGN.md §7.
+	Telemetry *telemetry.Registry
+	// Logger, when non-nil, receives structured run-ID-stamped
+	// start/finish/error lines for every job.
+	Logger *slog.Logger
 }
 
 // Engine executes jobs, caching results by canonical job hash.
@@ -39,31 +52,57 @@ type Engine struct {
 	cache      *lruCache // nil when caching is disabled
 	progressMu sync.Mutex
 	progress   func(Progress)
+	tele       *telemetry.Registry // nil when telemetry is disabled
+	logger     *slog.Logger        // nil when logging is disabled
 }
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
-	e := &Engine{progress: opts.Progress}
+	e := &Engine{progress: opts.Progress, tele: opts.Telemetry, logger: opts.Logger}
 	if !opts.DisableCache {
 		size := opts.CacheSize
 		if size <= 0 {
 			size = 128
 		}
 		e.cache = newLRUCache(size)
+		if e.tele != nil {
+			// Pre-register the cache counters so every snapshot carries
+			// hit, miss and eviction counts — zeros included.
+			e.tele.Counter("engine.cache.hits")
+			e.tele.Counter("engine.cache.misses")
+			e.tele.Counter("engine.cache.evictions")
+		}
 	}
 	return e
 }
 
 var (
-	defaultOnce   sync.Once
+	defaultMu     sync.Mutex
 	defaultEngine *Engine
 )
 
-// Default returns the shared process-wide engine (default cache size, no
-// progress hook). The facade's Run-style helpers route through it.
+// Default returns the shared process-wide engine. Unless reconfigured
+// with SetDefaultOptions it has the default cache size and no progress,
+// telemetry or logging hooks. The facade's Run-style helpers route
+// through it.
 func Default() *Engine {
-	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultEngine == nil {
+		defaultEngine = New(Options{})
+	}
 	return defaultEngine
+}
+
+// SetDefaultOptions replaces the shared engine returned by Default with
+// one built from opts, so facade users can attach telemetry, logging and
+// progress hooks without constructing their own engine. The previous
+// default engine's result cache is discarded; jobs already running keep
+// the engine they started on.
+func SetDefaultOptions(opts Options) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultEngine = New(opts)
 }
 
 // Run executes a job through the default engine.
@@ -145,11 +184,35 @@ type AnalyticResult struct {
 	Bounds     []ConfidenceBound
 }
 
+// count increments the named telemetry counter when telemetry is on.
+func (e *Engine) count(name string) {
+	if e.tele != nil {
+		e.tele.Counter(name).Inc()
+	}
+}
+
+// shortHash abbreviates a job hash for log lines.
+func shortHash(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
 // Run executes a job: validate, consult the cache, compute, store. It is
 // the single execution path for every run mode; a cancelled context makes
 // the underlying simulation loops return promptly with an error wrapping
 // ctx.Err().
+//
+// When telemetry is configured, each executed (non-cached) run records
+// its queue-to-start latency (submission to compute start: validation,
+// hashing and the cache lookup), its duration under
+// "engine.job_duration_seconds.<kind>", cache traffic under
+// "engine.cache.{hits,misses,evictions}", and a per-run trace of nested
+// spans stamped with a fresh run ID; the same run ID stamps the
+// logger's start/finish/error lines.
 func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
+	submitted := time.Now()
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -157,37 +220,71 @@ func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	runID := telemetry.NewRunID()
 	if e.cache != nil {
 		if cached, ok := e.cache.get(hash); ok {
+			e.count("engine.cache.hits")
+			if e.logger != nil {
+				e.logger.Info("job served from cache", "run", runID, "kind", job.Kind, "hash", shortHash(hash))
+			}
 			hit := *cached
 			hit.FromCache = true
 			return &hit, nil
 		}
+		e.count("engine.cache.misses")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: job cancelled before start: %w", err)
 	}
 	job = job.normalized()
+
+	var trace *telemetry.Trace
+	var span *telemetry.Span
+	if e.tele != nil {
+		e.tele.Histogram("engine.queue_to_start_seconds", telemetry.DurationBuckets).
+			Observe(time.Since(submitted).Seconds())
+		trace = telemetry.NewTrace(runID, "job:"+string(job.Kind))
+		span = trace.Root()
+	}
+	if e.logger != nil {
+		e.logger.Info("job start", "run", runID, "kind", job.Kind, "hash", shortHash(hash))
+	}
+	started := time.Now()
 	var res *Result
 	switch job.Kind {
 	case JobMonteCarlo:
-		res, err = e.runMonteCarlo(ctx, job.MonteCarlo)
+		res, err = e.runMonteCarlo(ctx, job.MonteCarlo, span)
 	case JobRareEvent:
-		res, err = e.runRareEvent(ctx, job.RareEvent)
+		res, err = e.runRareEvent(ctx, job.RareEvent, span)
 	case JobExperiments:
-		res, err = e.runExperiments(ctx, job.Experiments)
+		res, err = e.runExperiments(ctx, job.Experiments, span)
 	case JobAnalytic:
 		res, err = e.runAnalytic(job.Analytic)
 	default:
 		err = fmt.Errorf("engine: unknown job kind %q", job.Kind)
 	}
+	elapsed := time.Since(started)
+	if e.tele != nil {
+		trace.End()
+		e.tele.RecordTrace(trace)
+		e.tele.Histogram("engine.job_duration_seconds."+string(job.Kind), telemetry.DurationBuckets).
+			Observe(elapsed.Seconds())
+	}
 	if err != nil {
+		if e.logger != nil {
+			e.logger.Error("job failed", "run", runID, "kind", job.Kind, "elapsed", elapsed, "error", err)
+		}
 		return nil, err
+	}
+	if e.logger != nil {
+		e.logger.Info("job finished", "run", runID, "kind", job.Kind, "elapsed", elapsed, "hash", shortHash(hash))
 	}
 	res.Kind = job.Kind
 	res.Hash = hash
 	if e.cache != nil {
-		e.cache.put(hash, res)
+		if evicted := e.cache.put(hash, res); evicted > 0 && e.tele != nil {
+			e.tele.Counter("engine.cache.evictions").Add(int64(evicted))
+		}
 	}
 	return res, nil
 }
@@ -202,10 +299,23 @@ func (e *Engine) RunConfig(ctx context.Context, cfg montecarlo.Config) (*monteca
 			e.emit(Progress{Stage: "replications", Done: done, Total: total})
 		}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = e.tele
+	}
 	return montecarlo.RunContext(ctx, cfg)
 }
 
-func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec) (*Result, error) {
+// stage opens a named child span under parent, returning a no-op closer
+// when tracing is off.
+func stage(parent *telemetry.Span, name string) func() {
+	if parent == nil {
+		return func() {}
+	}
+	sp := parent.Child(name)
+	return sp.End
+}
+
+func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *telemetry.Span) (*Result, error) {
 	fs, name, err := spec.Model.Resolve()
 	if err != nil {
 		return nil, err
@@ -223,6 +333,11 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec) (*Resu
 	} else {
 		proc = devsim.NewIndependentProcess(fs)
 	}
+	var repSpan *telemetry.Span
+	if span != nil {
+		repSpan = span.Child("replications")
+		defer repSpan.End()
+	}
 	mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
 		Process:  proc,
 		Versions: spec.Versions,
@@ -233,6 +348,8 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec) (*Resu
 		Progress: func(done, total int) {
 			e.emit(Progress{Stage: "replications", Done: done, Total: total})
 		},
+		Metrics:   e.tele,
+		TraceSpan: repSpan,
 	})
 	if err != nil {
 		return nil, err
@@ -240,7 +357,19 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec) (*Resu
 	return &Result{ModelName: name, FaultSet: fs, MonteCarlo: mc}, nil
 }
 
-func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec) (*Result, error) {
+// rareStageOpts builds estimator options that forward intermediate Done
+// counts for the named stage: rare-event stages report at context-check
+// granularity, not just a leading Done: 0.
+func (e *Engine) rareStageOpts(name string) montecarlo.RareOptions {
+	return montecarlo.RareOptions{
+		Progress: func(done, total int) {
+			e.emit(Progress{Stage: name, Done: done, Total: total})
+		},
+		Metrics: e.tele,
+	}
+}
+
+func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *telemetry.Span) (*Result, error) {
 	fs, name, err := spec.Model.Resolve()
 	if err != nil {
 		return nil, err
@@ -249,13 +378,15 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec) (*Result
 	if err != nil {
 		return nil, err
 	}
-	e.emit(Progress{Stage: "importance sampling", Done: 0, Total: spec.Reps})
-	is, err := montecarlo.EstimateRareSystemFaultContext(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget)
+	endIS := stage(span, "importance sampling")
+	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling"))
+	endIS()
 	if err != nil {
 		return nil, err
 	}
-	e.emit(Progress{Stage: "naive Monte Carlo", Done: 0, Total: spec.Reps})
-	naive, err := montecarlo.EstimateNaiveSystemFaultContext(ctx, fs, spec.Versions, spec.Reps, spec.Seed)
+	endNaive := stage(span, "naive Monte Carlo")
+	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo"))
+	endNaive()
 	if err != nil {
 		return nil, err
 	}
@@ -266,12 +397,14 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec) (*Result
 	}, nil
 }
 
-func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec) (*Result, error) {
-	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick}
+func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span *telemetry.Span) (*Result, error) {
+	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Metrics: e.tele}
 	results := make([]*experiments.Result, 0, len(spec.IDs))
 	for i, id := range spec.IDs {
 		e.emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})
+		end := stage(span, id)
 		res, err := experiments.RunContext(ctx, id, cfg)
+		end()
 		if err != nil {
 			return nil, err
 		}

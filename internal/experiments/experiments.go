@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"diversity/internal/telemetry"
 )
 
 // Config parameterises an experiment run.
@@ -21,6 +24,11 @@ type Config struct {
 	// so that the full suite can run in test and bench loops. Headline
 	// checks still pass in quick mode; confidence intervals are wider.
 	Quick bool
+	// Metrics, when non-nil, receives per-experiment wall time: the
+	// aggregate histogram "experiments.wall_time_seconds" and one gauge
+	// "experiments.wall_time_seconds.<ID>" per experiment. Metrics does
+	// not affect any measured result.
+	Metrics *telemetry.Registry
 }
 
 // reps scales a replication count for quick mode.
@@ -134,7 +142,13 @@ func RunContext(ctx context.Context, id string, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
+	start := time.Now()
 	res, err := runner(ctx, cfg)
+	if cfg.Metrics != nil {
+		wall := time.Since(start).Seconds()
+		cfg.Metrics.Histogram("experiments.wall_time_seconds", telemetry.DurationBuckets).Observe(wall)
+		cfg.Metrics.Gauge("experiments.wall_time_seconds." + id).Set(wall)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}

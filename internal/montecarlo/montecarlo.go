@@ -17,10 +17,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diversity/internal/devsim"
 	"diversity/internal/randx"
 	"diversity/internal/system"
+	"diversity/internal/telemetry"
 )
 
 // ctxCheckEvery is the number of replications a worker completes between
@@ -52,6 +54,15 @@ type Config struct {
 	// must therefore be safe for concurrent use. Progress does not affect
 	// the sampled distribution.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives run measurements: total
+	// replications, replications per second, worker shard imbalance, and
+	// — for cancelled runs — the latency between cancellation and the
+	// last worker draining. Metric names are listed in DESIGN.md §7.
+	// Metrics does not affect the sampled distribution.
+	Metrics *telemetry.Registry
+	// TraceSpan, when non-nil, is the parent span under which the run
+	// records one timed child span per worker shard.
+	TraceSpan *telemetry.Span
 }
 
 // Result collects the outcome of a run.
@@ -157,11 +168,35 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	)
 	var done atomic.Int64
 	counts := make([][2]int, workers) // per-worker (versionFaultFree, systemFaultFree)
+
+	// The cancellation watcher timestamps the moment the context is
+	// cancelled so the drain latency — cancellation to last worker exit —
+	// can be measured after wg.Wait.
+	runStart := time.Now()
+	var cancelledAt atomic.Int64 // unix nanos; 0 = not cancelled
+	watcherStop := make(chan struct{})
+	if cfg.Metrics != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancelledAt.Store(time.Now().UnixNano())
+			case <-watcherStop:
+			}
+		}()
+	}
+	shardElapsed := make([]time.Duration, workers)
+
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if cfg.TraceSpan != nil {
+				span := cfg.TraceSpan.Child(fmt.Sprintf("shard-%02d", w))
+				defer span.End()
+			}
+			shardStart := time.Now()
+			defer func() { shardElapsed[w] = time.Since(shardStart) }()
 			r := streams[w]
 			versions := make([]*devsim.Version, cfg.Versions)
 			for lo := shards[w].lo; lo < shards[w].hi; lo += ctxCheckEvery {
@@ -202,6 +237,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	if cfg.Metrics != nil {
+		close(watcherStop)
+		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load())
+	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("montecarlo: replication failed: %w", firstErr)
 	}
@@ -213,4 +252,36 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		res.SystemFaultFree += c[1]
 	}
 	return res, nil
+}
+
+// recordRunMetrics publishes a run's throughput and shard measurements:
+// replications completed, replications per second over the whole run,
+// shard imbalance ((max-min)/max shard wall time — 0 means perfectly
+// balanced), and, for cancelled runs, the latency between cancellation
+// and the last worker draining.
+func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64) {
+	elapsed := time.Since(runStart)
+	reg.Counter("montecarlo.replications_total").Add(completed)
+	if secs := elapsed.Seconds(); secs > 0 {
+		reg.Gauge("montecarlo.replications_per_second").Set(float64(completed) / secs)
+	}
+	reg.Histogram("montecarlo.run_duration_seconds", telemetry.DurationBuckets).Observe(elapsed.Seconds())
+	if len(shardElapsed) > 1 {
+		minD, maxD := shardElapsed[0], shardElapsed[0]
+		for _, d := range shardElapsed[1:] {
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		if maxD > 0 {
+			reg.Gauge("montecarlo.shard_imbalance").Set(float64(maxD-minD) / float64(maxD))
+		}
+	}
+	if cancelledNanos != 0 {
+		latency := time.Since(time.Unix(0, cancelledNanos))
+		reg.Histogram("montecarlo.cancellation_latency_seconds", telemetry.DurationBuckets).Observe(latency.Seconds())
+	}
 }

@@ -8,7 +8,27 @@ import (
 
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
+	"diversity/internal/telemetry"
 )
+
+// RareOptions carries optional instrumentation for the rare-event
+// estimators. The zero value disables all of it; none of the fields
+// affect the sampled estimate.
+type RareOptions struct {
+	// Progress, when non-nil, is called as replications complete with
+	// (done, total): once with done 0 before the first replication, at
+	// every context-check boundary, and once with done == total at the
+	// end. Successive done values never decrease.
+	Progress func(done, total int)
+	// Metrics, when non-nil, receives the replication count.
+	Metrics *telemetry.Registry
+}
+
+func (o RareOptions) report(done, total int) {
+	if o.Progress != nil {
+		o.Progress(done, total)
+	}
+}
 
 // RareEventEstimate is the result of an importance-sampled estimation of a
 // rare event probability.
@@ -51,6 +71,13 @@ func EstimateRareSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64, 
 // EstimateRareSystemFaultContext is EstimateRareSystemFault under a
 // context; cancellation is checked every ctxCheckEvery replications.
 func EstimateRareSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSet, m, reps int, seed uint64, tiltTarget float64) (RareEventEstimate, error) {
+	return EstimateRareSystemFaultOpts(ctx, fs, m, reps, seed, tiltTarget, RareOptions{})
+}
+
+// EstimateRareSystemFaultOpts is EstimateRareSystemFaultContext with
+// instrumentation: progress reports at context-check granularity and
+// optional metrics.
+func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m, reps int, seed uint64, tiltTarget float64, opts RareOptions) (RareEventEstimate, error) {
 	if fs == nil {
 		return RareEventEstimate{}, errors.New("montecarlo: fault set must not be nil")
 	}
@@ -94,6 +121,7 @@ func EstimateRareSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSet
 			if err := ctx.Err(); err != nil {
 				return RareEventEstimate{}, fmt.Errorf("montecarlo: rare-event estimation cancelled after %d of %d replications: %w", rep, reps, err)
 			}
+			opts.report(rep, reps)
 		}
 		logW := 0.0
 		event := false
@@ -115,6 +143,10 @@ func EstimateRareSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSet
 		w := math.Exp(logW)
 		sum += w
 		sumSq += w * w
+	}
+	opts.report(reps, reps)
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("montecarlo.replications_total").Add(int64(reps))
 	}
 	fReps := float64(reps)
 	mean := sum / fReps
@@ -139,6 +171,13 @@ func EstimateNaiveSystemFault(fs *faultmodel.FaultSet, m, reps int, seed uint64)
 // EstimateNaiveSystemFaultContext is EstimateNaiveSystemFault under a
 // context; cancellation is checked every ctxCheckEvery replications.
 func EstimateNaiveSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSet, m, reps int, seed uint64) (RareEventEstimate, error) {
+	return EstimateNaiveSystemFaultOpts(ctx, fs, m, reps, seed, RareOptions{})
+}
+
+// EstimateNaiveSystemFaultOpts is EstimateNaiveSystemFaultContext with
+// instrumentation: progress reports at context-check granularity and
+// optional metrics.
+func EstimateNaiveSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m, reps int, seed uint64, opts RareOptions) (RareEventEstimate, error) {
 	if fs == nil {
 		return RareEventEstimate{}, errors.New("montecarlo: fault set must not be nil")
 	}
@@ -160,6 +199,7 @@ func EstimateNaiveSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSe
 			if err := ctx.Err(); err != nil {
 				return RareEventEstimate{}, fmt.Errorf("montecarlo: naive estimation cancelled after %d of %d replications: %w", rep, reps, err)
 			}
+			opts.report(rep, reps)
 		}
 		for i := 0; i < n; i++ {
 			if r.Bernoulli(probs[i]) {
@@ -167,6 +207,10 @@ func EstimateNaiveSystemFaultContext(ctx context.Context, fs *faultmodel.FaultSe
 				break
 			}
 		}
+	}
+	opts.report(reps, reps)
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("montecarlo.replications_total").Add(int64(reps))
 	}
 	p := float64(hits) / float64(reps)
 	return RareEventEstimate{

@@ -1,0 +1,330 @@
+// Package telemetry is the repository's dependency-free observability
+// substrate: a metrics registry of atomic counters, gauges and
+// fixed-bucket histograms with JSON snapshots, plus per-run traces of
+// nested timed spans (job → stage → worker shard).
+//
+// The registry is the measurement seam every performance PR reports
+// against: the execution engine records job durations, cache
+// hits/misses/evictions and queue-to-start latency; the Monte-Carlo
+// workers record replication throughput, shard imbalance and
+// cancellation latency; the experiment suite records per-experiment wall
+// time. Snapshots serialise to JSON (the `-telemetry-json` CLI flag) and
+// publish through expvar for the `-metrics-addr` HTTP listener, next to
+// net/http/pprof.
+//
+// Everything here is safe for concurrent use and allocation-free on the
+// hot observation paths (atomic adds; no locks once a metric exists).
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the bucket of the first upper bound they do not exceed, with one
+// implicit overflow bucket past the last bound. Bounds are fixed at
+// creation, so observation is a binary search plus two atomic adds.
+type Histogram struct {
+	bounds  []float64 // sorted finite upper bounds (observation <= bound)
+	counts  []atomic.Int64
+	overfl  atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram returns a histogram over the given upper bounds, which
+// must be sorted and strictly increasing.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.overfl.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets is the default bucket layout for latency/duration
+// histograms, in seconds: 100µs to 60s, roughly exponential.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry is a named collection of counters, gauges, histograms and
+// recent run traces. The zero value is not usable; construct with
+// NewRegistry. Metric lookups are get-or-create and goroutine-safe;
+// observing an existing metric takes no registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	traces   []*Trace
+}
+
+// maxTraces caps the number of recent run traces a registry retains;
+// older traces are dropped first.
+const maxTraces = 16
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use. Later calls return the existing
+// histogram regardless of the bounds argument, so callers of a shared
+// metric must agree on its layout.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RecordTrace stores a completed run trace, keeping the most recent
+// maxTraces.
+func (r *Registry) RecordTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traces = append(r.traces, t)
+	if len(r.traces) > maxTraces {
+		r.traces = r.traces[len(r.traces)-maxTraces:]
+	}
+}
+
+// HistogramSnapshot is the serialisable state of a histogram. Bounds are
+// the finite upper bounds; Counts has one extra trailing element for the
+// overflow bucket, so no JSON value is ever infinite.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a point-in-time, JSON-serialisable copy of a registry:
+// what -telemetry-json writes and the expvar endpoint serves.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Runs       []TraceSnapshot              `json:"runs,omitempty"`
+}
+
+// Snapshot returns a consistent copy of every metric and retained trace.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)+1),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		hs.Counts[len(h.counts)] = h.overfl.Load()
+		if hs.Count > 0 {
+			hs.Mean = hs.Sum / float64(hs.Count)
+		}
+		snap.Histograms[name] = hs
+	}
+	for _, t := range r.traces {
+		snap.Runs = append(snap.Runs, t.Snapshot())
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding snapshot: %w", err)
+	}
+	doc = append(doc, '\n')
+	if _, err := w.Write(doc); err != nil {
+		return fmt.Errorf("telemetry: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONFile writes the registry snapshot to path ("-" means stderr).
+func (r *Registry) WriteJSONFile(path string) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// expvarMu guards the process-global expvar namespace, where Publish
+// panics on duplicate names.
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's live snapshot as the named expvar
+// variable (conventionally "telemetry"), making it visible on the
+// /debug/vars endpoint. The first registry published under a name wins;
+// later calls with the same name are no-ops, since expvar's namespace is
+// process-global.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// NewRunID returns a fresh random run identifier ("run-" + 8 hex
+// digits), stamped onto traces and log lines so one run's records can be
+// correlated across surfaces.
+func NewRunID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a fixed ID rather than plumbing an error through telemetry.
+		return "run-00000000"
+	}
+	return "run-" + hex.EncodeToString(b[:])
+}
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(name string) (slog.Level, error) {
+	switch name {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", name)
+	}
+}
+
+// NewLogger returns a text-format slog logger writing to w at the given
+// level name — the CLIs' structured replacement for ad-hoc stderr
+// prints.
+func NewLogger(w io.Writer, levelName string) (*slog.Logger, error) {
+	level, err := ParseLevel(levelName)
+	if err != nil {
+		return nil, err
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})), nil
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket semantics: an
+// observation lands in the first bucket whose upper bound it does not
+// exceed, values exactly on a bound land in that bound's bucket, and
+// values past the last bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	t.Parallel()
+
+	h := newHistogram([]float64{1, 2, 5})
+	cases := []struct {
+		value      float64
+		wantBucket int // index into the snapshot Counts slice
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0}, // exactly on a bound: that bucket
+		{1.0001, 1},
+		{2, 1},
+		{3, 2},
+		{5, 2},
+		{5.0001, 3}, // overflow
+		{100, 3},
+	}
+	for _, tc := range cases {
+		h.Observe(tc.value)
+	}
+
+	reg := NewRegistry()
+	reg.mu.Lock()
+	reg.hists["h"] = h
+	reg.mu.Unlock()
+	snap := reg.Snapshot().Histograms["h"]
+
+	if snap.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", snap.Count, len(cases))
+	}
+	wantCounts := make([]int64, 4)
+	var wantSum float64
+	for _, tc := range cases {
+		wantCounts[tc.wantBucket]++
+		wantSum += tc.value
+	}
+	if !reflect.DeepEqual(snap.Counts, wantCounts) {
+		t.Errorf("Counts = %v, want %v", snap.Counts, wantCounts)
+	}
+	if math.Abs(snap.Sum-wantSum) > 1e-12 {
+		t.Errorf("Sum = %v, want %v", snap.Sum, wantSum)
+	}
+	if math.Abs(snap.Mean-wantSum/float64(len(cases))) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", snap.Mean, wantSum/float64(len(cases)))
+	}
+	if len(snap.Bounds) != 3 || len(snap.Counts) != len(snap.Bounds)+1 {
+		t.Errorf("snapshot shape: bounds %v counts %v, want one overflow bucket", snap.Bounds, snap.Counts)
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one gauge and one
+// histogram from many goroutines; under -race this doubles as the data
+// race check for the whole observation path, including get-or-create
+// lookups racing with observations.
+func TestConcurrentCounters(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	const goroutines = 16
+	const perGoroutine = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				reg.Counter("c").Inc()
+				reg.Gauge("g").Set(float64(i))
+				reg.Histogram("h", DurationBuckets).Observe(0.01)
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := reg.Counter("c").Value(); got != goroutines*perGoroutine {
+		t.Errorf("counter = %d, want %d", got, goroutines*perGoroutine)
+	}
+	h := reg.Histogram("h", DurationBuckets)
+	if got := h.Count(); got != goroutines*perGoroutine {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perGoroutine)
+	}
+	wantSum := float64(goroutines*perGoroutine) * 0.01
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestSnapshotJSONRoundTrip serialises a populated snapshot and decodes
+// it back, asserting the decoded structure matches — the contract the
+// -telemetry-json file and the BENCH trajectory tooling rely on.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	reg.Counter("engine.cache.hits").Add(3)
+	reg.Counter("engine.cache.misses").Add(5)
+	reg.Gauge("montecarlo.replications_per_second").Set(123456.5)
+	h := reg.Histogram("engine.job_duration_seconds.montecarlo", DurationBuckets)
+	h.Observe(0.002)
+	h.Observe(0.4)
+	h.Observe(120) // overflow
+
+	tr := NewTrace("run-deadbeef", "job:montecarlo")
+	sp := tr.Root().Child("replications")
+	sp.Child("shard-00").End()
+	sp.End()
+	tr.End()
+	reg.RecordTrace(tr)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+
+	orig := reg.Snapshot()
+	if !reflect.DeepEqual(decoded.Counters, orig.Counters) {
+		t.Errorf("counters: decoded %v, want %v", decoded.Counters, orig.Counters)
+	}
+	if !reflect.DeepEqual(decoded.Gauges, orig.Gauges) {
+		t.Errorf("gauges: decoded %v, want %v", decoded.Gauges, orig.Gauges)
+	}
+	dh := decoded.Histograms["engine.job_duration_seconds.montecarlo"]
+	oh := orig.Histograms["engine.job_duration_seconds.montecarlo"]
+	if dh.Count != oh.Count || !reflect.DeepEqual(dh.Counts, oh.Counts) || !reflect.DeepEqual(dh.Bounds, oh.Bounds) {
+		t.Errorf("histogram: decoded %+v, want %+v", dh, oh)
+	}
+	if len(decoded.Runs) != 1 || decoded.Runs[0].ID != "run-deadbeef" {
+		t.Fatalf("runs: decoded %+v, want one trace run-deadbeef", decoded.Runs)
+	}
+	root := decoded.Runs[0].Root
+	if root.Name != "job:montecarlo" || len(root.Children) != 1 || len(root.Children[0].Children) != 1 {
+		t.Errorf("trace shape: %+v, want job -> stage -> shard", root)
+	}
+	if root.Children[0].Children[0].Name != "shard-00" {
+		t.Errorf("leaf span = %q, want shard-00", root.Children[0].Children[0].Name)
+	}
+}
+
+func TestTraceRetention(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	for i := 0; i < maxTraces+5; i++ {
+		tr := NewTrace(NewRunID(), "job")
+		tr.End()
+		reg.RecordTrace(tr)
+	}
+	if got := len(reg.Snapshot().Runs); got != maxTraces {
+		t.Errorf("retained %d traces, want %d", got, maxTraces)
+	}
+}
+
+func TestNewRunID(t *testing.T) {
+	t.Parallel()
+
+	a, b := NewRunID(), NewRunID()
+	if !strings.HasPrefix(a, "run-") || len(a) != len("run-")+8 {
+		t.Errorf("run ID %q has unexpected shape", a)
+	}
+	if a == b {
+		t.Errorf("two run IDs collided: %q", a)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	t.Parallel()
+
+	for _, name := range []string{"debug", "info", "warn", "error"} {
+		if _, err := ParseLevel(name); err != nil {
+			t.Errorf("ParseLevel(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) succeeded, want error")
+	}
+}
+
+func TestNewLoggerLevelGate(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "warn")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	logger.Info("quiet", "run", "run-0")
+	if buf.Len() != 0 {
+		t.Errorf("info line emitted at warn level: %q", buf.String())
+	}
+	logger.Error("loud", "run", "run-0")
+	if !strings.Contains(buf.String(), "msg=loud") || !strings.Contains(buf.String(), "run=run-0") {
+		t.Errorf("error line missing fields: %q", buf.String())
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	// Publishing twice (and publishing a second registry under the same
+	// name) must not panic; expvar's namespace is process-global.
+	reg.PublishExpvar("telemetry-test")
+	reg.PublishExpvar("telemetry-test")
+	NewRegistry().PublishExpvar("telemetry-test")
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is the timed record of one run: a run ID plus a tree of spans
+// rooted at the job (children: stages, grandchildren: worker shards).
+// Traces are safe for concurrent use — Monte-Carlo worker shards open
+// sibling spans from separate goroutines.
+type Trace struct {
+	id   string
+	root *Span
+}
+
+// NewTrace starts a trace for the given run ID; its root span (named
+// name) starts immediately.
+func NewTrace(id, name string) *Trace {
+	return &Trace{id: id, root: newSpan(name)}
+}
+
+// ID returns the trace's run ID.
+func (t *Trace) ID() string { return t.id }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// End ends the root span.
+func (t *Trace) End() { t.root.End() }
+
+// Span is one timed phase of a run, open from creation until End.
+// Each span guards its own state, so siblings can be opened and ended
+// from separate goroutines.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a child span, started now. Safe to call from multiple
+// goroutines on the same parent.
+func (s *Span) Child(name string) *Span {
+	child := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's length: end-start once ended, time since
+// start while still open.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanSnapshot is the serialisable state of a span subtree.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// Start is the span's start time in RFC 3339 with nanoseconds.
+	Start time.Time `json:"start"`
+	// DurationSeconds is the span length; for a still-open span it is
+	// the time elapsed at snapshot.
+	DurationSeconds float64        `json:"durationSeconds"`
+	Children        []SpanSnapshot `json:"children,omitempty"`
+}
+
+// TraceSnapshot is the serialisable state of a trace.
+type TraceSnapshot struct {
+	ID   string       `json:"id"`
+	Root SpanSnapshot `json:"root"`
+}
+
+// Snapshot returns a deep copy of the trace's current state.
+func (t *Trace) Snapshot() TraceSnapshot {
+	return TraceSnapshot{ID: t.id, Root: t.root.snapshot()}
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{Name: s.name, Start: s.start}
+	if s.end.IsZero() {
+		snap.DurationSeconds = time.Since(s.start).Seconds()
+	} else {
+		snap.DurationSeconds = s.end.Sub(s.start).Seconds()
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}

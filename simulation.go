@@ -12,6 +12,7 @@ import (
 	"diversity/internal/knightleveson"
 	"diversity/internal/plant"
 	"diversity/internal/process"
+	"diversity/internal/telemetry"
 )
 
 // Execution-engine types, re-exported. Every run path — Monte-Carlo
@@ -54,9 +55,32 @@ const (
 	JobAnalytic    = engine.JobAnalytic
 )
 
+// Telemetry types, re-exported. A metrics registry attached through
+// EngineOptions.Telemetry collects the engine's counters, gauges,
+// latency histograms and per-run span traces; its Snapshot serialises
+// to JSON. See DESIGN.md §7 for the metric names and span hierarchy.
+type (
+	// MetricsRegistry collects counters, gauges, histograms and run
+	// traces; safe for concurrent use.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time JSON-serialisable copy of a
+	// registry.
+	MetricsSnapshot = telemetry.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry, ready to attach
+// to an engine through EngineOptions.Telemetry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
 // NewEngine returns an execution engine with its own result cache and
 // progress hook.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// SetEngineOptions reconfigures the shared process-wide engine that
+// RunJob routes through, so telemetry, logging and progress hooks can be
+// attached without constructing a dedicated engine. The previous shared
+// engine's result cache is discarded.
+func SetEngineOptions(opts EngineOptions) { engine.SetDefaultOptions(opts) }
 
 // RunJob executes a job through the shared process-wide engine: repeated
 // identical jobs are served from its result cache, and a cancelled
