@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	t.Parallel()
+
+	got, err := parseInts("1, 8,64", 1)
+	if err != nil {
+		t.Fatalf("parseInts: %v", err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 8 || got[2] != 64 {
+		t.Errorf("parseInts = %v, want [1 8 64]", got)
+	}
+	for _, bad := range []string{"", "x", "0"} {
+		if _, err := parseInts(bad, 1); err == nil {
+			t.Errorf("parseInts(%q, 1) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestBenchMatrix(t *testing.T) {
+	t.Parallel()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout strings.Builder
+	err := run(context.Background(), []string{"-reps", "3000", "-workers", "1", "-out", out, "-seed", "5"}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if rep.Bench != "pr3-streaming-matrix" || rep.Scenario == "" || rep.GoVersion == "" {
+		t.Errorf("metadata incomplete: %+v", rep)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (buffered + streaming)", len(rep.Rows))
+	}
+	buffered, streaming := rep.Rows[0], rep.Rows[1]
+	if buffered.Streaming || !streaming.Streaming {
+		t.Fatalf("row order unexpected: %+v", rep.Rows)
+	}
+	for _, row := range rep.Rows {
+		if row.Reps != 3000 || row.Workers != 1 {
+			t.Errorf("row has wrong cell parameters: %+v", row)
+		}
+		if row.WallNS <= 0 || row.NSPerRep <= 0 || row.RepsPerSecond <= 0 {
+			t.Errorf("row missing timing measurements: %+v", row)
+		}
+	}
+	// The two modes sample the same population, so their means agree
+	// exactly; streaming must allocate far less than buffered.
+	if buffered.MeanSystemPFD != streaming.MeanSystemPFD {
+		t.Errorf("means diverged across modes: %v vs %v", buffered.MeanSystemPFD, streaming.MeanSystemPFD)
+	}
+	if streaming.AllocsPerRep >= buffered.AllocsPerRep {
+		t.Errorf("streaming allocs/rep %v not below buffered %v", streaming.AllocsPerRep, buffered.AllocsPerRep)
+	}
+	if streaming.AllocsPerRep > 1 {
+		t.Errorf("streaming allocs/rep = %v, want (amortised) below 1", streaming.AllocsPerRep)
+	}
+}
+
+func TestBenchStdout(t *testing.T) {
+	t.Parallel()
+
+	var stdout strings.Builder
+	if err := run(context.Background(), []string{"-reps", "1000", "-workers", "1", "-out", "-"}, &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not the JSON report: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Errorf("got %d rows, want 2", len(rep.Rows))
+	}
+}
+
+func TestBenchBadFlags(t *testing.T) {
+	t.Parallel()
+
+	var stdout strings.Builder
+	for _, args := range [][]string{
+		{"-reps", "0"},
+		{"-workers", "-2"},
+		{"-reps", "abc"},
+	} {
+		if err := run(context.Background(), args, &stdout); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -47,6 +47,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	confidence := flags.Float64("confidence", 0.99, "confidence level for the normal-approximation bound")
 	seed := flags.Uint64("seed", 1, "seed for scenario generation")
 	adjudicator := flags.Float64("adjudicator", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
+	mcReps := flags.Int("mc", 0, "cross-check the analytic moments by Monte-Carlo simulation with this many replications (0 = off)")
+	stream := flags.Bool("stream", false, "run the -mc cross-check with constant-memory streaming aggregation")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	tf := cliutil.RegisterTelemetryFlags(flags)
 	if err := flags.Parse(args); err != nil {
@@ -57,6 +59,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *k < 0 {
 		return fmt.Errorf("sigma multiplier k=%v must be non-negative", *k)
+	}
+	if *mcReps < 0 {
+		return fmt.Errorf("cross-check replication count %d must not be negative", *mcReps)
 	}
 
 	model, err := cliutil.JobModel(*modelPath, *scenarioName, *seed)
@@ -181,5 +186,64 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				report.Fmt(totalSingle/totalPair), report.Fmt(rep.Mu1/rep.Mu2))
 		}
 	}
+
+	if *mcReps > 0 {
+		if err := renderCrossCheck(ctx, out, eng, model, rep.Mu1, rep.Sigma1, rep.Mu2, rep.Sigma2, *mcReps, *seed, *stream); err != nil {
+			return err
+		}
+	}
 	return tel.Flush()
+}
+
+// renderCrossCheck simulates the 1-out-of-2 system and prints the sampled
+// version and system moments next to the analytic equations (1)-(2) the
+// report above is built on — an end-to-end consistency check an assessor
+// can run on their own model. With streaming aggregation the simulation
+// runs at constant memory regardless of the replication count.
+func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, model engine.ModelSpec, mu1, sigma1, mu2, sigma2 float64, reps int, seed uint64, stream bool) error {
+	res, err := eng.Run(ctx, engine.NewMonteCarloJob(engine.MonteCarloSpec{
+		Model:     model,
+		Versions:  2,
+		Reps:      reps,
+		Seed:      seed,
+		Streaming: stream,
+	}))
+	if err != nil {
+		return err
+	}
+	vsum, err := res.MonteCarlo.VersionSummary()
+	if err != nil {
+		return err
+	}
+	ssum, err := res.MonteCarlo.SystemSummary()
+	if err != nil {
+		return err
+	}
+	mode := "buffered"
+	if stream {
+		mode = "streaming"
+	}
+	fmt.Fprintln(out)
+	tbl, err := report.NewTable(
+		fmt.Sprintf("Monte-Carlo cross-check (%d replications, %s aggregation)", reps, mode),
+		"quantity", "model", "simulated")
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		name  string
+		model float64
+		sim   float64
+	}{
+		{"mean PFD, 1 version", mu1, vsum.Mean},
+		{"std dev, 1 version", sigma1, vsum.StdDev},
+		{"mean PFD, 1-out-of-2", mu2, ssum.Mean},
+		{"std dev, 1-out-of-2", sigma2, ssum.StdDev},
+	}
+	for _, row := range rows {
+		if err := tbl.AddRow(row.name, report.Fmt(row.model), report.Fmt(row.sim)); err != nil {
+			return err
+		}
+	}
+	return tbl.Render(out)
 }

@@ -141,3 +141,33 @@ func TestFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+func TestRunMonteCarloCrossCheck(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-scenario", "commercial-grade", "-mc", "4000"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Monte-Carlo cross-check (4000 replications, buffered aggregation)",
+		"mean PFD, 1 version", "std dev, 1-out-of-2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{"-scenario", "commercial-grade", "-mc", "4000", "-stream"}, &out); err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+	if !strings.Contains(out.String(), "streaming aggregation") {
+		t.Errorf("streaming cross-check not labelled:\n%s", out.String())
+	}
+
+	if err := run(context.Background(), []string{"-scenario", "commercial-grade", "-mc", "-1"}, &out); err == nil {
+		t.Error("negative -mc accepted, want error")
+	}
+}

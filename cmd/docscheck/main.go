@@ -1,0 +1,336 @@
+// Command docscheck is the CI documentation gate: it walks every
+// Markdown file in the repository, verifies that relative links resolve
+// to files that exist, and extracts every fenced ```go code block and
+// compiles it against the current tree, so documentation examples cannot
+// silently rot as APIs move.
+//
+// Fenced blocks are compiled three ways depending on shape: blocks that
+// declare a package compile verbatim; blocks with top-level declarations
+// are wrapped in package main; bare statement blocks are additionally
+// wrapped in func main. Imports are inferred from the identifiers the
+// block uses (see importsFor). Blocks whose fence info string contains
+// "ignore" (```go ignore) are highlighted as Go but skipped.
+//
+// Compilation happens in a throwaway directory inside the module root so
+// that doc snippets may use internal packages, and the directory is
+// removed afterwards.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck        # check the enclosing module
+//	go run ./cmd/docscheck -v     # list every file and snippet checked
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	verbose := false
+	for _, a := range args {
+		switch a {
+		case "-v", "--verbose":
+			verbose = true
+		default:
+			return fmt.Errorf("unknown flag %q", a)
+		}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	files, err := markdownFiles(root)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no Markdown files found under %s", root)
+	}
+
+	var problems []string
+	var snippets []snippet
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		problems = append(problems, checkLinks(root, path, string(data))...)
+		sn := extractGoFences(rel, string(data))
+		snippets = append(snippets, sn...)
+		if verbose {
+			fmt.Fprintf(out, "docscheck: %s (%d go snippets)\n", rel, len(sn))
+		}
+	}
+	problems = append(problems, compileSnippets(root, snippets)...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(out, "docscheck:", p)
+		}
+		return fmt.Errorf("%d problem(s) in %d Markdown file(s)", len(problems), len(files))
+	}
+	fmt.Fprintf(out, "docscheck: ok — %d files, %d go snippets compiled\n", len(files), len(snippets))
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// markdownFiles lists every .md file under root, skipping VCS internals
+// and hidden directories.
+func markdownFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "docscheck-tmp")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(name), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	return files, err
+}
+
+// inlineLink matches Markdown inline links and images: [text](target).
+// Reference-style links are rare in this repository and not checked.
+var inlineLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkLinks verifies that every relative link target in doc exists on
+// disk, resolved against the file's directory. External URLs and
+// same-document anchors are skipped (no network, no heading parsing).
+func checkLinks(root, path, doc string) []string {
+	rel, _ := filepath.Rel(root, path)
+	var problems []string
+	for _, line := range strings.Split(stripFences(doc), "\n") {
+		for _, m := range inlineLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if target == "" || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+				continue // http(s), mailto, …
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+			}
+		}
+	}
+	return problems
+}
+
+// stripFences blanks out fenced code blocks so example text like
+// "[x](y)" inside them is not link-checked.
+func stripFences(doc string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			b.WriteString("\n")
+			continue
+		}
+		if inFence {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// snippet is one fenced ```go block.
+type snippet struct {
+	file string // repo-relative Markdown path
+	line int    // 1-based line of the opening fence
+	code string
+}
+
+// extractGoFences returns the compilable ```go blocks of doc.
+func extractGoFences(relPath, doc string) []snippet {
+	var out []snippet
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		info, ok := strings.CutPrefix(strings.TrimSpace(lines[i]), "```")
+		if !ok {
+			continue
+		}
+		words := strings.Fields(info)
+		isGo := len(words) > 0 && words[0] == "go"
+		skip := false
+		for _, w := range words {
+			if w == "ignore" {
+				skip = true
+			}
+		}
+		start := i + 1
+		for i++; i < len(lines); i++ {
+			if strings.HasPrefix(strings.TrimSpace(lines[i]), "```") {
+				break
+			}
+		}
+		if isGo && !skip {
+			out = append(out, snippet{
+				file: relPath,
+				line: start,
+				code: strings.Join(lines[start:min(i, len(lines))], "\n"),
+			})
+		}
+	}
+	return out
+}
+
+// knownImports maps identifiers used in doc snippets to the import that
+// provides them. Extend it when documentation starts using a new package.
+var knownImports = map[string]string{
+	"diversity":  "diversity",
+	"faultmodel": "diversity/internal/faultmodel",
+	"devsim":     "diversity/internal/devsim",
+	"montecarlo": "diversity/internal/montecarlo",
+	"telemetry":  "diversity/internal/telemetry",
+	"stats":      "diversity/internal/stats",
+	"engine":     "diversity/internal/engine",
+	"scenario":   "diversity/internal/scenario",
+	"system":     "diversity/internal/system",
+	"context":    "context",
+	"errors":     "errors",
+	"fmt":        "fmt",
+	"log":        "log",
+	"math":       "math",
+	"os":         "os",
+	"sort":       "sort",
+	"time":       "time",
+}
+
+// importsFor infers the snippet's imports from "ident." usages.
+func importsFor(code string) []string {
+	var paths []string
+	for ident, path := range knownImports {
+		if regexp.MustCompile(`\b` + ident + `\.`).MatchString(code) {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// wrap turns a fenced block into a complete Go file. Blocks that already
+// declare a package pass through; blocks whose lines start declarations
+// (func/type/var/const) get a package clause; anything else is treated
+// as statements and wrapped in func main.
+func wrap(code string) string {
+	trimmed := strings.TrimSpace(code)
+	if strings.HasPrefix(trimmed, "package ") {
+		return code
+	}
+	var b strings.Builder
+	b.WriteString("package main\n\n")
+	for _, p := range importsFor(code) {
+		fmt.Fprintf(&b, "import %q\n", p)
+	}
+	if topLevel(trimmed) {
+		b.WriteString("\n")
+		b.WriteString(code)
+		if !strings.Contains(code, "func main(") {
+			b.WriteString("\n\nfunc main() {}\n")
+		}
+		return b.String()
+	}
+	b.WriteString("\nfunc main() {\n")
+	b.WriteString(code)
+	b.WriteString("\n}\n")
+	return b.String()
+}
+
+// topLevel reports whether the block reads as top-level declarations
+// rather than function-body statements.
+func topLevel(trimmed string) bool {
+	for _, prefix := range []string{"func ", "type ", "var ", "const ", "import ", "//"} {
+		if strings.HasPrefix(trimmed, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// compileSnippets writes each snippet as its own package under a
+// throwaway directory inside the module (so internal imports resolve)
+// and builds them all in one `go build` invocation.
+func compileSnippets(root string, snippets []snippet) []string {
+	if len(snippets) == 0 {
+		return nil
+	}
+	tmp, err := os.MkdirTemp(root, "docscheck-tmp-")
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defer os.RemoveAll(tmp)
+
+	for i, sn := range snippets {
+		dir := filepath.Join(tmp, fmt.Sprintf("snippet%02d", i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			return []string{err.Error()}
+		}
+		src := fmt.Sprintf("// Extracted from %s:%d by docscheck.\n%s", sn.file, sn.line, wrap(sn.code))
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+			return []string{err.Error()}
+		}
+	}
+	cmd := exec.Command("go", "build", "./"+filepath.Base(tmp)+"/...")
+	cmd.Dir = root
+	outBytes, err := cmd.CombinedOutput()
+	if err == nil {
+		return nil
+	}
+	// Map compiler positions back to the Markdown files they came from.
+	msg := string(outBytes)
+	for i, sn := range snippets {
+		marker := fmt.Sprintf("snippet%02d", i)
+		if strings.Contains(msg, marker) {
+			msg = strings.ReplaceAll(msg, filepath.Join(filepath.Base(tmp), marker, "main.go"), fmt.Sprintf("%s:%d (go fence)", sn.file, sn.line))
+		}
+	}
+	return []string{fmt.Sprintf("go fence compilation failed:\n%s", strings.TrimSpace(msg))}
+}

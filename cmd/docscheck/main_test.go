@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExtractGoFences(t *testing.T) {
+	t.Parallel()
+
+	doc := "intro\n" +
+		"```go\nx := 1\n```\n" +
+		"```sh\nls\n```\n" +
+		"```\nplain fence, no info string\n```\n" +
+		"```go ignore\nnot compiled\n```\n" +
+		"```go\ny := 2\n```\n"
+	sn := extractGoFences("DOC.md", doc)
+	if len(sn) != 2 {
+		t.Fatalf("extracted %d snippets, want 2: %+v", len(sn), sn)
+	}
+	if sn[0].code != "x := 1" || sn[1].code != "y := 2" {
+		t.Errorf("wrong snippet bodies: %q, %q", sn[0].code, sn[1].code)
+	}
+	if sn[0].line != 2 {
+		t.Errorf("first snippet opening-fence line = %d, want 2", sn[0].line)
+	}
+}
+
+func TestExtractGoFencesUnterminated(t *testing.T) {
+	t.Parallel()
+
+	sn := extractGoFences("DOC.md", "```go\nx := 1")
+	if len(sn) != 1 || sn[0].code != "x := 1" {
+		t.Fatalf("unterminated fence: got %+v", sn)
+	}
+}
+
+func TestWrapShapes(t *testing.T) {
+	t.Parallel()
+
+	// A package-level block passes through verbatim.
+	pkg := "package demo\n\nvar X = 1\n"
+	if got := wrap(pkg); got != pkg {
+		t.Errorf("package block rewritten:\n%s", got)
+	}
+
+	// Top-level declarations get a package clause and a main stub.
+	decl := wrap("func helper() int { return 1 }")
+	for _, want := range []string{"package main", "func helper", "func main() {}"} {
+		if !strings.Contains(decl, want) {
+			t.Errorf("declaration wrap missing %q:\n%s", want, decl)
+		}
+	}
+
+	// Statements are wrapped in func main with inferred imports.
+	stmt := wrap("fmt.Println(diversity.GoldenThreshold)")
+	for _, want := range []string{"package main", `import "diversity"`, `import "fmt"`, "func main() {"} {
+		if !strings.Contains(stmt, want) {
+			t.Errorf("statement wrap missing %q:\n%s", want, stmt)
+		}
+	}
+}
+
+func TestImportsFor(t *testing.T) {
+	t.Parallel()
+
+	got := importsFor("a := montecarlo.Config{}\nfmt.Println(a, telemetry.NewRegistry())")
+	want := []string{"diversity/internal/montecarlo", "diversity/internal/telemetry", "fmt"}
+	if len(got) != len(want) {
+		t.Fatalf("importsFor = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("importsFor = %v, want %v", got, want)
+		}
+	}
+	if imports := importsFor("x := 1 // mentions format but calls nothing"); len(imports) != 0 {
+		t.Errorf("importsFor on plain statements = %v, want none", imports)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Join([]string{
+		"[ok](exists.md)",
+		"[ok anchor](exists.md#section)",
+		"[external](https://example.com/missing)",
+		"[anchor only](#local)",
+		"[broken](missing.md)",
+		"```",
+		"[not a real link](also-missing.md)",
+		"```",
+	}, "\n")
+	path := filepath.Join(dir, "DOC.md")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkLinks(dir, path, doc)
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems, want 1: %v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "missing.md") {
+		t.Errorf("problem does not name the broken target: %s", problems[0])
+	}
+}
+
+// TestRepositoryDocs runs the full gate over the real repository, so the
+// docs cannot regress even when CI skips the dedicated step.
+func TestRepositoryDocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles doc snippets with the go tool")
+	}
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("docscheck over the repository failed: %v\n%s", err, out.String())
+	}
+}

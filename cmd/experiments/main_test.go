@@ -135,3 +135,24 @@ func TestFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestRunStreamingMatchesBuffered pins that -stream changes no reported
+// number for the experiments that honour it (the moment and counter
+// experiments sample identical populations in either mode).
+func TestRunStreamingMatchesBuffered(t *testing.T) {
+	t.Parallel()
+
+	var buffered, streaming strings.Builder
+	code, err := run(context.Background(), []string{"-id", "E01,E04", "-quick"}, &buffered)
+	if err != nil || code != 0 {
+		t.Fatalf("buffered run: code %d, err %v", code, err)
+	}
+	code, err = run(context.Background(), []string{"-id", "E01,E04", "-quick", "-stream"}, &streaming)
+	if err != nil || code != 0 {
+		t.Fatalf("streaming run: code %d, err %v", code, err)
+	}
+	if buffered.String() != streaming.String() {
+		t.Errorf("-stream changed experiment output:\nbuffered:\n%s\nstreaming:\n%s",
+			buffered.String(), streaming.String())
+	}
+}

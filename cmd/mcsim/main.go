@@ -33,7 +33,6 @@ import (
 	"diversity/internal/engine"
 	"diversity/internal/montecarlo"
 	"diversity/internal/report"
-	"diversity/internal/stats"
 	"diversity/internal/system"
 )
 
@@ -58,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	correlation := flags.Float64("correlation", 0, "common-cause probability (0 = the paper's independent model)")
 	boost := flags.Float64("boost", 3, "common-cause boost factor (with -correlation > 0)")
 	rare := flags.Bool("rare", false, "estimate P(system carries any fault) by importance sampling (for safety-grade regimes)")
+	stream := flags.Bool("stream", false, "constant-memory streaming aggregation (quantiles at histogram resolution)")
 	progress := flags.Bool("progress", false, "report progress on stderr as replications complete")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	tf := cliutil.RegisterTelemetryFlags(flags)
@@ -121,6 +121,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Seed:        *seed,
 		Correlation: *correlation,
 		Boost:       *boost,
+		Streaming:   *stream,
 	}))
 	if err != nil {
 		return err
@@ -138,14 +139,21 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 	if name == "" {
 		name = "unnamed model"
 	}
-	fmt.Fprintf(out, "Model: %s — %d replications of %d versions (%s adjudication)\n\n",
-		name, reps, versions, arch)
+	mode := ""
+	if res.Streaming {
+		mode = ", streaming aggregation"
+	}
+	fmt.Fprintf(out, "Model: %s — %d replications of %d versions (%s adjudication%s)\n\n",
+		name, reps, versions, arch, mode)
 
-	verStats, err := stats.Summarize(res.VersionPFD)
+	// The summary helpers serve both aggregation modes: exact sample
+	// statistics for buffered runs, histogram-resolution quantiles for
+	// streaming (-stream) runs.
+	verStats, err := res.VersionSummary()
 	if err != nil {
 		return err
 	}
-	sysStats, err := stats.Summarize(res.SystemPFD)
+	sysStats, err := res.SystemSummary()
 	if err != nil {
 		return err
 	}

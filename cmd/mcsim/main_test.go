@@ -221,3 +221,42 @@ func TestFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+func TestRunStreaming(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.3, "q": 0.05}, {"p": 0.2, "q": 0.1}]}`)
+	args := []string{"-model", path, "-reps", "20000", "-seed", "3"}
+	var buffered, streaming strings.Builder
+	if err := run(context.Background(), args, &buffered); err != nil {
+		t.Fatalf("buffered run: %v", err)
+	}
+	if err := run(context.Background(), append(args, "-stream"), &streaming); err != nil {
+		t.Fatalf("streaming run: %v", err)
+	}
+	if strings.Contains(buffered.String(), "streaming aggregation") {
+		t.Error("buffered output mentions streaming aggregation")
+	}
+	if !strings.Contains(streaming.String(), "streaming aggregation") {
+		t.Errorf("streaming output does not say so:\n%s", streaming.String())
+	}
+	// Moments, extremes and counters must match the buffered run exactly;
+	// only the quantile rows (median/percentiles) may differ, at histogram
+	// resolution.
+	bufLines := strings.Split(buffered.String(), "\n")
+	strLines := strings.Split(streaming.String(), "\n")
+	if len(bufLines) != len(strLines) {
+		t.Fatalf("output shapes differ: %d vs %d lines", len(bufLines), len(strLines))
+	}
+	for i, line := range bufLines {
+		exact := false
+		for _, prefix := range []string{"mean ", "std dev", "max ", "version fault-free", "system fault-free", "Empirical risk ratio"} {
+			if strings.HasPrefix(line, prefix) {
+				exact = true
+			}
+		}
+		if exact && strLines[i] != line {
+			t.Errorf("line %d diverged between modes:\nbuffered:  %q\nstreaming: %q", i+1, line, strLines[i])
+		}
+	}
+}

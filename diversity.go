@@ -84,10 +84,21 @@ type (
 	Version = devsim.Version
 	// Process develops program versions.
 	Process = devsim.Process
-	// MonteCarloConfig parameterises a simulation run.
+	// MonteCarloConfig parameterises a simulation run. Setting its
+	// Streaming field selects constant-memory aggregation: the result
+	// then carries StreamingAggregate values instead of raw PFD samples.
 	MonteCarloConfig = montecarlo.Config
-	// MonteCarloResult holds simulated PFD populations.
+	// MonteCarloResult holds simulated PFD populations — raw samples for
+	// buffered runs, streaming aggregates for Streaming runs; its
+	// VersionSummary and SystemSummary methods read statistics uniformly
+	// in either mode.
 	MonteCarloResult = montecarlo.Result
+	// StreamingAggregate is the constant-memory aggregate of a streaming
+	// Monte-Carlo run: mergeable moments, exact min/max and zero counts,
+	// and a log-scale histogram for quantiles.
+	StreamingAggregate = montecarlo.Agg
+	// PFDSummary holds descriptive statistics of a PFD population.
+	PFDSummary = stats.Summary
 	// Architecture selects the system adjudication arrangement.
 	Architecture = system.Architecture
 )

@@ -65,15 +65,21 @@ func NewCommonCauseProcess(fs *faultmodel.FaultSet, rho, boost float64) (*Common
 
 // Develop implements Process.
 func (p *CommonCauseProcess) Develop(r *randx.Stream) *Version {
+	present := make([]bool, p.fs.N())
+	p.DevelopInto(r, present)
+	return newVersion(p.fs, present)
+}
+
+// DevelopInto implements MaskDeveloper: the same draws as Develop, into a
+// caller-owned mask.
+func (p *CommonCauseProcess) DevelopInto(r *randx.Stream, present []bool) {
 	probs := p.lo
 	if r.Bernoulli(p.rho) {
 		probs = p.hi
 	}
-	present := make([]bool, p.fs.N())
 	for i := range present {
 		present[i] = r.Bernoulli(probs[i])
 	}
-	return newVersion(p.fs, present)
 }
 
 // FaultSet implements Process.
@@ -112,8 +118,15 @@ func NewResourceShiftProcess(fs *faultmodel.FaultSet, shift float64) (*ResourceS
 
 // Develop implements Process.
 func (p *ResourceShiftProcess) Develop(r *randx.Stream) *Version {
+	present := make([]bool, p.fs.N())
+	p.DevelopInto(r, present)
+	return newVersion(p.fs, present)
+}
+
+// DevelopInto implements MaskDeveloper: the same draws as Develop, into a
+// caller-owned mask.
+func (p *ResourceShiftProcess) DevelopInto(r *randx.Stream, present []bool) {
 	n := p.fs.N()
-	present := make([]bool, n)
 	for pair := 0; pair+1 < n; pair += 2 {
 		// Within each pair, one member gets the scrutiny this
 		// development; the coin is per pair, so distinct pairs stay
@@ -133,7 +146,6 @@ func (p *ResourceShiftProcess) Develop(r *randx.Stream) *Version {
 	if n%2 == 1 {
 		present[n-1] = r.Bernoulli(p.fs.Fault(n - 1).P)
 	}
-	return newVersion(p.fs, present)
 }
 
 // FaultSet implements Process.

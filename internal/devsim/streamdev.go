@@ -1,0 +1,29 @@
+package devsim
+
+import "diversity/internal/randx"
+
+// MaskDeveloper is an optional Process extension for allocation-free
+// simulation: DevelopInto samples one development's fault-presence mask
+// into a caller-owned scratch slice, drawing exactly the same variates in
+// the same order as Develop. For a fixed random stream the two entry
+// points therefore produce identical version populations; the Monte-Carlo
+// harness relies on this in streaming mode to drop the per-replication
+// Version allocation without changing any sampled value.
+//
+// All processes in this package implement MaskDeveloper; Develop is a
+// thin wrapper that allocates a mask and delegates to DevelopInto.
+type MaskDeveloper interface {
+	// DevelopInto overwrites present — which must have length
+	// FaultSet().N() — with one development's fault-presence mask.
+	DevelopInto(r *randx.Stream, present []bool)
+}
+
+// The conformance guards keep every process on the allocation-free
+// streaming path; removing one silently falls back to per-replication
+// Version allocation in streaming Monte-Carlo runs.
+var (
+	_ MaskDeveloper = (*IndependentProcess)(nil)
+	_ MaskDeveloper = (*CommonCauseProcess)(nil)
+	_ MaskDeveloper = (*ResourceShiftProcess)(nil)
+	_ MaskDeveloper = (*TiedPairsProcess)(nil)
+)

@@ -55,6 +55,13 @@ func NewTiedPairsProcess(fs *faultmodel.FaultSet, pairs [][2]int) (*TiedPairsPro
 // Develop implements Process.
 func (p *TiedPairsProcess) Develop(r *randx.Stream) *Version {
 	present := make([]bool, p.fs.N())
+	p.DevelopInto(r, present)
+	return newVersion(p.fs, present)
+}
+
+// DevelopInto implements MaskDeveloper: the same draws as Develop, into a
+// caller-owned mask.
+func (p *TiedPairsProcess) DevelopInto(r *randx.Stream, present []bool) {
 	for i := range present {
 		partner := p.pairOf[i]
 		switch {
@@ -69,7 +76,6 @@ func (p *TiedPairsProcess) Develop(r *randx.Stream) *Version {
 			// Already decided by the partner's coin.
 		}
 	}
-	return newVersion(p.fs, present)
 }
 
 // FaultSet implements Process.

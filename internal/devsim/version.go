@@ -119,10 +119,16 @@ func NewIndependentProcess(fs *faultmodel.FaultSet) *IndependentProcess {
 // Develop implements Process.
 func (p *IndependentProcess) Develop(r *randx.Stream) *Version {
 	present := make([]bool, p.fs.N())
+	p.DevelopInto(r, present)
+	return newVersion(p.fs, present)
+}
+
+// DevelopInto implements MaskDeveloper: the same draws as Develop, into a
+// caller-owned mask.
+func (p *IndependentProcess) DevelopInto(r *randx.Stream, present []bool) {
 	for i := range present {
 		present[i] = r.Bernoulli(p.fs.Fault(i).P)
 	}
-	return newVersion(p.fs, present)
 }
 
 // FaultSet implements Process.

@@ -339,12 +339,13 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 		defer repSpan.End()
 	}
 	mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
-		Process:  proc,
-		Versions: spec.Versions,
-		Arch:     arch,
-		Reps:     spec.Reps,
-		Workers:  spec.Workers,
-		Seed:     spec.Seed,
+		Process:   proc,
+		Versions:  spec.Versions,
+		Arch:      arch,
+		Reps:      spec.Reps,
+		Workers:   spec.Workers,
+		Seed:      spec.Seed,
+		Streaming: spec.Streaming,
 		Progress: func(done, total int) {
 			e.emit(Progress{Stage: "replications", Done: done, Total: total})
 		},
@@ -398,7 +399,7 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 }
 
 func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span *telemetry.Span) (*Result, error) {
-	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Metrics: e.tele}
+	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Streaming: spec.Streaming, Metrics: e.tele}
 	results := make([]*experiments.Result, 0, len(spec.IDs))
 	for i, id := range spec.IDs {
 		e.emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})

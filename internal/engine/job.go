@@ -125,6 +125,12 @@ type MonteCarloSpec struct {
 	// (Boost is its boost factor); zero is the paper's independent model.
 	Correlation float64 `json:"correlation,omitempty"`
 	Boost       float64 `json:"boost,omitempty"`
+	// Streaming selects constant-memory aggregation (montecarlo
+	// Config.Streaming): the result carries mergeable aggregates instead
+	// of raw PFD samples. The flag participates in the job hash — the
+	// omitempty encoding keeps pre-existing hashes of buffered jobs
+	// stable — because the two modes produce differently-shaped results.
+	Streaming bool `json:"streaming,omitempty"`
 }
 
 // RareEventSpec parameterises an importance-sampling estimation job.
@@ -145,6 +151,10 @@ type ExperimentsSpec struct {
 	Seed uint64   `json:"seed"`
 	// Quick reduces replication counts by roughly an order of magnitude.
 	Quick bool `json:"quick,omitempty"`
+	// Streaming runs the suite's Monte-Carlo passes with constant-memory
+	// aggregation. Like MonteCarloSpec.Streaming it participates in the
+	// job hash, with omitempty keeping buffered-job hashes unchanged.
+	Streaming bool `json:"streaming,omitempty"`
 }
 
 // AnalyticSpec parameterises an assessor-report job.

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestStreamingHashAndEncoding pins the cache-key contract of the
+// Streaming flag: a buffered spec encodes without the field (so hashes of
+// pre-existing jobs are unchanged by its introduction), and flipping the
+// flag changes the hash.
+func TestStreamingHashAndEncoding(t *testing.T) {
+	t.Parallel()
+
+	spec := MonteCarloSpec{Model: testModel(t), Versions: 2, Reps: 1000, Workers: 1, Seed: 1}
+	buffered := NewMonteCarloJob(spec)
+	doc, err := buffered.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if strings.Contains(string(doc), "streaming") {
+		t.Errorf("buffered job encodes a streaming key: %s", doc)
+	}
+	spec.Streaming = true
+	streaming := NewMonteCarloJob(spec)
+	sdoc, err := streaming.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON (streaming): %v", err)
+	}
+	if !strings.Contains(string(sdoc), `"streaming":true`) {
+		t.Errorf("streaming job does not encode the flag: %s", sdoc)
+	}
+	bh, err := buffered.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	sh, err := streaming.Hash()
+	if err != nil {
+		t.Fatalf("Hash (streaming): %v", err)
+	}
+	if bh == sh {
+		t.Error("buffered and streaming jobs hashed identically; the cache would serve the wrong result shape")
+	}
+
+	espec := ExperimentsSpec{IDs: []string{"E01"}, Seed: 1, Quick: true}
+	eb := NewExperimentsJob(espec)
+	espec.Streaming = true
+	es := NewExperimentsJob(espec)
+	ebh, err := eb.Hash()
+	if err != nil {
+		t.Fatalf("experiments Hash: %v", err)
+	}
+	esh, err := es.Hash()
+	if err != nil {
+		t.Fatalf("experiments Hash (streaming): %v", err)
+	}
+	if ebh == esh {
+		t.Error("experiments jobs differing only in Streaming hashed identically")
+	}
+}
+
+// TestStreamingCacheMiss runs the same Monte-Carlo parameters buffered and
+// streaming through one engine: the mode flip must miss the cache, and the
+// two results must describe the same sampled population.
+func TestStreamingCacheMiss(t *testing.T) {
+	t.Parallel()
+
+	eng := New(Options{})
+	spec := MonteCarloSpec{Model: testModel(t), Versions: 2, Reps: 4000, Workers: 2, Seed: 9}
+	buffered, err := eng.Run(context.Background(), NewMonteCarloJob(spec))
+	if err != nil {
+		t.Fatalf("buffered Run: %v", err)
+	}
+	spec.Streaming = true
+	streaming, err := eng.Run(context.Background(), NewMonteCarloJob(spec))
+	if err != nil {
+		t.Fatalf("streaming Run: %v", err)
+	}
+	if streaming.FromCache {
+		t.Fatal("streaming job was served the buffered job's cached result")
+	}
+	if streaming.MonteCarlo.VersionAgg == nil || streaming.MonteCarlo.VersionPFD != nil {
+		t.Fatal("streaming job did not produce a streaming-shaped result")
+	}
+
+	bsum, err := buffered.MonteCarlo.SystemSummary()
+	if err != nil {
+		t.Fatalf("buffered SystemSummary: %v", err)
+	}
+	ssum, err := streaming.MonteCarlo.SystemSummary()
+	if err != nil {
+		t.Fatalf("streaming SystemSummary: %v", err)
+	}
+	if bsum.N != ssum.N || bsum.Min != ssum.Min || bsum.Max != ssum.Max {
+		t.Errorf("population shapes diverged: buffered %+v, streaming %+v", bsum, ssum)
+	}
+	if diff := bsum.Mean - ssum.Mean; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("means diverged between modes: %v vs %v", bsum.Mean, ssum.Mean)
+	}
+
+	// Repeating the streaming job must now hit the cache.
+	again, err := eng.Run(context.Background(), NewMonteCarloJob(spec))
+	if err != nil {
+		t.Fatalf("repeated streaming Run: %v", err)
+	}
+	if !again.FromCache {
+		t.Error("identical streaming job was recomputed, want cache hit")
+	}
+}

@@ -24,6 +24,12 @@ type Config struct {
 	// so that the full suite can run in test and bench loops. Headline
 	// checks still pass in quick mode; confidence intervals are wider.
 	Quick bool
+	// Streaming runs the Monte-Carlo passes of moment- and counter-based
+	// experiments (E01, E04) with constant-memory aggregation
+	// (montecarlo Config.Streaming). Experiments that need the raw PFD
+	// sample — empirical CDFs, KS tests, per-sample sweeps — always run
+	// buffered regardless of this flag.
+	Streaming bool
 	// Metrics, when non-nil, receives per-experiment wall time: the
 	// aggregate histogram "experiments.wall_time_seconds" and one gauge
 	// "experiments.wall_time_seconds.<ID>" per experiment. Metrics does

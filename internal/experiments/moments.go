@@ -11,7 +11,6 @@ import (
 	"diversity/internal/montecarlo"
 	"diversity/internal/report"
 	"diversity/internal/scenario"
-	"diversity/internal/stats"
 )
 
 var _ = register("E01", runE01Moments)
@@ -39,11 +38,20 @@ func runE01Moments(ctx context.Context, cfg Config) (*Result, error) {
 	for _, sc := range scenarios {
 		fs := sc.FaultSet
 		mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
-			Process:  devsim.NewIndependentProcess(fs),
-			Versions: 2,
-			Reps:     reps,
-			Seed:     cfg.Seed + 1,
+			Process:   devsim.NewIndependentProcess(fs),
+			Versions:  2,
+			Reps:      reps,
+			Seed:      cfg.Seed + 1,
+			Streaming: cfg.Streaming,
 		})
+		if err != nil {
+			return nil, err
+		}
+		vsum, err := mc.VersionSummary()
+		if err != nil {
+			return nil, err
+		}
+		ssum, err := mc.SystemSummary()
 		if err != nil {
 			return nil, err
 		}
@@ -63,18 +71,10 @@ func runE01Moments(ctx context.Context, cfg Config) (*Result, error) {
 		if cells[3].model, err = fs.SigmaPFD(2); err != nil {
 			return nil, err
 		}
-		if cells[0].sim, err = stats.Mean(mc.VersionPFD); err != nil {
-			return nil, err
-		}
-		if cells[1].sim, err = stats.StdDev(mc.VersionPFD); err != nil {
-			return nil, err
-		}
-		if cells[2].sim, err = stats.Mean(mc.SystemPFD); err != nil {
-			return nil, err
-		}
-		if cells[3].sim, err = stats.StdDev(mc.SystemPFD); err != nil {
-			return nil, err
-		}
+		cells[0].sim = vsum.Mean
+		cells[1].sim = vsum.StdDev
+		cells[2].sim = ssum.Mean
+		cells[3].sim = ssum.StdDev
 		if err := tbl.AddRow(sc.Name,
 			report.Fmt(cells[0].model), report.Fmt(cells[0].sim),
 			report.Fmt(cells[1].model), report.Fmt(cells[1].sim),

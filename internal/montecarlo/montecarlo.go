@@ -8,6 +8,17 @@
 // (E09). Replications are sharded across worker goroutines with split
 // random streams, so results are reproducible for a fixed seed and worker
 // count does not change the sampled distribution.
+//
+// The harness offers two aggregation modes. The default buffered mode
+// keeps every replication's version and system PFD in memory
+// (Result.VersionPFD/SystemPFD), supporting exact sample statistics at
+// O(Reps) memory. Streaming mode (Config.Streaming) folds each
+// replication into per-worker Agg accumulators — mergeable moments, a
+// log-scale histogram for quantiles, and fault-free counters — merged
+// deterministically in shard order, so memory stays constant in Reps and
+// the hot path performs no per-replication allocations. Both modes draw
+// identical random variates, so for a fixed seed and worker count they
+// observe exactly the same PFD population.
 package montecarlo
 
 import (
@@ -21,6 +32,7 @@ import (
 
 	"diversity/internal/devsim"
 	"diversity/internal/randx"
+	"diversity/internal/stats"
 	"diversity/internal/system"
 	"diversity/internal/telemetry"
 )
@@ -48,6 +60,14 @@ type Config struct {
 	Workers int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Streaming selects constant-memory aggregation: instead of buffering
+	// every replication's PFDs, the run folds them into mergeable
+	// Agg accumulators (Result.VersionAgg/SystemAgg) and leaves
+	// Result.VersionPFD/SystemPFD nil. The sampled population is
+	// identical to the buffered mode for the same seed and worker count;
+	// only the representation changes. Use Result.VersionSummary and
+	// Result.SystemSummary to read statistics uniformly in either mode.
+	Streaming bool
 	// Progress, when non-nil, is called as replications complete with the
 	// total completed so far and the configured total. It is invoked from
 	// worker goroutines at shard-chunk granularity (never per sample) and
@@ -69,16 +89,50 @@ type Config struct {
 type Result struct {
 	// Reps is the number of completed replications.
 	Reps int
+	// Streaming reports which aggregation mode produced the result:
+	// buffered runs fill VersionPFD/SystemPFD, streaming runs fill
+	// VersionAgg/SystemAgg.
+	Streaming bool
 	// VersionPFD holds the PFD of the first version of each replication.
+	// It is nil for streaming runs.
 	VersionPFD []float64
-	// SystemPFD holds the system PFD of each replication.
+	// SystemPFD holds the system PFD of each replication. It is nil for
+	// streaming runs.
 	SystemPFD []float64
+	// VersionAgg is the streaming aggregate of the first-version PFDs.
+	// It is nil for buffered runs.
+	VersionAgg *Agg
+	// SystemAgg is the streaming aggregate of the system PFDs. It is nil
+	// for buffered runs.
+	SystemAgg *Agg
 	// VersionFaultFree counts replications whose first version had no
 	// faults (N1 = 0).
 	VersionFaultFree int
 	// SystemFaultFree counts replications whose system had no defeating
 	// fault (for the 1oo2 system: no common fault, N2 = 0).
 	SystemFaultFree int
+}
+
+// VersionSummary returns descriptive statistics of the first-version PFD
+// population in either aggregation mode: exact sample statistics for
+// buffered runs, exact moments with histogram-resolution quantiles for
+// streaming runs.
+func (res *Result) VersionSummary() (stats.Summary, error) {
+	if res.VersionAgg != nil {
+		return res.VersionAgg.Summary()
+	}
+	return stats.Summarize(res.VersionPFD)
+}
+
+// SystemSummary returns descriptive statistics of the system PFD
+// population in either aggregation mode: exact sample statistics for
+// buffered runs, exact moments with histogram-resolution quantiles for
+// streaming runs.
+func (res *Result) SystemSummary() (stats.Summary, error) {
+	if res.SystemAgg != nil {
+		return res.SystemAgg.Summary()
+	}
+	return stats.Summarize(res.SystemPFD)
 }
 
 // PVersionAnyFault returns the empirical estimate of P(N1 > 0).
@@ -137,11 +191,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("montecarlo: run cancelled before start: %w", err)
 	}
 
+	if cfg.Streaming && arch != system.Arch1OutOfM && arch != system.ArchMajority {
+		return nil, fmt.Errorf("montecarlo: unknown architecture %d", int(arch))
+	}
+
 	fs := cfg.Process.FaultSet()
-	res := &Result{
-		Reps:       cfg.Reps,
-		VersionPFD: make([]float64, cfg.Reps),
-		SystemPFD:  make([]float64, cfg.Reps),
+	res := &Result{Reps: cfg.Reps, Streaming: cfg.Streaming}
+	var vAggs, sAggs []Agg
+	if cfg.Streaming {
+		vAggs = make([]Agg, workers)
+		sAggs = make([]Agg, workers)
+	} else {
+		res.VersionPFD = make([]float64, cfg.Reps)
+		res.SystemPFD = make([]float64, cfg.Reps)
 	}
 
 	streams := randx.NewStream(cfg.Seed).Split(workers)
@@ -198,7 +260,81 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			shardStart := time.Now()
 			defer func() { shardElapsed[w] = time.Since(shardStart) }()
 			r := streams[w]
-			versions := make([]*devsim.Version, cfg.Versions)
+
+			// Each mode supplies one simulate(rep) step; the chunk loop
+			// below (context checks, progress) is shared. The streaming
+			// fast path reuses per-worker presence masks through
+			// devsim.MaskDeveloper, so a replication performs no
+			// allocations at all; processes without that extension fall
+			// back to Develop, still at constant memory in Reps.
+			var simulate func(rep int) error
+			switch {
+			case cfg.Streaming:
+				vAgg, sAgg := &vAggs[w], &sAggs[w]
+				if md, ok := cfg.Process.(devsim.MaskDeveloper); ok {
+					masks := make([][]bool, cfg.Versions)
+					for i := range masks {
+						masks[i] = make([]bool, fs.N())
+					}
+					simulate = func(int) error {
+						for _, mask := range masks {
+							md.DevelopInto(r, mask)
+						}
+						vpfd, vcount := maskPFD(fs, masks[0])
+						spfd, scount := maskSystemPFD(fs, arch, masks)
+						vAgg.Observe(vpfd)
+						sAgg.Observe(spfd)
+						if vcount == 0 {
+							counts[w][0]++
+						}
+						if scount == 0 {
+							counts[w][1]++
+						}
+						return nil
+					}
+				} else {
+					versions := make([]*devsim.Version, cfg.Versions)
+					simulate = func(int) error {
+						for i := range versions {
+							versions[i] = cfg.Process.Develop(r)
+						}
+						sys, err := system.New(fs, arch, versions...)
+						if err != nil {
+							return err
+						}
+						vAgg.Observe(versions[0].PFD())
+						sAgg.Observe(sys.PFD())
+						if versions[0].FaultCount() == 0 {
+							counts[w][0]++
+						}
+						if sys.SystemFaultCount() == 0 {
+							counts[w][1]++
+						}
+						return nil
+					}
+				}
+			default:
+				versions := make([]*devsim.Version, cfg.Versions)
+				simulate = func(rep int) error {
+					for i := range versions {
+						versions[i] = cfg.Process.Develop(r)
+					}
+					sys, err := system.New(fs, arch, versions...)
+					if err != nil {
+						return err
+					}
+					res.VersionPFD[rep] = versions[0].PFD()
+					res.SystemPFD[rep] = sys.PFD()
+					if versions[0].FaultCount() == 0 {
+						counts[w][0]++
+					}
+					if sys.SystemFaultCount() == 0 {
+						counts[w][1]++
+					}
+					return nil
+				}
+			}
+
 			for lo := shards[w].lo; lo < shards[w].hi; lo += ctxCheckEvery {
 				if ctx.Err() != nil {
 					return
@@ -208,25 +344,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					hi = shards[w].hi
 				}
 				for rep := lo; rep < hi; rep++ {
-					for i := range versions {
-						versions[i] = cfg.Process.Develop(r)
-					}
-					sys, err := system.New(fs, arch, versions...)
-					if err != nil {
+					if err := simulate(rep); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err
 						}
 						mu.Unlock()
 						return
-					}
-					res.VersionPFD[rep] = versions[0].PFD()
-					res.SystemPFD[rep] = sys.PFD()
-					if versions[0].FaultCount() == 0 {
-						counts[w][0]++
-					}
-					if sys.SystemFaultCount() == 0 {
-						counts[w][1]++
 					}
 				}
 				completed := done.Add(int64(hi - lo))
@@ -240,6 +364,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Metrics != nil {
 		close(watcherStop)
 		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load())
+		if cfg.Streaming {
+			cfg.Metrics.Counter("montecarlo.streaming_runs_total").Add(1)
+		}
 	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("montecarlo: replication failed: %w", firstErr)
@@ -250,6 +377,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	for _, c := range counts {
 		res.VersionFaultFree += c[0]
 		res.SystemFaultFree += c[1]
+	}
+	if cfg.Streaming {
+		// Reduce the per-worker aggregates in shard order: the merge is
+		// deterministic, so a fixed seed and worker count reproduces
+		// results bit for bit.
+		res.VersionAgg, res.SystemAgg = new(Agg), new(Agg)
+		for i := range vAggs {
+			res.VersionAgg.Merge(&vAggs[i])
+			res.SystemAgg.Merge(&sAggs[i])
+		}
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
+	"diversity/internal/stats"
 	"diversity/internal/telemetry"
 )
 
@@ -113,8 +114,13 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 		logStay[i] = math.Log1p(-p) - math.Log1p(-t)
 	}
 
+	// The weights stream through a stats.Moments accumulator — the same
+	// numerically stable one-pass type the streaming Monte-Carlo harness
+	// uses — rather than raw sum/sum-of-squares registers, which lose
+	// precision exactly in the rare-event regime where weights span many
+	// orders of magnitude.
 	r := randx.NewStream(seed)
-	sum, sumSq := 0.0, 0.0
+	var mom stats.Moments
 	hits := 0
 	for rep := 0; rep < reps; rep++ {
 		if rep%ctxCheckEvery == 0 {
@@ -136,28 +142,21 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 				logW += logStay[i]
 			}
 		}
-		if !event {
-			continue
+		w := 0.0
+		if event {
+			hits++
+			w = math.Exp(logW)
 		}
-		hits++
-		w := math.Exp(logW)
-		sum += w
-		sumSq += w * w
+		mom.Add(w)
 	}
 	opts.report(reps, reps)
 	if opts.Metrics != nil {
 		opts.Metrics.Counter("montecarlo.replications_total").Add(int64(reps))
 	}
-	fReps := float64(reps)
-	mean := sum / fReps
-	variance := (sumSq/fReps - mean*mean) / fReps
-	if variance < 0 {
-		variance = 0
-	}
 	return RareEventEstimate{
-		Probability: mean,
-		StdErr:      math.Sqrt(variance),
-		HitFraction: float64(hits) / fReps,
+		Probability: mom.Mean(),
+		StdErr:      math.Sqrt(mom.PopulationVariance() / float64(reps)),
+		HitFraction: float64(hits) / float64(reps),
 	}, nil
 }
 

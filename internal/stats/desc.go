@@ -80,12 +80,12 @@ func quantileSorted(sorted []float64, p float64) float64 {
 // Summary holds the descriptive statistics the experiment reports print
 // for a sample.
 type Summary struct {
-	N        int
-	Mean     float64
-	StdDev   float64
-	Min      float64
-	Max      float64
-	Median   float64
+	N        int     // sample size
+	Mean     float64 // sample mean
+	StdDev   float64 // sample standard deviation (n-1 denominator); 0 if N < 2
+	Min      float64 // smallest observation
+	Max      float64 // largest observation
+	Median   float64 // 50th percentile
 	Q05      float64 // 5th percentile
 	Q95      float64 // 95th percentile
 	Q99      float64 // 99th percentile
@@ -128,20 +128,16 @@ func Summarize(xs []float64) (Summary, error) {
 		Q99:    quantileSorted(sorted, 0.99),
 	}
 	// Central-moment skewness/kurtosis (population denominators): adequate
-	// for the large Monte-Carlo samples they are reported on.
+	// for the large Monte-Carlo samples they are reported on. Computed
+	// with the mergeable Moments accumulator — the same type the
+	// Monte-Carlo harness folds per-shard aggregates with.
 	if sd > 0 {
-		n := float64(len(xs))
-		m3, m4 := 0.0, 0.0
+		var m Moments
 		for _, x := range xs {
-			d := x - mean
-			m3 += d * d * d
-			m4 += d * d * d * d
+			m.Add(x)
 		}
-		m2 := acc.populationVariance()
-		m3 /= n
-		m4 /= n
-		s.Skewness = m3 / math.Pow(m2, 1.5)
-		s.Kurtosis = m4/(m2*m2) - 3
+		s.Skewness = m.Skewness()
+		s.Kurtosis = m.Kurtosis()
 	}
 	return s, nil
 }
@@ -189,9 +185,9 @@ func (a *Accumulator) StdDev() (float64, error) {
 	return math.Sqrt(v), nil
 }
 
-// populationVariance returns the biased (n denominator) variance, used
-// internally for moment ratios.
-func (a *Accumulator) populationVariance() float64 {
+// PopulationVariance returns the biased (n denominator) variance, the
+// central moment used for moment ratios.
+func (a *Accumulator) PopulationVariance() float64 {
 	if a.n == 0 {
 		return 0
 	}

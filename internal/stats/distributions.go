@@ -11,8 +11,8 @@ import (
 // generators for fault probabilities in the scenario library, and as
 // conjugate posteriors in the Bayesian-assessment extension.
 type Beta struct {
-	Alpha float64
-	Beta  float64
+	Alpha float64 // first shape parameter (α > 0)
+	Beta  float64 // second shape parameter (β > 0)
 }
 
 // NewBeta returns a Beta distribution, or an error if either shape
@@ -97,8 +97,8 @@ func (b Beta) Quantile(p float64) (float64, error) {
 // Binomial is a Binomial(N, P) distribution: the number of successes in N
 // independent trials of probability P.
 type Binomial struct {
-	N int
-	P float64
+	N int     // number of trials
+	P float64 // per-trial success probability
 }
 
 // NewBinomial returns a Binomial distribution, or an error if n < 0 or p is
@@ -163,7 +163,7 @@ func (b Binomial) CDF(k int) (float64, error) {
 
 // Poisson is a Poisson(Lambda) distribution.
 type Poisson struct {
-	Lambda float64
+	Lambda float64 // rate (mean) parameter
 }
 
 // NewPoisson returns a Poisson distribution, or an error if lambda is
@@ -214,8 +214,8 @@ func (p Poisson) CDF(k int) (float64, error) {
 // are generated from lognormals in the scenario library, reflecting the
 // common observation that fault sizes are heavy-tailed.
 type Lognormal struct {
-	Mu    float64
-	Sigma float64
+	Mu    float64 // mean of the underlying normal (of log X)
+	Sigma float64 // standard deviation of the underlying normal
 }
 
 // NewLognormal returns a Lognormal distribution, or an error if sigma is

@@ -59,10 +59,13 @@ type Histogram struct {
 	// Lo and Hi are the histogram range; observations outside are counted
 	// in Under/Over.
 	Lo, Hi float64
+	// Counts holds the per-cell observation counts, in cell order.
 	Counts []int
-	Under  int
-	Over   int
-	total  int
+	// Under counts observations below Lo.
+	Under int
+	// Over counts observations at or above Hi.
+	Over  int
+	total int
 }
 
 // NewHistogram bins xs into bins equal-width cells spanning [lo, hi].

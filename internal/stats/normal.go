@@ -14,8 +14,8 @@ import (
 // bounds of the form mu + k*sigma from it. This type supplies the CDF and
 // the quantile function those bounds require.
 type Normal struct {
-	Mu    float64
-	Sigma float64
+	Mu    float64 // mean
+	Sigma float64 // standard deviation
 }
 
 // StdNormal is the standard normal distribution N(0, 1).

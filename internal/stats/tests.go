@@ -125,9 +125,9 @@ func kolmogorovQ(lambda float64) float64 {
 
 // ChiSquareResult is the outcome of a chi-square goodness-of-fit test.
 type ChiSquareResult struct {
-	Statistic float64
-	DF        int
-	PValue    float64
+	Statistic float64 // the χ² statistic over the (pooled) bins
+	DF        int     // degrees of freedom after pooling and fitted parameters
+	PValue    float64 // upper-tail probability of Statistic under χ²(DF)
 }
 
 // ChiSquareTest compares observed counts against expected counts with the
