@@ -1,8 +1,16 @@
-// Command bench runs a pinned Monte-Carlo benchmark matrix — replication
-// counts × worker counts × buffered/streaming aggregation — over the
-// commercial-grade scenario and writes the measurements as JSON
-// (BENCH_pr3.json in the repository root is generated by this tool; see
-// docs/PERFORMANCE.md for methodology and how to regenerate it).
+// Command bench runs the pinned Monte-Carlo benchmark matrices and writes
+// the measurements as JSON (see docs/PERFORMANCE.md for methodology and
+// for how the checked-in report in the repository root is regenerated).
+//
+// Two matrices are measured:
+//
+//   - the aggregation matrix — replication counts × worker counts ×
+//     buffered/streaming aggregation over the commercial-grade scenario —
+//     which tracks the streaming harness;
+//   - the kernel matrix — dense vs sparse development over large-universe
+//     fault sets of n ∈ {10^3, 10^5, 10^6} (configurable with -sparse-n),
+//     streaming aggregation, all cores — which tracks the geometric
+//     skip-sampling kernel's O(k)-per-replication claim.
 //
 // Each cell runs in-process with a fresh telemetry registry. Throughput
 // is read back from that registry (the same montecarlo.replications_*
@@ -13,7 +21,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_pr3.json] [-reps 250000,1000000] [-workers 1,0]
+//	bench [-out bench.json] [-reps 250000,1000000] [-workers 1,0] [-sparse-n 1000,100000,1000000]
 //	bench -quick -out -        # small matrix, JSON to stdout (CI smoke)
 package main
 
@@ -25,7 +33,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -36,12 +46,23 @@ import (
 	"diversity/internal/telemetry"
 )
 
-// Row is one benchmark cell: a (reps, workers, streaming) combination and
-// its measurements.
+// schemaVersion identifies the report layout; bump it when fields change
+// meaning so downstream tooling can dispatch on the document shape.
+const schemaVersion = 2
+
+// Row is one benchmark cell: a (scenario, n, reps, workers, streaming,
+// sparse) combination and its measurements.
 type Row struct {
+	// Scenario names the fault-set regime; N is its fault-universe size.
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+
 	Reps      int  `json:"reps"`
 	Workers   int  `json:"workers"`
 	Streaming bool `json:"streaming"`
+	// Sparse marks cells run with the geometric skip-sampling development
+	// kernel (montecarlo Config.Sparse).
+	Sparse bool `json:"sparse"`
 
 	// WallNS is the wall-clock duration of the run in nanoseconds;
 	// NSPerRep is WallNS / Reps.
@@ -62,16 +83,22 @@ type Row struct {
 	// MeanSystemPFD anchors the cell to the simulated estimate so that
 	// benchmark runs double as a cross-mode consistency check.
 	MeanSystemPFD float64 `json:"mean_system_pfd"`
+	// SparseSkips counts geometric skip draws (0 for dense cells).
+	SparseSkips int64 `json:"sparse_skips,omitempty"`
 }
 
 // Report is the top-level JSON document.
 type Report struct {
-	Bench     string `json:"bench"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	CPUs      int    `json:"cpus"`
-	Scenario  string `json:"scenario"`
+	Bench         string `json:"bench"`
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	CPUs          int    `json:"cpus"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	// GitCommit is the revision the binary was built from (build info when
+	// stamped, otherwise git rev-parse); empty when neither is available.
+	GitCommit string `json:"git_commit,omitempty"`
 	Versions  int    `json:"versions"`
 	Seed      uint64 `json:"seed"`
 	Rows      []Row  `json:"rows"`
@@ -86,16 +113,18 @@ func main() {
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	flags := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := flags.String("out", "BENCH_pr3.json", "output path (\"-\" for stdout)")
-	repsList := flags.String("reps", "250000,1000000", "comma-separated replication counts")
+	out := flags.String("out", "bench.json", "output path (\"-\" for stdout)")
+	repsList := flags.String("reps", "250000,1000000", "comma-separated replication counts for the aggregation matrix")
 	workersList := flags.String("workers", "1,0", "comma-separated worker counts (0 = all cores)")
+	sparseNList := flags.String("sparse-n", "1000,100000,1000000", "comma-separated fault-universe sizes for the dense-vs-sparse kernel matrix (empty = skip)")
 	seed := flags.Uint64("seed", 1, "random seed (same for every cell)")
-	quick := flags.Bool("quick", false, "small matrix for smoke testing (overrides -reps)")
+	quick := flags.Bool("quick", false, "small matrix for smoke testing (overrides -reps and -sparse-n)")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
 	if *quick {
 		*repsList = "20000"
+		*sparseNList = "1000,100000"
 	}
 	repCounts, err := parseInts(*repsList, 1)
 	if err != nil {
@@ -105,6 +134,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-workers: %w", err)
 	}
+	var sparseNs []int
+	if strings.TrimSpace(*sparseNList) != "" {
+		sparseNs, err = parseInts(*sparseNList, 4)
+		if err != nil {
+			return fmt.Errorf("-sparse-n: %w", err)
+		}
+	}
 
 	sc, err := scenario.CommercialGrade(*seed)
 	if err != nil {
@@ -113,25 +149,43 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	proc := devsim.NewIndependentProcess(sc.FaultSet)
 
 	rep := Report{
-		Bench:     "pr3-streaming-matrix",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Scenario:  sc.Name,
-		Versions:  2,
-		Seed:      *seed,
+		Bench:         "montecarlo-kernel-matrix",
+		SchemaVersion: schemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GitCommit:     gitCommit(),
+		Versions:      2,
+		Seed:          *seed,
 	}
 	for _, reps := range repCounts {
 		for _, workers := range workerCounts {
 			for _, streaming := range []bool{false, true} {
-				row, err := runCell(ctx, proc, reps, workers, streaming, *seed)
-				if err != nil {
-					return fmt.Errorf("cell reps=%d workers=%d streaming=%v: %w", reps, workers, streaming, err)
+				cell := cellConfig{
+					scenario: sc.Name, n: sc.FaultSet.N(), proc: proc,
+					reps: reps, workers: workers, streaming: streaming,
 				}
-				rep.Rows = append(rep.Rows, row)
-				fmt.Fprintf(os.Stderr, "bench: reps=%d workers=%d streaming=%-5v %8.0f ns/rep %10.1f allocs/rep\n",
-					reps, workers, streaming, row.NSPerRep, row.AllocsPerRep)
+				if err := appendCell(ctx, &rep, cell, *seed); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, n := range sparseNs {
+		lu, err := scenario.LargeUniverse(n)
+		if err != nil {
+			return err
+		}
+		luProc := devsim.NewIndependentProcess(lu.FaultSet)
+		for _, sparse := range []bool{false, true} {
+			cell := cellConfig{
+				scenario: lu.Name, n: n, proc: luProc,
+				reps: sparseReps(n, *quick), workers: 0, streaming: true, sparse: sparse,
+			}
+			if err := appendCell(ctx, &rep, cell, *seed); err != nil {
+				return err
 			}
 		}
 	}
@@ -148,19 +202,77 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	return os.WriteFile(*out, doc, 0o644)
 }
 
-// runCell measures one matrix cell. The preceding GC settles the heap so
-// the MemStats delta belongs to this run, and resetPeakRSS scopes the
-// VmHWM reading to the cell.
-func runCell(ctx context.Context, proc devsim.Process, reps, workers int, streaming bool, seed uint64) (Row, error) {
+// sparseReps scales the kernel matrix's replication count to the universe
+// size so the dense baseline cells stay feasible: a dense replication is
+// O(n), so the budget shrinks as n grows.
+func sparseReps(n int, quick bool) int {
+	switch {
+	case quick && n <= 1000:
+		return 2000
+	case quick:
+		return 500
+	case n <= 1000:
+		return 100000
+	case n <= 100000:
+		return 20000
+	default:
+		return 5000
+	}
+}
+
+// cellConfig is one matrix cell's parameters.
+type cellConfig struct {
+	scenario  string
+	n         int
+	proc      devsim.Process
+	reps      int
+	workers   int
+	streaming bool
+	sparse    bool
+}
+
+// appendCell measures one cell and appends its row, logging progress to
+// stderr.
+func appendCell(ctx context.Context, rep *Report, cell cellConfig, seed uint64) error {
+	row, err := runCell(ctx, cell, seed)
+	if err != nil {
+		return fmt.Errorf("cell scenario=%s n=%d reps=%d workers=%d streaming=%v sparse=%v: %w",
+			cell.scenario, cell.n, cell.reps, cell.workers, cell.streaming, cell.sparse, err)
+	}
+	rep.Rows = append(rep.Rows, row)
+	fmt.Fprintf(os.Stderr, "bench: %-14s n=%-8d reps=%-7d workers=%d streaming=%-5v sparse=%-5v %10.0f ns/rep %10.4f allocs/rep\n",
+		cell.scenario, cell.n, cell.reps, cell.workers, cell.streaming, cell.sparse, row.NSPerRep, row.AllocsPerRep)
+	return nil
+}
+
+// warmupReps bounds the short untimed run before each measured cell.
+const warmupReps = 200
+
+// runCell measures one matrix cell. A short untimed warmup run first
+// primes lazy per-process state — notably the sparse kernel's equal-p
+// group index, built on first use — so the timed window measures
+// steady-state replication cost, not one-time setup. The preceding GC
+// settles the heap so the MemStats delta belongs to this run, and
+// resetPeakRSS scopes the VmHWM reading to the cell.
+func runCell(ctx context.Context, cell cellConfig, seed uint64) (Row, error) {
 	reg := telemetry.NewRegistry()
 	cfg := montecarlo.Config{
-		Process:   proc,
+		Process:   cell.proc,
 		Versions:  2,
-		Reps:      reps,
-		Workers:   workers,
+		Reps:      cell.reps,
+		Workers:   cell.workers,
 		Seed:      seed,
-		Streaming: streaming,
+		Streaming: cell.streaming,
+		Sparse:    cell.sparse,
 		Metrics:   reg,
+	}
+
+	warmup := cfg
+	warmup.Reps = min(cell.reps, warmupReps)
+	warmup.Metrics = nil
+	warmup.Progress = nil
+	if _, err := montecarlo.RunContext(ctx, warmup); err != nil {
+		return Row{}, fmt.Errorf("warmup: %w", err)
 	}
 
 	runtime.GC()
@@ -181,21 +293,47 @@ func runCell(ctx context.Context, proc devsim.Process, reps, workers int, stream
 	}
 	snap := reg.Snapshot()
 	row := Row{
-		Reps:          reps,
-		Workers:       workers,
-		Streaming:     streaming,
+		Scenario:      cell.scenario,
+		N:             cell.n,
+		Reps:          cell.reps,
+		Workers:       cell.workers,
+		Streaming:     cell.streaming,
+		Sparse:        cell.sparse,
 		WallNS:        wall.Nanoseconds(),
-		NSPerRep:      float64(wall.Nanoseconds()) / float64(reps),
+		NSPerRep:      float64(wall.Nanoseconds()) / float64(cell.reps),
 		RepsPerSecond: snap.Gauges["montecarlo.replications_per_second"],
-		AllocsPerRep:  float64(after.Mallocs-before.Mallocs) / float64(reps),
-		BytesPerRep:   float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+		AllocsPerRep:  float64(after.Mallocs-before.Mallocs) / float64(cell.reps),
+		BytesPerRep:   float64(after.TotalAlloc-before.TotalAlloc) / float64(cell.reps),
 		PeakRSSBytes:  peakRSS(),
 		MeanSystemPFD: ssum.Mean,
+		SparseSkips:   res.SparseSkips,
 	}
-	if got := snap.Counters["montecarlo.replications_total"]; got != int64(reps) {
-		return Row{}, fmt.Errorf("telemetry reported %d replications, want %d", got, reps)
+	if got := snap.Counters["montecarlo.replications_total"]; got != int64(cell.reps) {
+		return Row{}, fmt.Errorf("telemetry reported %d replications, want %d", got, cell.reps)
+	}
+	if cell.sparse && !res.Sparse {
+		return Row{}, fmt.Errorf("sparse cell fell back to the dense kernel")
 	}
 	return row, nil
+}
+
+// gitCommit resolves the benchmarked revision: the VCS stamp from build
+// info when present (go build of a committed tree), otherwise git itself
+// (go run / go test builds are not stamped). Best-effort — an empty string
+// means neither source was available.
+func gitCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // resetPeakRSS asks the kernel to restart peak-RSS accounting for this

@@ -31,7 +31,9 @@ func TestBenchMatrix(t *testing.T) {
 
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var stdout strings.Builder
-	err := run(context.Background(), []string{"-reps", "3000", "-workers", "1", "-out", out, "-seed", "5"}, &stdout)
+	err := run(context.Background(), []string{
+		"-reps", "3000", "-workers", "1", "-sparse-n", "", "-out", out, "-seed", "5",
+	}, &stdout)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -43,8 +45,17 @@ func TestBenchMatrix(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("Unmarshal: %v", err)
 	}
-	if rep.Bench != "pr3-streaming-matrix" || rep.Scenario == "" || rep.GoVersion == "" {
+	if rep.Bench != "montecarlo-kernel-matrix" || rep.GoVersion == "" {
 		t.Errorf("metadata incomplete: %+v", rep)
+	}
+	if rep.SchemaVersion != schemaVersion {
+		t.Errorf("schema version %d, want %d", rep.SchemaVersion, schemaVersion)
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs %d not recorded", rep.GOMAXPROCS)
+	}
+	if rep.GitCommit == "" {
+		t.Error("git commit not recorded (repo checkouts should always resolve one)")
 	}
 	if len(rep.Rows) != 2 {
 		t.Fatalf("got %d rows, want 2 (buffered + streaming)", len(rep.Rows))
@@ -54,8 +65,11 @@ func TestBenchMatrix(t *testing.T) {
 		t.Fatalf("row order unexpected: %+v", rep.Rows)
 	}
 	for _, row := range rep.Rows {
-		if row.Reps != 3000 || row.Workers != 1 {
+		if row.Reps != 3000 || row.Workers != 1 || row.Scenario != "commercial-grade" || row.N != 40 {
 			t.Errorf("row has wrong cell parameters: %+v", row)
+		}
+		if row.Sparse || row.SparseSkips != 0 {
+			t.Errorf("aggregation-matrix row claims the sparse kernel: %+v", row)
 		}
 		if row.WallNS <= 0 || row.NSPerRep <= 0 || row.RepsPerSecond <= 0 {
 			t.Errorf("row missing timing measurements: %+v", row)
@@ -74,11 +88,59 @@ func TestBenchMatrix(t *testing.T) {
 	}
 }
 
+// TestBenchSparseMatrix pins the kernel matrix: a dense and a sparse cell
+// per universe size, the sparse cells actually running the sparse kernel
+// and beating the dense baseline on a large universe.
+func TestBenchSparseMatrix(t *testing.T) {
+	t.Parallel()
+
+	var stdout strings.Builder
+	err := run(context.Background(), []string{"-quick", "-out", "-", "-seed", "5"}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not the JSON report: %v", err)
+	}
+	var kernel []Row
+	for _, row := range rep.Rows {
+		if row.Scenario == "large-universe" {
+			kernel = append(kernel, row)
+		}
+	}
+	if len(kernel) != 4 {
+		t.Fatalf("got %d kernel-matrix rows, want 4 (2 sizes × dense/sparse): %+v", len(kernel), rep.Rows)
+	}
+	for i := 0; i < len(kernel); i += 2 {
+		dense, sparse := kernel[i], kernel[i+1]
+		if dense.Sparse || !sparse.Sparse {
+			t.Fatalf("kernel row order unexpected: %+v", kernel)
+		}
+		if dense.N != sparse.N || dense.Reps != sparse.Reps {
+			t.Errorf("kernel cell pair mismatched: %+v vs %+v", dense, sparse)
+		}
+		if !dense.Streaming || !sparse.Streaming {
+			t.Errorf("kernel matrix must run streaming: %+v", kernel[i])
+		}
+		if sparse.SparseSkips == 0 {
+			t.Errorf("sparse cell recorded no skip draws: %+v", sparse)
+		}
+		// Even in quick mode the sparse kernel wins clearly at n = 10^5.
+		if sparse.N >= 100000 && sparse.NSPerRep*5 > dense.NSPerRep {
+			t.Errorf("n=%d: sparse %v ns/rep not well below dense %v ns/rep",
+				sparse.N, sparse.NSPerRep, dense.NSPerRep)
+		}
+	}
+}
+
 func TestBenchStdout(t *testing.T) {
 	t.Parallel()
 
 	var stdout strings.Builder
-	if err := run(context.Background(), []string{"-reps", "1000", "-workers", "1", "-out", "-"}, &stdout); err != nil {
+	if err := run(context.Background(), []string{
+		"-reps", "1000", "-workers", "1", "-sparse-n", "", "-out", "-",
+	}, &stdout); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var rep Report
@@ -98,6 +160,7 @@ func TestBenchBadFlags(t *testing.T) {
 		{"-reps", "0"},
 		{"-workers", "-2"},
 		{"-reps", "abc"},
+		{"-sparse-n", "2"},
 	} {
 		if err := run(context.Background(), args, &stdout); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

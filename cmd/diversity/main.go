@@ -42,13 +42,14 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("diversity", flag.ContinueOnError)
 	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
-	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade")
+	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade | million-faults")
 	k := flags.Float64("k", 1.0, "sigma multiplier for the confidence bounds")
 	confidence := flags.Float64("confidence", 0.99, "confidence level for the normal-approximation bound")
 	seed := flags.Uint64("seed", 1, "seed for scenario generation")
 	adjudicator := flags.Float64("adjudicator", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
 	mcReps := flags.Int("mc", 0, "cross-check the analytic moments by Monte-Carlo simulation with this many replications (0 = off)")
 	stream := flags.Bool("stream", false, "run the -mc cross-check with constant-memory streaming aggregation")
+	sparse := flags.Bool("sparse", false, "run the -mc cross-check with the geometric skip-sampling development kernel")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	tf := cliutil.RegisterTelemetryFlags(flags)
 	if err := flags.Parse(args); err != nil {
@@ -188,7 +189,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	if *mcReps > 0 {
-		if err := renderCrossCheck(ctx, out, eng, model, rep.Mu1, rep.Sigma1, rep.Mu2, rep.Sigma2, *mcReps, *seed, *stream); err != nil {
+		if err := renderCrossCheck(ctx, out, eng, model, rep.Mu1, rep.Sigma1, rep.Mu2, rep.Sigma2, *mcReps, *seed, *stream, *sparse); err != nil {
 			return err
 		}
 	}
@@ -200,13 +201,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // report above is built on — an end-to-end consistency check an assessor
 // can run on their own model. With streaming aggregation the simulation
 // runs at constant memory regardless of the replication count.
-func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, model engine.ModelSpec, mu1, sigma1, mu2, sigma2 float64, reps int, seed uint64, stream bool) error {
+func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, model engine.ModelSpec, mu1, sigma1, mu2, sigma2 float64, reps int, seed uint64, stream, sparse bool) error {
 	res, err := eng.Run(ctx, engine.NewMonteCarloJob(engine.MonteCarloSpec{
 		Model:     model,
 		Versions:  2,
 		Reps:      reps,
 		Seed:      seed,
 		Streaming: stream,
+		Sparse:    sparse,
 	}))
 	if err != nil {
 		return err
@@ -222,6 +224,9 @@ func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, mo
 	mode := "buffered"
 	if stream {
 		mode = "streaming"
+	}
+	if sparse {
+		mode += ", sparse kernel"
 	}
 	fmt.Fprintln(out)
 	tbl, err := report.NewTable(

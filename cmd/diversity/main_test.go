@@ -171,3 +171,15 @@ func TestRunMonteCarloCrossCheck(t *testing.T) {
 		t.Error("negative -mc accepted, want error")
 	}
 }
+
+func TestRunSparseCrossCheck(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-scenario", "commercial-grade", "-mc", "4000", "-sparse"}, &out); err != nil {
+		t.Fatalf("run -sparse: %v", err)
+	}
+	if !strings.Contains(out.String(), "sparse kernel") {
+		t.Errorf("sparse cross-check not labelled:\n%s", out.String())
+	}
+}

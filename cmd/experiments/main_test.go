@@ -156,3 +156,16 @@ func TestRunStreamingMatchesBuffered(t *testing.T) {
 			buffered.String(), streaming.String())
 	}
 }
+
+func TestRunSparseKernel(t *testing.T) {
+	t.Parallel()
+
+	var out strings.Builder
+	code, err := run(context.Background(), []string{"-id", "E01", "-quick", "-sparse"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("sparse run: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "E01") {
+		t.Errorf("sparse run output missing experiment table:\n%s", out.String())
+	}
+}

@@ -48,7 +48,7 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("mcsim", flag.ContinueOnError)
 	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
-	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade")
+	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade | million-faults")
 	reps := flags.Int("reps", 100000, "number of replications")
 	versions := flags.Int("versions", 2, "versions per replication")
 	archName := flags.String("arch", "1oom", "system architecture: 1oom | majority")
@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	boost := flags.Float64("boost", 3, "common-cause boost factor (with -correlation > 0)")
 	rare := flags.Bool("rare", false, "estimate P(system carries any fault) by importance sampling (for safety-grade regimes)")
 	stream := flags.Bool("stream", false, "constant-memory streaming aggregation (quantiles at histogram resolution)")
+	sparse := flags.Bool("sparse", false, "geometric skip-sampling development kernel (O(faults present) per replication; different variate sequence, identical distribution)")
 	progress := flags.Bool("progress", false, "report progress on stderr as replications complete")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	tf := cliutil.RegisterTelemetryFlags(flags)
@@ -102,6 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Reps:       *reps,
 			Seed:       *seed,
 			TiltTarget: 0.3,
+			Sparse:     *sparse,
 		}))
 		if err != nil {
 			return err
@@ -122,6 +124,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Correlation: *correlation,
 		Boost:       *boost,
 		Streaming:   *stream,
+		Sparse:      *sparse,
 	}))
 	if err != nil {
 		return err
@@ -142,6 +145,9 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 	mode := ""
 	if res.Streaming {
 		mode = ", streaming aggregation"
+	}
+	if res.Sparse {
+		mode += ", sparse kernel"
 	}
 	fmt.Fprintf(out, "Model: %s — %d replications of %d versions (%s adjudication%s)\n\n",
 		name, reps, versions, arch, mode)

@@ -260,3 +260,56 @@ func TestRunStreaming(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSparse(t *testing.T) {
+	t.Parallel()
+
+	path := writeModel(t, `{"faults": [{"p": 0.3, "q": 0.05}, {"p": 0.2, "q": 0.1}, {"p": 0.2, "q": 0.02}]}`)
+	args := []string{"-model", path, "-reps", "20000", "-seed", "3"}
+	var dense, sparse strings.Builder
+	if err := run(context.Background(), args, &dense); err != nil {
+		t.Fatalf("dense run: %v", err)
+	}
+	if err := run(context.Background(), append(args, "-sparse", "-stream"), &sparse); err != nil {
+		t.Fatalf("sparse run: %v", err)
+	}
+	if strings.Contains(dense.String(), "sparse kernel") {
+		t.Error("dense output mentions the sparse kernel")
+	}
+	text := sparse.String()
+	for _, want := range []string{"sparse kernel", "streaming aggregation", "Simulated PFD populations"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sparse output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The sparse flag also reaches the rare-event estimators.
+	rarePath := writeModel(t, `{"faults": [{"p": 0.003, "q": 0.001}, {"p": 0.003, "q": 0.002}]}`)
+	var rare strings.Builder
+	if err := run(context.Background(), []string{"-model", rarePath, "-reps", "20000", "-rare", "-sparse"}, &rare); err != nil {
+		t.Fatalf("sparse rare run: %v", err)
+	}
+	if !strings.Contains(rare.String(), "importance sampling") {
+		t.Errorf("sparse rare output missing estimator table:\n%s", rare.String())
+	}
+}
+
+func TestRunMillionFaultsScenario(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("million-fault scenario in -short mode")
+	}
+
+	var out strings.Builder
+	if err := run(context.Background(), []string{
+		"-scenario", "million-faults", "-reps", "20000", "-sparse", "-stream", "-seed", "7",
+	}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"Model: million-faults", "sparse kernel", "version fault-free"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -87,6 +87,10 @@ type (
 	// MonteCarloConfig parameterises a simulation run. Setting its
 	// Streaming field selects constant-memory aggregation: the result
 	// then carries StreamingAggregate values instead of raw PFD samples.
+	// Setting its Sparse field selects the sparse development kernel
+	// (geometric skip-sampling over bitset fault masks), which makes
+	// replication cost O(faults present) rather than O(universe size) —
+	// the same distribution from a different variate sequence.
 	MonteCarloConfig = montecarlo.Config
 	// MonteCarloResult holds simulated PFD populations — raw samples for
 	// buffered runs, streaming aggregates for Streaming runs; its
@@ -214,4 +218,9 @@ var (
 	ManySmallFaultsScenario = scenario.ManySmallFaults
 	// CommercialGradeScenario is an intermediate regime.
 	CommercialGradeScenario = scenario.CommercialGrade
+	// LargeUniverseScenario builds an n-fault universe with grouped
+	// presence probabilities and k ≈ 5 expected faults per version — the
+	// regime the sparse Monte-Carlo kernel (MonteCarloConfig.Sparse) is
+	// built for.
+	LargeUniverseScenario = scenario.LargeUniverse
 )

@@ -82,6 +82,23 @@ func (p *CommonCauseProcess) DevelopInto(r *randx.Stream, present []bool) {
 	}
 }
 
+// DevelopSparse implements SparseDeveloper by replaying the exact draw
+// sequence of DevelopInto into the bitset: for a fixed stream the sparse
+// and dense masks are identical, only the representation differs.
+func (p *CommonCauseProcess) DevelopSparse(r *randx.Stream, mask *Bitset) int {
+	mask.Reset()
+	probs := p.lo
+	if r.Bernoulli(p.rho) {
+		probs = p.hi
+	}
+	for i := range probs {
+		if r.Bernoulli(probs[i]) {
+			mask.Set(i)
+		}
+	}
+	return 0
+}
+
 // FaultSet implements Process.
 func (p *CommonCauseProcess) FaultSet() *faultmodel.FaultSet { return p.fs }
 
@@ -131,7 +148,7 @@ func (p *ResourceShiftProcess) DevelopInto(r *randx.Stream, present []bool) {
 		// Within each pair, one member gets the scrutiny this
 		// development; the coin is per pair, so distinct pairs stay
 		// independent and the induced correlation is purely negative.
-		favourFirst := r.Bernoulli(0.5)
+		favourFirst := r.BernoulliValidated(0.5)
 		for offset := 0; offset < 2; offset++ {
 			i := pair + offset
 			pi := p.fs.Fault(i).P
@@ -146,6 +163,32 @@ func (p *ResourceShiftProcess) DevelopInto(r *randx.Stream, present []bool) {
 	if n%2 == 1 {
 		present[n-1] = r.Bernoulli(p.fs.Fault(n - 1).P)
 	}
+}
+
+// DevelopSparse implements SparseDeveloper by replaying the exact draw
+// sequence of DevelopInto into the bitset.
+func (p *ResourceShiftProcess) DevelopSparse(r *randx.Stream, mask *Bitset) int {
+	mask.Reset()
+	n := p.fs.N()
+	for pair := 0; pair+1 < n; pair += 2 {
+		favourFirst := r.BernoulliValidated(0.5)
+		for offset := 0; offset < 2; offset++ {
+			i := pair + offset
+			pi := p.fs.Fault(i).P
+			if (offset == 0) == favourFirst {
+				pi *= 1 - p.shift
+			} else {
+				pi *= 1 + p.shift
+			}
+			if r.Bernoulli(pi) {
+				mask.Set(i)
+			}
+		}
+	}
+	if n%2 == 1 && r.Bernoulli(p.fs.Fault(n-1).P) {
+		mask.Set(n - 1)
+	}
+	return 0
 }
 
 // FaultSet implements Process.

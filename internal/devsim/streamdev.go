@@ -27,3 +27,32 @@ var (
 	_ MaskDeveloper = (*ResourceShiftProcess)(nil)
 	_ MaskDeveloper = (*TiedPairsProcess)(nil)
 )
+
+// SparseDeveloper is an optional Process extension for O(k) simulation
+// over large fault universes: DevelopSparse samples one development's
+// fault mask into a caller-owned Bitset (clearing it first) and returns
+// the number of geometric skip draws used, zero on dense fallback paths.
+//
+// Unlike MaskDeveloper, implementations may draw a different — but
+// distributionally identical — variate sequence from Develop. Sparse
+// results are therefore exactly reproducible for a fixed seed, yet not
+// bitwise comparable with dense runs; the Monte-Carlo harness keeps dense
+// as its default and enables this path only on request (Config.Sparse).
+type SparseDeveloper interface {
+	// DevelopSparse overwrites mask — which must have Len() equal to
+	// FaultSet().N() — with one development's fault-presence mask and
+	// returns the number of geometric skip draws consumed.
+	DevelopSparse(r *randx.Stream, mask *Bitset) int
+}
+
+// Every process implements SparseDeveloper: the independent process with
+// the geometric skip kernel, the correlated and tied processes by
+// replaying their dense draw sequence into the bitset (they are O(n) in
+// draws regardless, so sparseness there buys O(k) mask handling, not
+// O(k) sampling).
+var (
+	_ SparseDeveloper = (*IndependentProcess)(nil)
+	_ SparseDeveloper = (*CommonCauseProcess)(nil)
+	_ SparseDeveloper = (*ResourceShiftProcess)(nil)
+	_ SparseDeveloper = (*TiedPairsProcess)(nil)
+)

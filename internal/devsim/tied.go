@@ -78,5 +78,28 @@ func (p *TiedPairsProcess) DevelopInto(r *randx.Stream, present []bool) {
 	}
 }
 
+// DevelopSparse implements SparseDeveloper by replaying the exact draw
+// sequence of DevelopInto into the bitset. A pair's partner may sit at a
+// higher index, so bits are set out of order — the Bitset's touched-word
+// tracking handles that without any ordering requirement.
+func (p *TiedPairsProcess) DevelopSparse(r *randx.Stream, mask *Bitset) int {
+	mask.Reset()
+	for i := 0; i < p.fs.N(); i++ {
+		partner := p.pairOf[i]
+		switch {
+		case partner == -1:
+			if r.Bernoulli(p.fs.Fault(i).P) {
+				mask.Set(i)
+			}
+		case partner > i:
+			if r.Bernoulli(p.fs.Fault(i).P) {
+				mask.Set(i)
+				mask.Set(partner)
+			}
+		}
+	}
+	return 0
+}
+
 // FaultSet implements Process.
 func (p *TiedPairsProcess) FaultSet() *faultmodel.FaultSet { return p.fs }

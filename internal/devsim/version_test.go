@@ -405,3 +405,54 @@ func TestNewTiedPairsProcessValidation(t *testing.T) {
 		t.Errorf("NumPotential = %d, want 3", v.NumPotential())
 	}
 }
+
+// benchFaultProbs returns the per-fault presence probabilities of a
+// commercial-grade-sized uniform universe, the shape of the dense
+// development inner loop.
+func benchFaultProbs(b *testing.B, n int) []float64 {
+	b.Helper()
+	fs, err := faultmodel.Uniform(n, 0.05, 0.5/float64(n))
+	if err != nil {
+		b.Fatalf("Uniform: %v", err)
+	}
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = fs.Fault(i).P
+	}
+	return probs
+}
+
+// The pair below measures the clamp branches BernoulliValidated removes
+// from the per-fault development loop: same draws, same outcomes for the
+// construction-validated p used here, minus two comparisons per fault.
+func BenchmarkBernoulliClampedLoop(b *testing.B) {
+	probs := benchFaultProbs(b, 1024)
+	r := randx.NewStream(1)
+	hits := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range probs {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkBernoulliValidatedLoop(b *testing.B) {
+	probs := benchFaultProbs(b, 1024)
+	r := randx.NewStream(1)
+	hits := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range probs {
+			if r.BernoulliValidated(p) {
+				hits++
+			}
+		}
+	}
+	_ = hits
+}

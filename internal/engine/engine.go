@@ -73,6 +73,10 @@ func New(opts Options) *Engine {
 			e.tele.Counter("engine.cache.evictions")
 		}
 	}
+	// Pre-register the simulation kernel's metrics too: dashboards see
+	// sparse_skips_total and the per-mode throughput gauges at zero before
+	// the first run rather than having series appear mid-flight.
+	montecarlo.PreRegisterMetrics(opts.Telemetry)
 	return e
 }
 
@@ -346,6 +350,7 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 		Workers:   spec.Workers,
 		Seed:      spec.Seed,
 		Streaming: spec.Streaming,
+		Sparse:    spec.Sparse,
 		Progress: func(done, total int) {
 			e.emit(Progress{Stage: "replications", Done: done, Total: total})
 		},
@@ -361,12 +366,13 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 // rareStageOpts builds estimator options that forward intermediate Done
 // counts for the named stage: rare-event stages report at context-check
 // granularity, not just a leading Done: 0.
-func (e *Engine) rareStageOpts(name string) montecarlo.RareOptions {
+func (e *Engine) rareStageOpts(name string, sparse bool) montecarlo.RareOptions {
 	return montecarlo.RareOptions{
 		Progress: func(done, total int) {
 			e.emit(Progress{Stage: name, Done: done, Total: total})
 		},
 		Metrics: e.tele,
+		Sparse:  sparse,
 	}
 }
 
@@ -380,13 +386,13 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 		return nil, err
 	}
 	endIS := stage(span, "importance sampling")
-	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling"))
+	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling", spec.Sparse))
 	endIS()
 	if err != nil {
 		return nil, err
 	}
 	endNaive := stage(span, "naive Monte Carlo")
-	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo"))
+	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo", spec.Sparse))
 	endNaive()
 	if err != nil {
 		return nil, err
@@ -399,7 +405,7 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 }
 
 func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span *telemetry.Span) (*Result, error) {
-	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Streaming: spec.Streaming, Metrics: e.tele}
+	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Streaming: spec.Streaming, Sparse: spec.Sparse, Metrics: e.tele}
 	results := make([]*experiments.Result, 0, len(spec.IDs))
 	for i, id := range spec.IDs {
 		e.emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})

@@ -131,6 +131,12 @@ type MonteCarloSpec struct {
 	// omitempty encoding keeps pre-existing hashes of buffered jobs
 	// stable — because the two modes produce differently-shaped results.
 	Streaming bool `json:"streaming,omitempty"`
+	// Sparse selects the geometric skip-sampling development kernel
+	// (montecarlo Config.Sparse). It participates in the job hash — sparse
+	// runs draw a different variate sequence for the same seed, so their
+	// results differ numerically from dense runs — and the omitempty
+	// encoding keeps every pre-existing dense-job hash unchanged.
+	Sparse bool `json:"sparse,omitempty"`
 }
 
 // RareEventSpec parameterises an importance-sampling estimation job.
@@ -142,6 +148,10 @@ type RareEventSpec struct {
 	// TiltTarget is the per-fault presence probability under the tilted
 	// measure; 0 selects the default of 0.3.
 	TiltTarget float64 `json:"tiltTarget,omitempty"`
+	// Sparse runs both estimators with the geometric skip-sampling kernel
+	// (montecarlo RareOptions.Sparse); omitempty keeps dense-job hashes
+	// stable.
+	Sparse bool `json:"sparse,omitempty"`
 }
 
 // ExperimentsSpec parameterises a paper-experiment suite job.
@@ -155,6 +165,9 @@ type ExperimentsSpec struct {
 	// aggregation. Like MonteCarloSpec.Streaming it participates in the
 	// job hash, with omitempty keeping buffered-job hashes unchanged.
 	Streaming bool `json:"streaming,omitempty"`
+	// Sparse runs the suite's Monte-Carlo passes with the geometric
+	// skip-sampling kernel; omitempty keeps dense-job hashes unchanged.
+	Sparse bool `json:"sparse,omitempty"`
 }
 
 // AnalyticSpec parameterises an assessor-report job.

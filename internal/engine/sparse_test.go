@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSparseHashAndEncoding pins the cache-key contract of the Sparse
+// flag on all three specs that carry it: a dense spec encodes without the
+// field — so every job hash that existed before the flag's introduction
+// is unchanged — and flipping the flag changes the hash.
+func TestSparseHashAndEncoding(t *testing.T) {
+	t.Parallel()
+
+	mspec := MonteCarloSpec{Model: testModel(t), Versions: 2, Reps: 1000, Workers: 1, Seed: 1}
+	dense := NewMonteCarloJob(mspec)
+	doc, err := dense.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if strings.Contains(string(doc), "sparse") {
+		t.Errorf("dense job encodes a sparse key: %s", doc)
+	}
+	mspec.Sparse = true
+	sparse := NewMonteCarloJob(mspec)
+	sdoc, err := sparse.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON (sparse): %v", err)
+	}
+	if !strings.Contains(string(sdoc), `"sparse":true`) {
+		t.Errorf("sparse job does not encode the flag: %s", sdoc)
+	}
+	dh, err := dense.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	sh, err := sparse.Hash()
+	if err != nil {
+		t.Fatalf("Hash (sparse): %v", err)
+	}
+	if dh == sh {
+		t.Error("dense and sparse jobs hashed identically; the cache would serve a different variate sequence's result")
+	}
+
+	rspec := RareEventSpec{Model: testModel(t), Versions: 2, Reps: 100, Seed: 1}
+	rdense := NewRareEventJob(rspec)
+	rspec.Sparse = true
+	rsparse := NewRareEventJob(rspec)
+	rdh, err := rdense.Hash()
+	if err != nil {
+		t.Fatalf("rare Hash: %v", err)
+	}
+	rsh, err := rsparse.Hash()
+	if err != nil {
+		t.Fatalf("rare Hash (sparse): %v", err)
+	}
+	if rdh == rsh {
+		t.Error("rare-event jobs differing only in Sparse hashed identically")
+	}
+
+	espec := ExperimentsSpec{IDs: []string{"E01"}, Seed: 1, Quick: true}
+	edense := NewExperimentsJob(espec)
+	espec.Sparse = true
+	esparse := NewExperimentsJob(espec)
+	edh, err := edense.Hash()
+	if err != nil {
+		t.Fatalf("experiments Hash: %v", err)
+	}
+	esh, err := esparse.Hash()
+	if err != nil {
+		t.Fatalf("experiments Hash (sparse): %v", err)
+	}
+	if edh == esh {
+		t.Error("experiments jobs differing only in Sparse hashed identically")
+	}
+}
+
+// TestSparseMonteCarloJob runs the same Monte-Carlo parameters dense and
+// sparse through one engine: the kernel flip must miss the cache, the
+// sparse result must say the kernel ran, and the two populations must
+// agree statistically (they draw different variate sequences).
+func TestSparseMonteCarloJob(t *testing.T) {
+	t.Parallel()
+
+	eng := New(Options{})
+	spec := MonteCarloSpec{Model: testModel(t), Versions: 2, Reps: 20000, Workers: 2, Seed: 9}
+	dense, err := eng.Run(context.Background(), NewMonteCarloJob(spec))
+	if err != nil {
+		t.Fatalf("dense Run: %v", err)
+	}
+	spec.Sparse = true
+	sparse, err := eng.Run(context.Background(), NewMonteCarloJob(spec))
+	if err != nil {
+		t.Fatalf("sparse Run: %v", err)
+	}
+	if sparse.FromCache {
+		t.Fatal("sparse job was served the dense job's cached result")
+	}
+	if !sparse.MonteCarlo.Sparse {
+		t.Error("sparse job result does not report the sparse kernel")
+	}
+	if dense.MonteCarlo.Sparse {
+		t.Error("dense job result reports the sparse kernel")
+	}
+	dsum, err := dense.MonteCarlo.VersionSummary()
+	if err != nil {
+		t.Fatalf("dense VersionSummary: %v", err)
+	}
+	ssum, err := sparse.MonteCarlo.VersionSummary()
+	if err != nil {
+		t.Fatalf("sparse VersionSummary: %v", err)
+	}
+	se := math.Sqrt(dsum.StdDev*dsum.StdDev/float64(dsum.N) + ssum.StdDev*ssum.StdDev/float64(ssum.N))
+	if diff := math.Abs(dsum.Mean - ssum.Mean); diff > 5*se+1e-15 {
+		t.Errorf("version means diverged beyond Monte-Carlo error: dense %v, sparse %v", dsum.Mean, ssum.Mean)
+	}
+}
+
+// TestSparseRareEventJob checks the flag reaches both rare-event
+// estimators through the engine.
+func TestSparseRareEventJob(t *testing.T) {
+	t.Parallel()
+
+	eng := New(Options{})
+	res, err := eng.Run(context.Background(), NewRareEventJob(RareEventSpec{
+		Model: testModel(t), Versions: 2, Reps: 20000, Seed: 3, Sparse: true,
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	re := res.RareEvent
+	if re.ImportanceSampling.Probability <= 0 {
+		t.Error("sparse importance-sampling estimate is zero")
+	}
+	if diff := math.Abs(re.ImportanceSampling.Probability - re.ClosedForm); diff > 6*re.ImportanceSampling.StdErr+1e-9 {
+		t.Errorf("sparse IS estimate %v far from closed form %v", re.ImportanceSampling.Probability, re.ClosedForm)
+	}
+}

@@ -30,6 +30,12 @@ type Config struct {
 	// sample — empirical CDFs, KS tests, per-sample sweeps — always run
 	// buffered regardless of this flag.
 	Streaming bool
+	// Sparse runs the same Monte-Carlo passes with the geometric
+	// skip-sampling development kernel (montecarlo Config.Sparse). The
+	// kernel draws a different variate sequence for the same seed, so
+	// measured columns shift within Monte-Carlo error while every
+	// model-derived column is unchanged.
+	Sparse bool
 	// Metrics, when non-nil, receives per-experiment wall time: the
 	// aggregate histogram "experiments.wall_time_seconds" and one gauge
 	// "experiments.wall_time_seconds.<ID>" per experiment. Metrics does

@@ -43,6 +43,7 @@ func runE01Moments(ctx context.Context, cfg Config) (*Result, error) {
 			Reps:      reps,
 			Seed:      cfg.Seed + 1,
 			Streaming: cfg.Streaming,
+			Sparse:    cfg.Sparse,
 		})
 		if err != nil {
 			return nil, err

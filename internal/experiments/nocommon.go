@@ -57,6 +57,7 @@ func runE04NoCommonFault(ctx context.Context, cfg Config) (*Result, error) {
 			Reps:      reps,
 			Seed:      cfg.Seed + 17,
 			Streaming: cfg.Streaming,
+			Sparse:    cfg.Sparse,
 		})
 		if err != nil {
 			return nil, err

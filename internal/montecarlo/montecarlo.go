@@ -68,6 +68,20 @@ type Config struct {
 	// only the representation changes. Use Result.VersionSummary and
 	// Result.SystemSummary to read statistics uniformly in either mode.
 	Streaming bool
+	// Sparse selects the sparse development kernel
+	// (devsim.SparseDeveloper): replications sample packed Bitset fault
+	// masks — by geometric gap-skipping for the independent process, so
+	// per-replication cost scales with the expected fault count rather
+	// than the universe size — and reduce them by word-wise AND +
+	// popcount. The sparse path draws a different (but distributionally
+	// identical) variate sequence from the dense default, so fixed-seed
+	// results are reproducible within a mode yet not bitwise comparable
+	// across modes; it therefore ships opt-in. It composes with both
+	// aggregation modes, and for the same seed and worker count the
+	// sparse buffered and sparse streaming runs observe exactly the same
+	// PFD population. Processes without the SparseDeveloper extension
+	// fall back to the dense path.
+	Sparse bool
 	// Progress, when non-nil, is called as replications complete with the
 	// total completed so far and the configured total. It is invoked from
 	// worker goroutines at shard-chunk granularity (never per sample) and
@@ -93,6 +107,13 @@ type Result struct {
 	// buffered runs fill VersionPFD/SystemPFD, streaming runs fill
 	// VersionAgg/SystemAgg.
 	Streaming bool
+	// Sparse reports whether the sparse development kernel actually ran —
+	// false when Config.Sparse was set but the process lacks the
+	// SparseDeveloper extension and the run fell back to the dense path.
+	Sparse bool
+	// SparseSkips is the total number of geometric skip draws the sparse
+	// kernel consumed (0 for dense runs and dense-replay fallbacks).
+	SparseSkips int64
 	// VersionPFD holds the PFD of the first version of each replication.
 	// It is nil for streaming runs.
 	VersionPFD []float64
@@ -191,12 +212,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("montecarlo: run cancelled before start: %w", err)
 	}
 
-	if cfg.Streaming && arch != system.Arch1OutOfM && arch != system.ArchMajority {
+	if (cfg.Streaming || cfg.Sparse) && arch != system.Arch1OutOfM && arch != system.ArchMajority {
 		return nil, fmt.Errorf("montecarlo: unknown architecture %d", int(arch))
 	}
 
+	// The sparse kernel needs the SparseDeveloper extension; without it
+	// the run falls back to the dense path (mirroring the streaming
+	// mode's MaskDeveloper fallback).
+	var sparseDev devsim.SparseDeveloper
+	if cfg.Sparse {
+		sparseDev, _ = cfg.Process.(devsim.SparseDeveloper)
+	}
+
 	fs := cfg.Process.FaultSet()
-	res := &Result{Reps: cfg.Reps, Streaming: cfg.Streaming}
+	res := &Result{Reps: cfg.Reps, Streaming: cfg.Streaming, Sparse: sparseDev != nil}
 	var vAggs, sAggs []Agg
 	if cfg.Streaming {
 		vAggs = make([]Agg, workers)
@@ -229,7 +258,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		firstErr error
 	)
 	var done atomic.Int64
-	counts := make([][2]int, workers) // per-worker (versionFaultFree, systemFaultFree)
+	counts := make([][2]int, workers)     // per-worker (versionFaultFree, systemFaultFree)
+	workerSkips := make([]int64, workers) // per-worker geometric skip draws (sparse mode)
 
 	// The cancellation watcher timestamps the moment the context is
 	// cancelled so the drain latency — cancellation to last worker exit —
@@ -266,9 +296,56 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			// fast path reuses per-worker presence masks through
 			// devsim.MaskDeveloper, so a replication performs no
 			// allocations at all; processes without that extension fall
-			// back to Develop, still at constant memory in Reps.
+			// back to Develop, still at constant memory in Reps. The
+			// sparse kernel likewise reuses per-worker Bitset masks, in
+			// either aggregation mode, allocation-free per replication.
 			var simulate func(rep int) error
 			switch {
+			case sparseDev != nil:
+				masks := make([]*devsim.Bitset, cfg.Versions)
+				for i := range masks {
+					masks[i] = devsim.NewBitset(fs.N())
+				}
+				if cfg.Streaming {
+					vAgg, sAgg := &vAggs[w], &sAggs[w]
+					simulate = func(int) error {
+						skips := 0
+						for _, mask := range masks {
+							skips += sparseDev.DevelopSparse(r, mask)
+						}
+						workerSkips[w] += int64(skips)
+						vpfd, vcount := sparsePFD(fs, masks[0])
+						spfd, scount := sparseSystemPFD(fs, arch, masks)
+						vAgg.Observe(vpfd)
+						sAgg.Observe(spfd)
+						if vcount == 0 {
+							counts[w][0]++
+						}
+						if scount == 0 {
+							counts[w][1]++
+						}
+						return nil
+					}
+				} else {
+					simulate = func(rep int) error {
+						skips := 0
+						for _, mask := range masks {
+							skips += sparseDev.DevelopSparse(r, mask)
+						}
+						workerSkips[w] += int64(skips)
+						vpfd, vcount := sparsePFD(fs, masks[0])
+						spfd, scount := sparseSystemPFD(fs, arch, masks)
+						res.VersionPFD[rep] = vpfd
+						res.SystemPFD[rep] = spfd
+						if vcount == 0 {
+							counts[w][0]++
+						}
+						if scount == 0 {
+							counts[w][1]++
+						}
+						return nil
+					}
+				}
 			case cfg.Streaming:
 				vAgg, sAgg := &vAggs[w], &sAggs[w]
 				if md, ok := cfg.Process.(devsim.MaskDeveloper); ok {
@@ -361,9 +438,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	for _, s := range workerSkips {
+		res.SparseSkips += s
+	}
 	if cfg.Metrics != nil {
 		close(watcherStop)
-		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load())
+		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load(), res.Sparse, res.SparseSkips)
 		if cfg.Streaming {
 			cfg.Metrics.Counter("montecarlo.streaming_runs_total").Add(1)
 		}
@@ -391,16 +471,37 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// PreRegisterMetrics registers this package's run metrics that would
+// otherwise only appear after the first run of their kind, so snapshots
+// taken before any run report them as zeros (the telemetry layer's
+// pre-registration convention, docs/METRICS.md).
+func PreRegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("montecarlo.sparse_skips_total")
+	reg.Gauge("montecarlo.replications_per_second.dense")
+	reg.Gauge("montecarlo.replications_per_second.sparse")
+}
+
 // recordRunMetrics publishes a run's throughput and shard measurements:
-// replications completed, replications per second over the whole run,
+// replications completed, replications per second over the whole run
+// (both unlabelled and under the kernel-mode suffix .dense/.sparse),
 // shard imbalance ((max-min)/max shard wall time — 0 means perfectly
-// balanced), and, for cancelled runs, the latency between cancellation
-// and the last worker draining.
-func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64) {
+// balanced), sparse-kernel skip draws, and, for cancelled runs, the
+// latency between cancellation and the last worker draining.
+func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64, sparse bool, sparseSkips int64) {
 	elapsed := time.Since(runStart)
 	reg.Counter("montecarlo.replications_total").Add(completed)
+	mode := "dense"
+	if sparse {
+		mode = "sparse"
+		reg.Counter("montecarlo.sparse_skips_total").Add(sparseSkips)
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
-		reg.Gauge("montecarlo.replications_per_second").Set(float64(completed) / secs)
+		rate := float64(completed) / secs
+		reg.Gauge("montecarlo.replications_per_second").Set(rate)
+		reg.Gauge("montecarlo.replications_per_second." + mode).Set(rate)
 	}
 	reg.Histogram("montecarlo.run_duration_seconds", telemetry.DurationBuckets).Observe(elapsed.Seconds())
 	if len(shardElapsed) > 1 {

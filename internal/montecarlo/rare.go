@@ -12,17 +12,29 @@ import (
 	"diversity/internal/telemetry"
 )
 
-// RareOptions carries optional instrumentation for the rare-event
-// estimators. The zero value disables all of it; none of the fields
-// affect the sampled estimate.
+// RareOptions carries optional instrumentation and kernel selection for
+// the rare-event estimators. The zero value disables all of it. No field
+// changes the distribution of the estimate; Sparse does change the
+// variate sequence drawn for a given seed, so fixed-seed values differ
+// between the sparse and dense kernels while remaining equal in
+// distribution.
 type RareOptions struct {
 	// Progress, when non-nil, is called as replications complete with
 	// (done, total): once with done 0 before the first replication, at
 	// every context-check boundary, and once with done == total at the
 	// end. Successive done values never decrease.
 	Progress func(done, total int)
-	// Metrics, when non-nil, receives the replication count.
+	// Metrics, when non-nil, receives the replication count and, for
+	// sparse runs, the geometric skip-draw count.
 	Metrics *telemetry.Registry
+	// Sparse samples each replication's fault indicators by geometric
+	// gap-skipping within groups of equal-probability faults instead of
+	// one Bernoulli draw per fault, making the per-replication cost
+	// O(hits + groups) rather than O(n). The estimator is unchanged in
+	// distribution: hit counts per group are Binomial either way, and the
+	// importance weight depends on the indicators only through those
+	// counts.
+	Sparse bool
 }
 
 func (o RareOptions) report(done, total int) {
@@ -114,6 +126,32 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 		logStay[i] = math.Log1p(-p) - math.Log1p(-t)
 	}
 
+	// Sparse kernel precomputation: faults sharing a natural probability
+	// also share their tilt and log terms, so a replication only needs
+	// the Binomial hit count of each group — sampled by geometric
+	// gap-skipping — on top of the all-miss baseline weight.
+	var groups []tiltGroup
+	baseLogW := 0.0
+	if opts.Sparse {
+		index := make(map[float64]int)
+		for i := 0; i < n; i++ {
+			if tilted[i] == 0 {
+				continue
+			}
+			baseLogW += logStay[i]
+			gi, ok := index[natural[i]]
+			if !ok {
+				gi = len(groups)
+				index[natural[i]] = gi
+				groups = append(groups, tiltGroup{
+					sampler:  randx.NewGeometricSampler(tilted[i]),
+					logDelta: logHit[i] - logStay[i],
+				})
+			}
+			groups[gi].size++
+		}
+	}
+
 	// The weights stream through a stats.Moments accumulator — the same
 	// numerically stable one-pass type the streaming Monte-Carlo harness
 	// uses — rather than raw sum/sum-of-squares registers, which lose
@@ -122,6 +160,7 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 	r := randx.NewStream(seed)
 	var mom stats.Moments
 	hits := 0
+	var skips int64
 	for rep := 0; rep < reps; rep++ {
 		if rep%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -131,15 +170,28 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 		}
 		logW := 0.0
 		event := false
-		for i := 0; i < n; i++ {
-			if tilted[i] == 0 {
-				continue
+		if opts.Sparse {
+			logW = baseLogW
+			for gi := range groups {
+				g := &groups[gi]
+				for pos := g.sampler.Next(r); pos < g.size; pos += 1 + g.sampler.Next(r) {
+					event = true
+					logW += g.logDelta
+					skips++
+				}
+				skips++
 			}
-			if r.Bernoulli(tilted[i]) {
-				event = true
-				logW += logHit[i]
-			} else {
-				logW += logStay[i]
+		} else {
+			for i := 0; i < n; i++ {
+				if tilted[i] == 0 {
+					continue
+				}
+				if r.Bernoulli(tilted[i]) {
+					event = true
+					logW += logHit[i]
+				} else {
+					logW += logStay[i]
+				}
 			}
 		}
 		w := 0.0
@@ -152,12 +204,26 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 	opts.report(reps, reps)
 	if opts.Metrics != nil {
 		opts.Metrics.Counter("montecarlo.replications_total").Add(int64(reps))
+		if opts.Sparse {
+			opts.Metrics.Counter("montecarlo.sparse_skips_total").Add(skips)
+		}
 	}
 	return RareEventEstimate{
 		Probability: mom.Mean(),
 		StdErr:      math.Sqrt(mom.PopulationVariance() / float64(reps)),
 		HitFraction: float64(hits) / float64(reps),
 	}, nil
+}
+
+// tiltGroup is a set of faults sharing one tilted presence probability
+// and importance-weight increment, sampled as a unit by the sparse
+// kernel.
+type tiltGroup struct {
+	sampler randx.GeometricSampler
+	size    int
+	// logDelta is logHit - logStay: the weight adjustment each hit in the
+	// group applies on top of the all-miss baseline.
+	logDelta float64
 }
 
 // EstimateNaiveSystemFault estimates the same probability by naive
@@ -191,8 +257,29 @@ func EstimateNaiveSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, 
 	for i := 0; i < n; i++ {
 		probs[i] = math.Pow(fs.Fault(i).P, float64(m))
 	}
+	// Sparse kernel: the event "some fault hits" only needs, per group of
+	// equal-probability faults, whether the first geometric gap lands
+	// inside the group — this is exactly P(Binomial(size, p) > 0), so the
+	// estimate's distribution matches the Bernoulli scan.
+	var groups []tiltGroup
+	if opts.Sparse {
+		index := make(map[float64]int)
+		for i := 0; i < n; i++ {
+			if probs[i] == 0 {
+				continue
+			}
+			gi, ok := index[probs[i]]
+			if !ok {
+				gi = len(groups)
+				index[probs[i]] = gi
+				groups = append(groups, tiltGroup{sampler: randx.NewGeometricSampler(probs[i])})
+			}
+			groups[gi].size++
+		}
+	}
 	r := randx.NewStream(seed)
 	hits := 0
+	var skips int64
 	for rep := 0; rep < reps; rep++ {
 		if rep%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -200,16 +287,29 @@ func EstimateNaiveSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, 
 			}
 			opts.report(rep, reps)
 		}
-		for i := 0; i < n; i++ {
-			if r.Bernoulli(probs[i]) {
-				hits++
-				break
+		if opts.Sparse {
+			for gi := range groups {
+				skips++
+				if groups[gi].sampler.Next(r) < groups[gi].size {
+					hits++
+					break
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if r.Bernoulli(probs[i]) {
+					hits++
+					break
+				}
 			}
 		}
 	}
 	opts.report(reps, reps)
 	if opts.Metrics != nil {
 		opts.Metrics.Counter("montecarlo.replications_total").Add(int64(reps))
+		if opts.Sparse {
+			opts.Metrics.Counter("montecarlo.sparse_skips_total").Add(skips)
+		}
 	}
 	p := float64(hits) / float64(reps)
 	return RareEventEstimate{

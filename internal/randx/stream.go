@@ -76,7 +76,9 @@ func (r *Stream) IntN(n int) int {
 }
 
 // Bernoulli returns true with probability p. Values of p outside [0, 1]
-// are clamped: p <= 0 never succeeds and p >= 1 always succeeds.
+// are clamped: p <= 0 never succeeds and p >= 1 always succeeds. The
+// clamp branches also skip the uniform draw for degenerate p; hot loops
+// whose p is already validated can avoid them with BernoulliValidated.
 func (r *Stream) Bernoulli(p float64) bool {
 	if p <= 0 {
 		return false
@@ -85,6 +87,94 @@ func (r *Stream) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// BernoulliValidated returns true with probability p, assuming the caller
+// has already established p ∈ [0, 1] — the fault-creation processes
+// validate every presence probability once at construction (faultmodel
+// validation), so their per-fault inner loops need no per-draw clamp.
+// Unlike Bernoulli it always consumes exactly one variate, including for
+// p = 0 (never true: Float64 < 0 is impossible) and p = 1 (always true:
+// Float64 < 1 always holds).
+func (r *Stream) BernoulliValidated(p float64) bool {
+	return r.Float64() < p
+}
+
+// FillUint64 overwrites dst with uniform 64-bit values, drawing them in
+// the same order as repeated Uint64 calls — a batched fill produces
+// exactly the sequence the element-wise calls would.
+func (r *Stream) FillUint64(dst []uint64) {
+	for i := range dst {
+		dst[i] = r.src.Uint64()
+	}
+}
+
+// FillFloat64 overwrites dst with uniform variates in [0, 1), drawing
+// them in the same order as repeated Float64 calls.
+func (r *Stream) FillFloat64(dst []float64) {
+	for i := range dst {
+		dst[i] = float64(r.src.Uint64()>>11) * 0x1p-53
+	}
+}
+
+// geometricInversionMax is the largest success probability for which
+// Geometric uses inverse-CDF sampling. Above it the expected number of
+// Bernoulli trials to the first success (1/p <= 4) is cheaper than the
+// logarithm the inversion costs, so the sampler falls back to trials.
+const geometricInversionMax = 0.25
+
+// Geometric returns a Geometric(p) variate: the number of failures before
+// the first success in independent Bernoulli(p) trials (support 0, 1, ...).
+// Small p uses single-draw inversion of the CDF via log1p — the skip
+// sampler of the sparse development kernel, O(1) however rare the success
+// — and large p falls back to literal Bernoulli trials. It panics if p is
+// not in (0, 1].
+func (r *Stream) Geometric(p float64) int {
+	return NewGeometricSampler(p).Next(r)
+}
+
+// GeometricSampler draws Geometric(p) variates with the per-p logarithm
+// precomputed, for callers that need many gaps at the same p (the sparse
+// development kernel draws one gap per surviving fault). The zero value is
+// not usable; construct with NewGeometricSampler. A sampler is immutable
+// and safe for concurrent use with per-goroutine streams.
+type GeometricSampler struct {
+	p float64
+	// invLogQ is 1/log1p(-p), negative; 0 selects the Bernoulli-trial
+	// fallback for large p.
+	invLogQ float64
+}
+
+// NewGeometricSampler returns a sampler for Geometric(p). It panics if p
+// is not in (0, 1].
+func NewGeometricSampler(p float64) GeometricSampler {
+	if math.IsNaN(p) || p <= 0 || p > 1 {
+		panic(fmt.Sprintf("randx: Geometric requires p in (0, 1], got %v", p))
+	}
+	g := GeometricSampler{p: p}
+	if p <= geometricInversionMax {
+		g.invLogQ = 1 / math.Log1p(-p)
+	}
+	return g
+}
+
+// P returns the sampler's success probability.
+func (g GeometricSampler) P() float64 { return g.p }
+
+// Next draws one Geometric(p) variate from r.
+func (g GeometricSampler) Next(r *Stream) int {
+	if g.invLogQ == 0 {
+		// Large p (or p == 1): literal trials, expected count 1/p <= 4.
+		k := 0
+		for g.p < 1 && !(r.Float64() < g.p) {
+			k++
+		}
+		return k
+	}
+	// Inversion: floor(log(U)/log(1-p)) with U uniform on (0, 1) is
+	// Geometric(p)-distributed; both logs are negative so the ratio is a
+	// non-negative float and int() truncation is the floor.
+	return int(math.Log(r.Float64Open()) * g.invLogQ)
 }
 
 // Normal returns a standard normal variate via the Marsaglia polar method.

@@ -166,6 +166,40 @@ func CommercialGrade(seed uint64) (Scenario, error) {
 	}, nil
 }
 
+// LargeUniverse realises the sparse-kernel stress regime: a universe of n
+// potential faults split into four equal groups whose per-version expected
+// fault counts are 2.0, 1.5, 1.0 and 0.5 (so k = E[faults per version] =
+// 5 regardless of n), with equal region sizes summing to SumQ = 0.01. The
+// construction is deterministic — no seed — so the regime is identical
+// across runs and machines. At n = 10^6 a dense development pass touches
+// every fault; the grouped equal-p structure is exactly what the geometric
+// skip-sampling kernel exploits to make a replication O(k).
+func LargeUniverse(n int) (Scenario, error) {
+	if n < 4 {
+		return Scenario{}, fmt.Errorf("scenario: large-universe fault count %d must be at least 4", n)
+	}
+	const sumQ = 0.01
+	counts := [4]float64{2.0, 1.5, 1.0, 0.5}
+	faults := make([]faultmodel.Fault, n)
+	q := sumQ / float64(n)
+	bounds := [5]int{0, n / 4, n / 2, 3 * n / 4, n}
+	for g := 0; g < 4; g++ {
+		p := counts[g] / float64(bounds[g+1]-bounds[g])
+		for i := bounds[g]; i < bounds[g+1]; i++ {
+			faults[i] = faultmodel.Fault{P: p, Q: q}
+		}
+	}
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: large-universe parameters invalid: %w", err)
+	}
+	return Scenario{
+		Name:        "large-universe",
+		Description: fmt.Sprintf("%d equal-size faults in four probability groups, ~5 expected faults per version; sparse-kernel regime", n),
+		FaultSet:    fs,
+	}, nil
+}
+
 // TwoFault returns the paper's Appendix-A two-fault configuration with the
 // given presence probabilities and equal region sizes — the setting of the
 // single-fault-improvement analysis (experiment E05).
@@ -186,11 +220,14 @@ func TwoFault(p1, p2 float64) (Scenario, error) {
 
 // Names returns the names accepted by ByName, in presentation order.
 func Names() []string {
-	return []string{"safety-grade", "many-small-faults", "commercial-grade"}
+	return []string{"safety-grade", "many-small-faults", "commercial-grade", "million-faults"}
 }
 
 // ByName generates the named scenario from seed. It is the single
 // name-to-scenario mapping shared by the CLIs and the execution engine.
+// "million-faults" is deterministic and ignores the seed; it is addressable
+// by name but deliberately absent from All(), whose consumers sweep dense
+// replication counts that a 10^6-fault universe would stall.
 func ByName(name string, seed uint64) (Scenario, error) {
 	switch name {
 	case "safety-grade":
@@ -199,6 +236,13 @@ func ByName(name string, seed uint64) (Scenario, error) {
 		return ManySmallFaults(seed)
 	case "commercial-grade":
 		return CommercialGrade(seed)
+	case "million-faults":
+		s, err := LargeUniverse(1_000_000)
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Name = "million-faults"
+		return s, nil
 	default:
 		return Scenario{}, fmt.Errorf("unknown scenario %q (want %s)", name, strings.Join(Names(), ", "))
 	}

@@ -179,6 +179,94 @@ func TestTwoFault(t *testing.T) {
 	}
 }
 
+func TestLargeUniverse(t *testing.T) {
+	t.Parallel()
+
+	const n = 100000
+	s, err := LargeUniverse(n)
+	if err != nil {
+		t.Fatalf("LargeUniverse: %v", err)
+	}
+	fs := s.FaultSet
+	if fs.N() != n {
+		t.Fatalf("N = %d, want %d", fs.N(), n)
+	}
+	if math.Abs(fs.SumQ()-0.01) > 1e-9 {
+		t.Errorf("SumQ = %v, want 0.01", fs.SumQ())
+	}
+	// Expected faults per version: 2.0 + 1.5 + 1.0 + 0.5 = 5.
+	sumP := 0.0
+	distinct := make(map[float64]bool)
+	for i := 0; i < fs.N(); i++ {
+		sumP += fs.Fault(i).P
+		distinct[fs.Fault(i).P] = true
+	}
+	if math.Abs(sumP-5.0) > 1e-6 {
+		t.Errorf("expected fault count per version = %v, want 5", sumP)
+	}
+	if len(distinct) != 4 {
+		t.Errorf("distinct presence probabilities = %d, want 4 groups", len(distinct))
+	}
+	// Deterministic: identical across calls.
+	s2, err := LargeUniverse(n)
+	if err != nil {
+		t.Fatalf("LargeUniverse: %v", err)
+	}
+	for i := 0; i < n; i += n / 100 {
+		if fs.Fault(i) != s2.FaultSet.Fault(i) {
+			t.Fatalf("fault %d differs between identical calls", i)
+		}
+	}
+	if _, err := LargeUniverse(3); err == nil {
+		t.Error("LargeUniverse(3) succeeded, want error")
+	}
+}
+
+func TestMillionFaultsByName(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("million-fault generation in -short mode")
+	}
+
+	s, err := ByName("million-faults", 1)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if s.Name != "million-faults" {
+		t.Errorf("Name = %q, want million-faults", s.Name)
+	}
+	if s.FaultSet.N() != 1_000_000 {
+		t.Errorf("N = %d, want 1000000", s.FaultSet.N())
+	}
+	// Seed-independent: the regime is fully deterministic.
+	s2, err := ByName("million-faults", 999)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if s.FaultSet.Fault(0) != s2.FaultSet.Fault(0) || s.FaultSet.Fault(999999) != s2.FaultSet.Fault(999999) {
+		t.Error("million-faults varies with seed")
+	}
+	found := false
+	for _, name := range Names() {
+		if name == "million-faults" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("million-faults missing from Names()")
+	}
+	// Deliberately not part of the experiment sweep.
+	all, err := All(1)
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	for _, sc := range all {
+		if sc.Name == "million-faults" || sc.Name == "large-universe" {
+			t.Errorf("All() includes %q; dense experiment sweeps cannot afford it", sc.Name)
+		}
+	}
+}
+
 func TestAll(t *testing.T) {
 	t.Parallel()
 
