@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	mcReps := flags.Int("mc", 0, "cross-check the analytic moments by Monte-Carlo simulation with this many replications (0 = off)")
 	stream := flags.Bool("stream", false, "run the -mc cross-check with constant-memory streaming aggregation")
 	sparse := flags.Bool("sparse", false, "run the -mc cross-check with the geometric skip-sampling development kernel")
+	progress := flags.Bool("progress", false, "report job IDs and -mc cross-check progress on stderr")
 	noCache := flags.Bool("no-cache", false, "disable the engine's in-memory result cache")
 	tf := cliutil.RegisterTelemetryFlags(flags)
 	if err := flags.Parse(args); err != nil {
@@ -74,7 +75,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	defer tel.Shutdown()
-	eng := engine.New(tel.EngineOptions(engine.Options{DisableCache: *noCache}))
+	opts := tel.EngineOptions(engine.Options{DisableCache: *noCache})
+	if *progress {
+		opts.Progress = cliutil.ProgressPrinter(os.Stderr)
+	}
+	eng := engine.New(opts)
 	res, err := eng.Run(ctx, engine.NewAnalyticJob(engine.AnalyticSpec{
 		Model:      model,
 		K:          *k,
@@ -82,6 +87,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}))
 	if err != nil {
 		return err
+	}
+	if *progress {
+		cliutil.ReportJob(os.Stderr, res)
 	}
 
 	fs, name, ar := res.FaultSet, res.ModelName, res.Analytic
@@ -189,7 +197,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	if *mcReps > 0 {
-		if err := renderCrossCheck(ctx, out, eng, model, rep.Mu1, rep.Sigma1, rep.Mu2, rep.Sigma2, *mcReps, *seed, *stream, *sparse); err != nil {
+		if err := renderCrossCheck(ctx, out, eng, model, rep.Mu1, rep.Sigma1, rep.Mu2, rep.Sigma2, *mcReps, *seed, *stream, *sparse, *progress); err != nil {
 			return err
 		}
 	}
@@ -201,7 +209,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // report above is built on — an end-to-end consistency check an assessor
 // can run on their own model. With streaming aggregation the simulation
 // runs at constant memory regardless of the replication count.
-func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, model engine.ModelSpec, mu1, sigma1, mu2, sigma2 float64, reps int, seed uint64, stream, sparse bool) error {
+func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, model engine.ModelSpec, mu1, sigma1, mu2, sigma2 float64, reps int, seed uint64, stream, sparse, progress bool) error {
 	res, err := eng.Run(ctx, engine.NewMonteCarloJob(engine.MonteCarloSpec{
 		Model:     model,
 		Versions:  2,
@@ -212,6 +220,9 @@ func renderCrossCheck(ctx context.Context, out io.Writer, eng *engine.Engine, mo
 	}))
 	if err != nil {
 		return err
+	}
+	if progress {
+		cliutil.ReportJob(os.Stderr, res)
 	}
 	vsum, err := res.MonteCarlo.VersionSummary()
 	if err != nil {

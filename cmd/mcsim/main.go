@@ -108,6 +108,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *progress {
+			cliutil.ReportJob(os.Stderr, res)
+		}
 		if err := renderRare(out, res, *versions, *reps); err != nil {
 			return err
 		}
@@ -128,6 +131,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}))
 	if err != nil {
 		return err
+	}
+	if *progress {
+		cliutil.ReportJob(os.Stderr, res)
 	}
 	if err := renderSimulation(out, res, *versions, *reps, arch); err != nil {
 		return err

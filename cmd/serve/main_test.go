@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs the CLI in-process on a kernel-picked port and
+// returns the base URL, the context cancel (simulating SIGTERM — main
+// wires the same cancellation through signal.NotifyContext), and the
+// channel run's error lands on.
+func startServer(t *testing.T, extra ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "localhost:0", "-drain-timeout", "30s"}, extra...)
+	go func() {
+		err := run(ctx, args, pw)
+		pw.Close()
+		done <- err
+	}()
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		cancel()
+		t.Fatalf("reading listen line: %v (run error: %v)", err, <-done)
+	}
+	go io.Copy(io.Discard, pr)
+	base := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "serving on "))
+	if !strings.HasPrefix(base, "http://") {
+		cancel()
+		t.Fatalf("unexpected listen line %q", line)
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	return base, cancel, done
+}
+
+type jobView struct {
+	ID     string `json:"id"`
+	JobID  string `json:"jobId"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Result *struct {
+		JobID      string `json:"jobId"`
+		FromCache  bool   `json:"fromCache"`
+		MonteCarlo *struct {
+			Reps    int `json:"reps"`
+			Version struct {
+				Mean float64 `json:"mean"`
+			} `json:"version"`
+		} `json:"montecarlo"`
+	} `json:"result"`
+}
+
+const specJSON = `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade","scenarioSeed":7},"versions":2,"reps":300000,"workers":2,"seed":42}}`
+
+func submit(t *testing.T, base string) jobView {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return v
+}
+
+func poll(t *testing.T, base, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding job view: %v", err)
+		}
+		switch v.Status {
+		case "done", "failed", "cancelled":
+			return v
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobView{}
+}
+
+// TestServeEndToEnd is the acceptance path: submit a job over HTTP,
+// stream its SSE progress (monotonically non-decreasing), then submit
+// the identical fixed-seed spec again and observe the cached result.
+func TestServeEndToEnd(t *testing.T) {
+	base, _, _ := startServer(t, "-workers", "1")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	first := submit(t, base)
+
+	// Stream progress while the job runs.
+	events, err := http.Get(base + "/v1/jobs/" + first.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer events.Body.Close()
+	if ct := events.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	var progressDone []int
+	sawDone := false
+	scanner := bufio.NewScanner(events.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				var p struct {
+					Done int `json:"done"`
+				}
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					t.Fatalf("bad progress payload %q: %v", data, err)
+				}
+				progressDone = append(progressDone, p.Done)
+			case "done":
+				var v jobView
+				if err := json.Unmarshal([]byte(data), &v); err != nil {
+					t.Fatalf("bad done payload: %v", err)
+				}
+				if v.Status != "done" {
+					t.Fatalf("SSE done event status = %q (error %q)", v.Status, v.Error)
+				}
+				if v.Result == nil || v.Result.MonteCarlo == nil {
+					t.Fatal("SSE done event carries no result")
+				}
+				sawDone = true
+			}
+		}
+		if sawDone {
+			break
+		}
+	}
+	if !sawDone {
+		t.Fatalf("SSE stream ended without a done event (progress seen: %v)", progressDone)
+	}
+	if len(progressDone) == 0 {
+		t.Fatal("SSE stream carried no progress events")
+	}
+	for i := 1; i < len(progressDone); i++ {
+		if progressDone[i] < progressDone[i-1] {
+			t.Fatalf("progress not monotonic: %v", progressDone)
+		}
+	}
+
+	v1 := poll(t, base, first.ID)
+	if v1.Status != "done" || v1.Result == nil {
+		t.Fatalf("first job: status %q result %v", v1.Status, v1.Result)
+	}
+	if v1.Result.FromCache {
+		t.Fatal("first execution claims a cache hit")
+	}
+	if v1.Result.MonteCarlo.Reps != 300000 {
+		t.Fatalf("reps = %d, want 300000", v1.Result.MonteCarlo.Reps)
+	}
+
+	// Identical spec again: fresh submission, cached engine result.
+	second := submit(t, base)
+	if second.ID == first.ID {
+		t.Fatal("resubmission reused the submission resource")
+	}
+	v2 := poll(t, base, second.ID)
+	if v2.Status != "done" || v2.Result == nil {
+		t.Fatalf("second job: status %q", v2.Status)
+	}
+	if !v2.Result.FromCache {
+		t.Fatal("identical resubmission not served from the engine cache")
+	}
+	if v2.Result.JobID != v1.Result.JobID {
+		t.Fatalf("stable job ID differs across identical specs: %q vs %q", v2.Result.JobID, v1.Result.JobID)
+	}
+	if v2.Result.MonteCarlo.Version.Mean != v1.Result.MonteCarlo.Version.Mean {
+		t.Fatal("cached result differs from the computed one")
+	}
+}
+
+// TestServeGracefulShutdown checks the SIGTERM path end to end: the
+// drain completes cleanly and the listener closes.
+func TestServeGracefulShutdown(t *testing.T) {
+	base, cancel, done := startServer(t, "-workers", "1")
+
+	v := submit(t, base)
+	poll(t, base, v.ID)
+
+	cancel() // what SIGTERM does in main
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	// Listener must be closed now.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+	done <- nil // satisfy the cleanup's receive
+}
+
+// TestServeFlagValidation checks bad flags fail before binding.
+func TestServeFlagValidation(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	if err := run(ctx, []string{"-queue-depth", "0"}, io.Discard); err == nil {
+		t.Fatal("queue-depth 0 accepted")
+	}
+	if err := run(ctx, []string{"-workers", "-1"}, io.Discard); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if err := run(ctx, []string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

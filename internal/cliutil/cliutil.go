@@ -140,16 +140,14 @@ func (t *Telemetry) Flush() error {
 	return t.Registry.WriteJSONFile(t.jsonPath)
 }
 
-// ServeMetrics publishes reg to expvar under "telemetry" and starts an
-// HTTP listener on addr serving the process expvar variables on
-// /debug/vars and the net/http/pprof profiles under /debug/pprof/. It
-// returns the running server and the bound address (useful with ":0").
-func ServeMetrics(addr string, reg *telemetry.Registry) (*http.Server, string, error) {
+// NewDebugMux returns a fresh mux carrying the process debug surface:
+// reg published to expvar under "telemetry", the expvar variables on
+// /debug/vars, and the net/http/pprof profiles under /debug/pprof/. It
+// is the single place the debug routes are assembled — ServeMetrics
+// serves one standalone for the batch CLIs, and cmd/serve mounts its
+// job API on the same mux so one listener carries both surfaces.
+func NewDebugMux(reg *telemetry.Registry) *http.ServeMux {
 	reg.PublishExpvar("telemetry")
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", fmt.Errorf("metrics listener: %w", err)
-	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -157,9 +155,33 @@ func ServeMetrics(addr string, reg *telemetry.Registry) (*http.Server, string, e
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	server := &http.Server{Handler: mux}
+	return mux
+}
+
+// ServeMetrics publishes reg to expvar under "telemetry" and starts an
+// HTTP listener on addr serving the process expvar variables on
+// /debug/vars and the net/http/pprof profiles under /debug/pprof/. It
+// returns the running server and the bound address (useful with ":0").
+func ServeMetrics(addr string, reg *telemetry.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	server := &http.Server{Handler: NewDebugMux(reg)}
 	go server.Serve(ln)
 	return server, ln.Addr().String(), nil
+}
+
+// ReportJob prints a finished run's stable job ID and cache disposition
+// to w (conventionally stderr, next to the -progress output) — the
+// CLI-side counterpart of the HTTP API's jobId/fromCache fields, making
+// engine cache hits observable end-to-end.
+func ReportJob(w io.Writer, res *engine.Result) {
+	disposition := "computed"
+	if res.FromCache {
+		disposition = "served from cache"
+	}
+	fmt.Fprintf(w, "job %s: %s\n", res.ID, disposition)
 }
 
 // ProgressPrinter returns an engine progress hook that writes compact

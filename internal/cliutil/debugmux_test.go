@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"diversity/internal/engine"
+	"diversity/internal/telemetry"
+)
+
+func TestNewDebugMuxServesVarsAndPprof(t *testing.T) {
+	t.Parallel()
+
+	mux := NewDebugMux(telemetry.NewRegistry())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestNewDebugMuxComposable checks the property cmd/serve relies on: API
+// routes mount on the same mux next to the debug handlers.
+func TestNewDebugMuxComposable(t *testing.T) {
+	t.Parallel()
+
+	mux := NewDebugMux(telemetry.NewRegistry())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReportJob(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	ReportJob(&b, &engine.Result{ID: "job-0123456789abcdef"})
+	if got, want := b.String(), "job job-0123456789abcdef: computed\n"; got != want {
+		t.Fatalf("ReportJob computed = %q, want %q", got, want)
+	}
+	b.Reset()
+	ReportJob(&b, &engine.Result{ID: "job-0123456789abcdef", FromCache: true})
+	if got, want := b.String(), "job job-0123456789abcdef: served from cache\n"; got != want {
+		t.Fatalf("ReportJob cached = %q, want %q", got, want)
+	}
+}

@@ -125,6 +125,22 @@ func (e *Engine) emit(p Progress) {
 	e.progress(p)
 }
 
+// fanout builds the progress sink for one run: reports reach both the
+// engine-wide hook and the per-run hook, each behind its own lock so a
+// slow subscriber on one side cannot corrupt the other.
+func (e *Engine) fanout(perRun func(Progress)) func(Progress) {
+	if perRun == nil {
+		return e.emit
+	}
+	var mu sync.Mutex
+	return func(p Progress) {
+		e.emit(p)
+		mu.Lock()
+		perRun(p)
+		mu.Unlock()
+	}
+}
+
 // Result is the outcome of a job: a kind-discriminated envelope plus the
 // resolved model. Results served from the cache are shared — treat every
 // field as immutable.
@@ -132,6 +148,11 @@ type Result struct {
 	// Kind echoes the job kind; Hash is the canonical job hash.
 	Kind JobKind
 	Hash string
+	// ID is the stable job identifier derived from Hash (see IDFromHash).
+	// Identical specs produce identical IDs, so a cache hit is observable
+	// end-to-end: the CLIs print it under -progress and the HTTP API
+	// returns it with every result.
+	ID string
 	// FromCache reports that the result was served from the cache without
 	// recomputation.
 	FromCache bool
@@ -216,7 +237,18 @@ func shortHash(hash string) string {
 // spans stamped with a fresh run ID; the same run ID stamps the
 // logger's start/finish/error lines.
 func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
+	return e.RunWithProgress(ctx, job, nil)
+}
+
+// RunWithProgress executes a job like Run, additionally delivering this
+// run's progress reports to progress (serialised; may be nil). The
+// engine-wide Options.Progress hook, when configured, still receives
+// every report — RunWithProgress fans out rather than replaces, which is
+// what lets a serving layer attach one subscriber per submitted job while
+// a process-wide progress printer keeps working.
+func (e *Engine) RunWithProgress(ctx context.Context, job Job, progress func(Progress)) (*Result, error) {
 	submitted := time.Now()
+	emit := e.fanout(progress)
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -257,11 +289,11 @@ func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
 	var res *Result
 	switch job.Kind {
 	case JobMonteCarlo:
-		res, err = e.runMonteCarlo(ctx, job.MonteCarlo, span)
+		res, err = e.runMonteCarlo(ctx, job.MonteCarlo, span, emit)
 	case JobRareEvent:
-		res, err = e.runRareEvent(ctx, job.RareEvent, span)
+		res, err = e.runRareEvent(ctx, job.RareEvent, span, emit)
 	case JobExperiments:
-		res, err = e.runExperiments(ctx, job.Experiments, span)
+		res, err = e.runExperiments(ctx, job.Experiments, span, emit)
 	case JobAnalytic:
 		res, err = e.runAnalytic(job.Analytic)
 	default:
@@ -285,6 +317,7 @@ func (e *Engine) Run(ctx context.Context, job Job) (*Result, error) {
 	}
 	res.Kind = job.Kind
 	res.Hash = hash
+	res.ID = IDFromHash(hash)
 	if e.cache != nil {
 		if evicted := e.cache.put(hash, res); evicted > 0 && e.tele != nil {
 			e.tele.Counter("engine.cache.evictions").Add(int64(evicted))
@@ -319,7 +352,7 @@ func stage(parent *telemetry.Span, name string) func() {
 	return sp.End
 }
 
-func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *telemetry.Span) (*Result, error) {
+func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *telemetry.Span, emit func(Progress)) (*Result, error) {
 	fs, name, err := spec.Model.Resolve()
 	if err != nil {
 		return nil, err
@@ -352,7 +385,7 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 		Streaming: spec.Streaming,
 		Sparse:    spec.Sparse,
 		Progress: func(done, total int) {
-			e.emit(Progress{Stage: "replications", Done: done, Total: total})
+			emit(Progress{Stage: "replications", Done: done, Total: total})
 		},
 		Metrics:   e.tele,
 		TraceSpan: repSpan,
@@ -366,17 +399,17 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 // rareStageOpts builds estimator options that forward intermediate Done
 // counts for the named stage: rare-event stages report at context-check
 // granularity, not just a leading Done: 0.
-func (e *Engine) rareStageOpts(name string, sparse bool) montecarlo.RareOptions {
+func (e *Engine) rareStageOpts(name string, sparse bool, emit func(Progress)) montecarlo.RareOptions {
 	return montecarlo.RareOptions{
 		Progress: func(done, total int) {
-			e.emit(Progress{Stage: name, Done: done, Total: total})
+			emit(Progress{Stage: name, Done: done, Total: total})
 		},
 		Metrics: e.tele,
 		Sparse:  sparse,
 	}
 }
 
-func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *telemetry.Span) (*Result, error) {
+func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *telemetry.Span, emit func(Progress)) (*Result, error) {
 	fs, name, err := spec.Model.Resolve()
 	if err != nil {
 		return nil, err
@@ -386,13 +419,13 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 		return nil, err
 	}
 	endIS := stage(span, "importance sampling")
-	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling", spec.Sparse))
+	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling", spec.Sparse, emit))
 	endIS()
 	if err != nil {
 		return nil, err
 	}
 	endNaive := stage(span, "naive Monte Carlo")
-	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo", spec.Sparse))
+	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo", spec.Sparse, emit))
 	endNaive()
 	if err != nil {
 		return nil, err
@@ -404,11 +437,11 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 	}, nil
 }
 
-func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span *telemetry.Span) (*Result, error) {
+func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span *telemetry.Span, emit func(Progress)) (*Result, error) {
 	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Streaming: spec.Streaming, Sparse: spec.Sparse, Metrics: e.tele}
 	results := make([]*experiments.Result, 0, len(spec.IDs))
 	for i, id := range spec.IDs {
-		e.emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})
+		emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})
 		end := stage(span, id)
 		res, err := experiments.RunContext(ctx, id, cfg)
 		end()
@@ -417,7 +450,7 @@ func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span
 		}
 		results = append(results, res)
 	}
-	e.emit(Progress{Stage: "done", Done: len(spec.IDs), Total: len(spec.IDs)})
+	emit(Progress{Stage: "done", Done: len(spec.IDs), Total: len(spec.IDs)})
 	return &Result{Experiments: results}, nil
 }
 

@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"slices"
+	"strings"
 
 	"diversity/internal/experiments"
 	"diversity/internal/faultmodel"
@@ -73,6 +75,8 @@ func (m ModelSpec) validate() error {
 		return fmt.Errorf("engine: model spec names scenario %q and %d inline faults; want exactly one", m.Scenario, len(m.Faults))
 	case m.Scenario == "" && len(m.Faults) == 0:
 		return fmt.Errorf("engine: model spec is empty: set Scenario or Faults")
+	case m.Scenario != "" && !slices.Contains(scenario.Names(), m.Scenario):
+		return fmt.Errorf("engine: unknown scenario %q (known: %s)", m.Scenario, strings.Join(scenario.Names(), ", "))
 	}
 	return nil
 }
@@ -366,4 +370,27 @@ func (j Job) Hash() (string, error) {
 	h.Write([]byte{0})
 	h.Write(doc)
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// IDFromHash derives the stable job identifier from a canonical job
+// hash: "job-" plus the first 16 hex digits. The prefix length keeps IDs
+// log- and URL-friendly while leaving the collision probability across a
+// cache's worth of jobs negligible (2^-64 per pair).
+func IDFromHash(hash string) string {
+	if len(hash) > 16 {
+		hash = hash[:16]
+	}
+	return "job-" + hash
+}
+
+// ID returns the job's stable string identifier, derived from the
+// canonical hash: two specs describing the same computation get the same
+// ID. Results carry it (Result.ID), so repeated submissions are
+// observable as cache hits end-to-end.
+func (j Job) ID() (string, error) {
+	hash, err := j.Hash()
+	if err != nil {
+		return "", err
+	}
+	return IDFromHash(hash), nil
 }

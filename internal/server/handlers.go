@@ -1,0 +1,323 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"diversity/internal/engine"
+	"diversity/internal/scenario"
+	"diversity/internal/telemetry"
+)
+
+// maxBodyBytes bounds a submission body; inline model specs carrying a
+// few thousand faults fit comfortably, while a multi-megabyte payload is
+// rejected before decoding.
+const maxBodyBytes = 4 << 20
+
+// Register mounts the API on mux. Conventionally mux is
+// cliutil.NewDebugMux's, so one listener serves the job API next to
+// /debug/vars and /debug/pprof/.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.Handle("GET /v1/scenarios", s.instrument("scenarios", s.handleScenarios))
+	mux.Handle("POST /v1/jobs", s.instrument("jobs_submit", s.handleSubmit))
+	mux.Handle("GET /v1/jobs", s.instrument("jobs_list", s.handleList))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleGet))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleCancel))
+	mux.Handle("GET /v1/jobs/{id}/events", s.instrument("jobs_events", s.handleEvents))
+}
+
+// Handler returns a fresh mux with the API registered — the convenient
+// form for tests and embedders that do not need the debug routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// statusWriter records the response status while preserving the
+// Flusher behaviour SSE needs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the per-route/status duration
+// histogram "server.request_duration_seconds.<route>.<status>".
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		name := "server.request_duration_seconds." + route + "." + strconv.Itoa(sw.status)
+		s.reg.Histogram(name, telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	})
+}
+
+// writeJSON writes v as JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientKey identifies the submitting client for rate limiting: the
+// remote IP without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// scenarioView is one row of the discovery listing.
+type scenarioView struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Faults      int    `json:"faults"`
+}
+
+var (
+	scenarioOnce sync.Once
+	scenarioList []scenarioView
+)
+
+// handleScenarios lists the named scenarios a job's model spec may
+// reference. The listing is generated once (scenario generation is
+// deterministic, and million-faults allocates a 10^6-fault universe we
+// do not want per request) and cached for the process lifetime.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	scenarioOnce.Do(func() {
+		for _, name := range scenario.Names() {
+			sc, err := scenario.ByName(name, 1)
+			if err != nil {
+				continue
+			}
+			scenarioList = append(scenarioList, scenarioView{
+				Name:        name,
+				Description: sc.Description,
+				Faults:      sc.FaultSet.N(),
+			})
+		}
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenarioList})
+}
+
+// specReps returns the replication count of job kinds that have one.
+func specReps(job engine.Job) int {
+	switch {
+	case job.MonteCarlo != nil:
+		return job.MonteCarlo.Reps
+	case job.RareEvent != nil:
+		return job.RareEvent.Reps
+	default:
+		return 0
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	key := clientKey(r)
+	if !s.limiter.allow(key) {
+		s.reg.Counter("server.rejected_total.rate_limited").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfter(key)))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded: client %s is over %g requests/second (burst %d)", key, s.cfg.RatePerSec, s.cfg.Burst)
+		return
+	}
+
+	var job engine.Job
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	if err := job.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.MaxReps > 0 {
+		if reps := specReps(job); reps > s.cfg.MaxReps {
+			writeError(w, http.StatusBadRequest, "replication count %d exceeds this server's cap of %d", reps, s.cfg.MaxReps)
+			return
+		}
+	}
+	engineID, err := job.ID()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	js, err := s.submit(job, engineID)
+	switch {
+	case err == nil:
+	case errors.Is(err, errQueueFull):
+		s.reg.Counter("server.rejected_total.queue_full").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "job queue full (depth %d): retry shortly", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, errDraining):
+		s.reg.Counter("server.rejected_total.draining").Inc()
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "server is draining and accepts no new jobs")
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+js.id)
+	writeJSON(w, http.StatusAccepted, s.viewOf(js, false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.list()
+	views := make([]jobView, 0, len(jobs))
+	for _, js := range jobs {
+		views = append(views, s.viewOf(js, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOf(js, true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.requestCancel(js)
+	writeJSON(w, http.StatusAccepted, s.viewOf(js, false))
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: one
+// "progress" event per report (per stage, Done counts are monotonically
+// non-decreasing), then a single "done" event carrying the terminal job
+// view — result included — after which the stream closes. Subscribing
+// to a finished job yields the "done" event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ch, cur, hasCur := js.tracker.subscribe()
+	defer js.tracker.unsubscribe(ch)
+	if hasCur {
+		writeSSE(w, flusher, "progress", progressView{Stage: cur.Stage, Done: cur.Done, Total: cur.Total})
+	}
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case p := <-ch:
+			writeSSE(w, flusher, "progress", progressView{Stage: p.Stage, Done: p.Done, Total: p.Total})
+		case <-js.tracker.Done():
+			// Drain reports published before the terminal transition so
+			// the stream never ends short of the last counts.
+			for {
+				select {
+				case p := <-ch:
+					writeSSE(w, flusher, "progress", progressView{Stage: p.Stage, Done: p.Done, Total: p.Total})
+					continue
+				default:
+				}
+				break
+			}
+			writeSSE(w, flusher, "done", s.viewOf(js, true))
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			// Server draining: tell the client to re-poll rather than
+			// holding the listener open.
+			writeSSE(w, flusher, "draining", map[string]string{"status": "draining"})
+			return
+		}
+	}
+}
+
+// writeSSE emits one named SSE event with a JSON payload.
+func writeSSE(w http.ResponseWriter, flusher http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	flusher.Flush()
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"sync"
+
+	"diversity/internal/engine"
+)
+
+// subscriberBuffer is the per-subscriber channel capacity. A subscriber
+// that falls behind skips intermediate reports (the channel is drained
+// newest-last, and publish drops on a full buffer) — progress is a
+// monotone stream, so later reports subsume earlier ones.
+const subscriberBuffer = 32
+
+// progressTracker carries one job's progress stream: the latest report,
+// a monotonic per-stage guard, a terminal signal, and fan-out to any
+// number of SSE subscribers. Publish is safe to call from the engine's
+// concurrent reporters.
+type progressTracker struct {
+	mu      sync.Mutex
+	last    engine.Progress
+	hasLast bool
+	subs    map[chan engine.Progress]struct{}
+	done    chan struct{}
+	ended   bool
+}
+
+func newProgressTracker() *progressTracker {
+	return &progressTracker{
+		subs: make(map[chan engine.Progress]struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// publish records a progress report and fans it out. Reports that would
+// move a stage's Done count backwards are dropped: the engine serialises
+// its hooks but concurrent worker shards can deliver cumulative counts
+// slightly out of order, and the API promises subscribers a
+// monotonically non-decreasing stream per stage.
+func (t *progressTracker) publish(p engine.Progress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ended {
+		return
+	}
+	if t.hasLast && p.Stage == t.last.Stage && p.Done < t.last.Done {
+		return
+	}
+	t.last, t.hasLast = p, true
+	for ch := range t.subs {
+		select {
+		case ch <- p:
+		default: // slow subscriber: skip this report, keep the stream live
+		}
+	}
+}
+
+// snapshot returns the latest report, if any.
+func (t *progressTracker) snapshot() (engine.Progress, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last, t.hasLast
+}
+
+// subscribe registers a new subscriber and returns its channel plus the
+// latest report at attach time (ok reports whether one exists), so a
+// late subscriber starts from the current state rather than silence.
+func (t *progressTracker) subscribe() (ch chan engine.Progress, cur engine.Progress, ok bool) {
+	ch = make(chan engine.Progress, subscriberBuffer)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs[ch] = struct{}{}
+	return ch, t.last, t.hasLast
+}
+
+func (t *progressTracker) unsubscribe(ch chan engine.Progress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.subs, ch)
+}
+
+// finish marks the stream terminal: Done returns a closed channel and
+// further publishes are ignored. Safe to call more than once.
+func (t *progressTracker) finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.ended {
+		t.ended = true
+		close(t.done)
+	}
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (t *progressTracker) Done() <-chan struct{} { return t.done }

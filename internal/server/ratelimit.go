@@ -1,0 +1,102 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxClients caps the number of per-client buckets a limiter retains;
+// past the cap, buckets idle long enough to have refilled completely are
+// evicted before a new client is admitted, so a scan of short-lived
+// clients cannot grow the map without bound.
+const maxClients = 4096
+
+// rateLimiter is a lazily-refilled token-bucket limiter keyed by client:
+// each client gets burst tokens, refilled at rate tokens per second; a
+// request spends one token or is rejected. A nil limiter (rate <= 0 at
+// construction) allows everything.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injected for deterministic tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter refilling rate tokens/second up to
+// burst per client, or nil (allow-all) when rate <= 0. A nil now
+// function selects time.Now.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one of key's tokens, reporting whether one was available.
+func (l *rateLimiter) allow(key string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxClients {
+			l.evictIdle(t)
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[key] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate)
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// retryAfter returns a conservative whole-second wait after which key is
+// guaranteed a token, for the Retry-After header (at least 1).
+func (l *rateLimiter) retryAfter(key string) int {
+	if l == nil {
+		return 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		return 1
+	}
+	wait := (1 - b.tokens) / l.rate
+	if wait < 1 {
+		return 1
+	}
+	return int(math.Ceil(wait))
+}
+
+// evictIdle drops buckets that have been idle long enough to be full
+// again — forgetting them loses no limiting state. Called with mu held.
+func (l *rateLimiter) evictIdle(t time.Time) {
+	fullAfter := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, b := range l.buckets {
+		if t.Sub(b.last) >= fullAfter {
+			delete(l.buckets, key)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"diversity/internal/engine"
+)
+
+// fakeClock is an injectable, manually-advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestRateLimiterDisabled(t *testing.T) {
+	t.Parallel()
+	rl := newRateLimiter(0, 0, nil)
+	for i := 0; i < 1000; i++ {
+		if !rl.allow("c") {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rl := newRateLimiter(1, 3, clk.now)
+
+	for i := 0; i < 3; i++ {
+		if !rl.allow("c") {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	if rl.allow("c") {
+		t.Fatal("request beyond burst allowed")
+	}
+	if ra := rl.retryAfter("c"); ra < 1 {
+		t.Fatalf("retryAfter = %d, want >= 1", ra)
+	}
+
+	// One second refills one token.
+	clk.advance(time.Second)
+	if !rl.allow("c") {
+		t.Fatal("request after refill rejected")
+	}
+	if rl.allow("c") {
+		t.Fatal("second request after a one-token refill allowed")
+	}
+
+	// Refill caps at the burst size.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !rl.allow("c") {
+			t.Fatalf("request %d after long idle rejected", i)
+		}
+	}
+	if rl.allow("c") {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+func TestRateLimiterPerClient(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rl := newRateLimiter(0.1, 1, clk.now)
+	if !rl.allow("a") {
+		t.Fatal("client a's first request rejected")
+	}
+	if rl.allow("a") {
+		t.Fatal("client a's second request allowed")
+	}
+	if !rl.allow("b") {
+		t.Fatal("client b throttled by client a's bucket")
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rl := newRateLimiter(1, 1, clk.now)
+	for i := 0; i < maxClients; i++ {
+		rl.allow(fmt.Sprintf("client-%d", i))
+	}
+	// All buckets are fresh: the map is full and nothing is evictable,
+	// but a new client must still be admitted.
+	if !rl.allow("straggler") {
+		t.Fatal("new client rejected at capacity")
+	}
+	// Once existing buckets are idle-refilled to full, they are evicted
+	// to make room rather than growing without bound.
+	clk.advance(time.Hour)
+	rl.allow("another")
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	// Every pre-existing bucket was idle-full, so all were evicted.
+	if n > 2 {
+		t.Fatalf("bucket map holds %d entries after eviction, want <= 2", n)
+	}
+}
+
+func engineProgress(stage string, done, total int) engine.Progress {
+	return engine.Progress{Stage: stage, Done: done, Total: total}
+}
+
+func TestProgressTrackerMonotonicAndTerminal(t *testing.T) {
+	t.Parallel()
+	tr := newProgressTracker()
+	ch, _, ok := tr.subscribe()
+	if ok {
+		t.Fatal("fresh tracker claims a snapshot")
+	}
+	defer tr.unsubscribe(ch)
+
+	emit := func(done int) {
+		tr.publish(engineProgress("replications", done, 100))
+	}
+	emit(10)
+	emit(5) // out of order: must be dropped
+	emit(20)
+
+	got := []int{}
+	for len(ch) > 0 {
+		got = append(got, (<-ch).Done)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("delivered Done counts = %v, want [10 20]", got)
+	}
+	if p, ok := tr.snapshot(); !ok || p.Done != 20 {
+		t.Fatalf("snapshot = %+v ok=%v, want Done=20", p, ok)
+	}
+
+	// A new stage may restart its counter.
+	tr.publish(engineProgress("experiments", 1, 8))
+	if p, _ := tr.snapshot(); p.Stage != "experiments" || p.Done != 1 {
+		t.Fatalf("stage change not accepted: %+v", p)
+	}
+
+	tr.finish()
+	tr.finish() // idempotent
+	select {
+	case <-tr.Done():
+	default:
+		t.Fatal("Done channel not closed after finish")
+	}
+	tr.publish(engineProgress("experiments", 5, 8))
+	if p, _ := tr.snapshot(); p.Done != 1 {
+		t.Fatal("publish after finish mutated the tracker")
+	}
+}

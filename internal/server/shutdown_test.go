@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diversity/internal/engine"
+)
+
+// getJob fetches one job view.
+func getJob(t *testing.T, ts *httptest.Server, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding job view: %v", err)
+	}
+	return v
+}
+
+// TestGracefulShutdown exercises the drain contract: the in-flight job
+// runs to completion, the queued job goes terminal with a shutdown
+// error, new submissions are rejected with 503, and Shutdown returns
+// only after the pool is idle.
+func TestGracefulShutdown(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, job engine.Job, progress func(engine.Progress)) (*engine.Result, error) {
+			close(started)
+			<-release
+			return &engine.Result{Kind: job.Kind, ID: "job-stub", Hash: "stub"}, nil
+		})
+
+	_, inflight := postJob(t, ts, mcJobJSON)
+	<-started
+	_, queued := postJob(t, ts, mcJobJSON)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// The drain must reject the queued job promptly, while the in-flight
+	// job is still held open.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v := getJob(t, ts, queued.ID)
+		if v.Status == string(statusFailed) {
+			if !strings.Contains(v.Error, "shutting down") {
+				t.Fatalf("queued job error = %q, want a shutdown message", v.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queued job stuck in status %q during drain", v.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New submissions are shed with 503 while draining.
+	resp, _ := postJob(t, ts, mcJobJSON)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 carries no Retry-After header")
+	}
+
+	// Shutdown must still be waiting on the in-flight job.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) before the in-flight job finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the in-flight job finished")
+	}
+
+	if v := getJob(t, ts, inflight.ID); v.Status != string(statusDone) {
+		t.Fatalf("in-flight job status after drain = %q, want done", v.Status)
+	}
+}
+
+// TestShutdownDeadlineCancelsRunningJobs checks that an expired drain
+// grace cancels in-flight jobs through their engine contexts instead of
+// hanging.
+func TestShutdownDeadlineCancelsRunningJobs(t *testing.T) {
+	t.Parallel()
+	started := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, job engine.Job, progress func(engine.Progress)) (*engine.Result, error) {
+			close(started)
+			<-ctx.Done() // honours cancellation, never finishes on its own
+			return nil, ctx.Err()
+		})
+
+	_, inflight := postJob(t, ts, mcJobJSON)
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if v := getJob(t, ts, inflight.ID); v.Status != string(statusCancelled) {
+		t.Fatalf("in-flight job status after forced drain = %q, want cancelled", v.Status)
+	}
+}
+
+// TestShutdownIdempotent checks a second Shutdown returns immediately.
+func TestShutdownIdempotent(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	s.Start()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("first Shutdown = %v", err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown = %v", err)
+	}
+	// Submissions after drain report the draining error.
+	if _, err := s.submit(engine.Job{}, "job-x"); err != errDraining {
+		t.Fatalf("submit after drain = %v, want errDraining", err)
+	}
+}
+
+// TestSSEDrainingEvent checks an open SSE stream is told the server is
+// draining rather than being cut silently.
+func TestSSEDrainingEvent(t *testing.T) {
+	t.Parallel()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(ctx context.Context, job engine.Job, progress func(engine.Progress)) (*engine.Result, error) {
+			close(started)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return &engine.Result{Kind: job.Kind, ID: "job-stub", Hash: "stub"}, nil
+		})
+	defer close(release)
+
+	_, v := postJob(t, ts, mcJobJSON)
+	<-started
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("stream closed without any terminal SSE event")
+	}
+	last := events[len(events)-1]
+	if last.name != "draining" && last.name != "done" {
+		t.Fatalf("final SSE event = %q, want draining (or done if the job won the race)", last.name)
+	}
+}
