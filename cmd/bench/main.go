@@ -43,12 +43,15 @@ import (
 	"diversity/internal/devsim"
 	"diversity/internal/montecarlo"
 	"diversity/internal/scenario"
+	"diversity/internal/system"
 	"diversity/internal/telemetry"
 )
 
 // schemaVersion identifies the report layout; bump it when fields change
 // meaning so downstream tooling can dispatch on the document shape.
-const schemaVersion = 2
+// Version 3 added the N-version adjudication matrix and the per-row
+// versions/adjudicator columns.
+const schemaVersion = 3
 
 // Row is one benchmark cell: a (scenario, n, reps, workers, streaming,
 // sparse) combination and its measurements.
@@ -63,6 +66,11 @@ type Row struct {
 	// Sparse marks cells run with the geometric skip-sampling development
 	// kernel (montecarlo Config.Sparse).
 	Sparse bool `json:"sparse"`
+	// Versions and Adjudicator identify N-version matrix cells: the pool
+	// size and voting rule the cell adjudicated with. Zero/empty on the
+	// aggregation and kernel matrices, which run the default 1oo2 pair.
+	Versions    int    `json:"versions,omitempty"`
+	Adjudicator string `json:"adjudicator,omitempty"`
 
 	// WallNS is the wall-clock duration of the run in nanoseconds;
 	// NSPerRep is WallNS / Reps.
@@ -117,6 +125,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	repsList := flags.String("reps", "250000,1000000", "comma-separated replication counts for the aggregation matrix")
 	workersList := flags.String("workers", "1,0", "comma-separated worker counts (0 = all cores)")
 	sparseNList := flags.String("sparse-n", "1000,100000,1000000", "comma-separated fault-universe sizes for the dense-vs-sparse kernel matrix (empty = skip)")
+	poolList := flags.String("pools", "2:1oon,3:1oon,3:majority,3:2oo3,5:majority", "comma-separated versions:adjudicator cells for the N-version matrix (empty = skip)")
 	seed := flags.Uint64("seed", 1, "random seed (same for every cell)")
 	quick := flags.Bool("quick", false, "small matrix for smoke testing (overrides -reps and -sparse-n)")
 	if err := flags.Parse(args); err != nil {
@@ -125,6 +134,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *quick {
 		*repsList = "20000"
 		*sparseNList = "1000,100000"
+		*poolList = "3:majority,3:2oo3"
 	}
 	repCounts, err := parseInts(*repsList, 1)
 	if err != nil {
@@ -140,6 +150,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-sparse-n: %w", err)
 		}
+	}
+	pools, err := parsePools(*poolList)
+	if err != nil {
+		return fmt.Errorf("-pools: %w", err)
 	}
 
 	sc, err := scenario.CommercialGrade(*seed)
@@ -171,6 +185,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 					return err
 				}
 			}
+		}
+	}
+	// The N-version matrix sweeps pool size × voting rule over the
+	// commercial-grade scenario (streaming, all cores, the smallest
+	// requested replication count): it tracks the cost of the generalised
+	// popcount adjudication kernel against the 1oo2 baseline row.
+	for _, pool := range pools {
+		cell := cellConfig{
+			scenario: sc.Name, n: sc.FaultSet.N(), proc: proc,
+			reps: repCounts[0], workers: 0, streaming: true,
+			versions: pool.versions, adj: pool.adj,
+		}
+		if err := appendCell(ctx, &rep, cell, *seed); err != nil {
+			return err
 		}
 	}
 	for _, n := range sparseNs {
@@ -220,7 +248,8 @@ func sparseReps(n int, quick bool) int {
 	}
 }
 
-// cellConfig is one matrix cell's parameters.
+// cellConfig is one matrix cell's parameters. A zero versions runs the
+// default 1oo2 pair; a non-nil adj selects the voting rule.
 type cellConfig struct {
 	scenario  string
 	n         int
@@ -229,6 +258,43 @@ type cellConfig struct {
 	workers   int
 	streaming bool
 	sparse    bool
+	versions  int
+	adj       system.Adjudicator
+}
+
+// poolSpec is one N-version matrix cell: pool size and voting rule.
+type poolSpec struct {
+	versions int
+	adj      system.Adjudicator
+}
+
+// parsePools parses a "versions:adjudicator" list like
+// "3:majority,3:2oo3"; an empty list skips the matrix.
+func parsePools(s string) ([]poolSpec, error) {
+	var out []poolSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		versionsText, adjText, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad pool %q: want versions:adjudicator", part)
+		}
+		versions, err := strconv.Atoi(versionsText)
+		if err != nil {
+			return nil, fmt.Errorf("bad pool size in %q: %w", part, err)
+		}
+		adj, err := system.ParseAdjudicator(adjText)
+		if err != nil {
+			return nil, fmt.Errorf("bad pool %q: %w", part, err)
+		}
+		if err := adj.Validate(versions); err != nil {
+			return nil, err
+		}
+		out = append(out, poolSpec{versions: versions, adj: adj})
+	}
+	return out, nil
 }
 
 // appendCell measures one cell and appends its row, logging progress to
@@ -240,9 +306,21 @@ func appendCell(ctx context.Context, rep *Report, cell cellConfig, seed uint64) 
 			cell.scenario, cell.n, cell.reps, cell.workers, cell.streaming, cell.sparse, err)
 	}
 	rep.Rows = append(rep.Rows, row)
-	fmt.Fprintf(os.Stderr, "bench: %-14s n=%-8d reps=%-7d workers=%d streaming=%-5v sparse=%-5v %10.0f ns/rep %10.4f allocs/rep\n",
-		cell.scenario, cell.n, cell.reps, cell.workers, cell.streaming, cell.sparse, row.NSPerRep, row.AllocsPerRep)
+	pool := ""
+	if cell.adj != nil {
+		pool = fmt.Sprintf(" pool=%d:%s", cell.versions, adjName(cell.adj))
+	}
+	fmt.Fprintf(os.Stderr, "bench: %-14s n=%-8d reps=%-7d workers=%d streaming=%-5v sparse=%-5v%s %10.0f ns/rep %10.4f allocs/rep\n",
+		cell.scenario, cell.n, cell.reps, cell.workers, cell.streaming, cell.sparse, pool, row.NSPerRep, row.AllocsPerRep)
 	return nil
+}
+
+// adjName renders a cell's voting rule ("" for the default pair).
+func adjName(adj system.Adjudicator) string {
+	if adj == nil {
+		return ""
+	}
+	return adj.Name()
 }
 
 // warmupReps bounds the short untimed run before each measured cell.
@@ -256,15 +334,20 @@ const warmupReps = 200
 // resetPeakRSS scopes the VmHWM reading to the cell.
 func runCell(ctx context.Context, cell cellConfig, seed uint64) (Row, error) {
 	reg := telemetry.NewRegistry()
+	versions := cell.versions
+	if versions == 0 {
+		versions = 2
+	}
 	cfg := montecarlo.Config{
-		Process:   cell.proc,
-		Versions:  2,
-		Reps:      cell.reps,
-		Workers:   cell.workers,
-		Seed:      seed,
-		Streaming: cell.streaming,
-		Sparse:    cell.sparse,
-		Metrics:   reg,
+		Process:     cell.proc,
+		Versions:    versions,
+		Reps:        cell.reps,
+		Workers:     cell.workers,
+		Seed:        seed,
+		Streaming:   cell.streaming,
+		Sparse:      cell.sparse,
+		Adjudicator: cell.adj,
+		Metrics:     reg,
 	}
 
 	warmup := cfg
@@ -299,6 +382,8 @@ func runCell(ctx context.Context, cell cellConfig, seed uint64) (Row, error) {
 		Workers:       cell.workers,
 		Streaming:     cell.streaming,
 		Sparse:        cell.sparse,
+		Versions:      cell.versions,
+		Adjudicator:   adjName(cell.adj),
 		WallNS:        wall.Nanoseconds(),
 		NSPerRep:      float64(wall.Nanoseconds()) / float64(cell.reps),
 		RepsPerSecond: snap.Gauges["montecarlo.replications_per_second"],

@@ -32,7 +32,7 @@ func TestBenchMatrix(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var stdout strings.Builder
 	err := run(context.Background(), []string{
-		"-reps", "3000", "-workers", "1", "-sparse-n", "", "-out", out, "-seed", "5",
+		"-reps", "3000", "-workers", "1", "-sparse-n", "", "-pools", "", "-out", out, "-seed", "5",
 	}, &stdout)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -134,12 +134,60 @@ func TestBenchSparseMatrix(t *testing.T) {
 	}
 }
 
+// TestBenchPoolMatrix pins the N-version matrix: one row per requested
+// versions:adjudicator cell, streaming on all cores, with the voting rule
+// recorded in the row. 3:majority and 3:2oo3 share the defeat threshold
+// (a fault must be present in ≥2 of 3 versions), so their simulated means
+// must agree exactly — the matrix doubles as an adjudicator consistency
+// check.
+func TestBenchPoolMatrix(t *testing.T) {
+	t.Parallel()
+
+	var stdout strings.Builder
+	err := run(context.Background(), []string{
+		"-reps", "2000", "-workers", "1", "-sparse-n", "",
+		"-pools", "3:majority,3:2oo3", "-out", "-", "-seed", "5",
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not the JSON report: %v", err)
+	}
+	var pool []Row
+	for _, row := range rep.Rows {
+		if row.Versions != 0 {
+			pool = append(pool, row)
+		}
+	}
+	if len(pool) != 2 {
+		t.Fatalf("got %d pool rows, want 2: %+v", len(pool), rep.Rows)
+	}
+	majority, kOutOfN := pool[0], pool[1]
+	if majority.Adjudicator != "majority" || kOutOfN.Adjudicator != "2oo3" {
+		t.Fatalf("pool row order unexpected: %+v", pool)
+	}
+	for _, row := range pool {
+		if row.Versions != 3 || !row.Streaming || row.Sparse {
+			t.Errorf("pool row has wrong cell parameters: %+v", row)
+		}
+		if row.WallNS <= 0 || row.NSPerRep <= 0 {
+			t.Errorf("pool row missing timing measurements: %+v", row)
+		}
+	}
+	if majority.MeanSystemPFD != kOutOfN.MeanSystemPFD {
+		t.Errorf("majority-of-3 mean %v != 2oo3 mean %v (same defeat threshold)",
+			majority.MeanSystemPFD, kOutOfN.MeanSystemPFD)
+	}
+}
+
 func TestBenchStdout(t *testing.T) {
 	t.Parallel()
 
 	var stdout strings.Builder
 	if err := run(context.Background(), []string{
-		"-reps", "1000", "-workers", "1", "-sparse-n", "", "-out", "-",
+		"-reps", "1000", "-workers", "1", "-sparse-n", "", "-pools", "", "-out", "-",
 	}, &stdout); err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenAnalytic asserts the refactor's compatibility promise for the
+// analysis CLI: the analytic-only report over the shared golden model is
+// byte-identical to the output captured from the pair-shaped
+// (pre-adjudicator) binary.
+func TestGoldenAnalytic(t *testing.T) {
+	t.Parallel()
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_analytic.txt"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	model := filepath.Join("..", "mcsim", "testdata", "golden_model.json")
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-model", model, "-k", "1.5", "-confidence", "0.99"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output diverged from pre-refactor golden:\n--- got ---\n%s\n--- want ---\n%s", out.String(), want)
+	}
+}

@@ -27,7 +27,9 @@ import (
 
 	"diversity/internal/cliutil"
 	"diversity/internal/engine"
+	"diversity/internal/faultmodel"
 	"diversity/internal/report"
+	"diversity/internal/system"
 )
 
 func main() {
@@ -42,11 +44,13 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("diversity", flag.ContinueOnError)
 	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
-	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade | million-faults")
+	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade | n-version-pool | million-faults")
 	k := flags.Float64("k", 1.0, "sigma multiplier for the confidence bounds")
 	confidence := flags.Float64("confidence", 0.99, "confidence level for the normal-approximation bound")
 	seed := flags.Uint64("seed", 1, "seed for scenario generation")
-	adjudicator := flags.Float64("adjudicator", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
+	adjudicatorPFD := flags.Float64("adjudicator-pfd", 0, "per-demand failure probability of the voter/actuator stage (0 = the paper's perfect adjudication)")
+	adjName := flags.String("adjudicator", "", "voting rule for the N-version pool table: 1oon | majority | KooN (e.g. 2oo3), optionally @pfd for an imperfect adjudication stage")
+	versions := flags.Int("versions", 2, "pool size for the -adjudicator closed forms")
 	mcReps := flags.Int("mc", 0, "cross-check the analytic moments by Monte-Carlo simulation with this many replications (0 = off)")
 	stream := flags.Bool("stream", false, "run the -mc cross-check with constant-memory streaming aggregation")
 	sparse := flags.Bool("sparse", false, "run the -mc cross-check with the geometric skip-sampling development kernel")
@@ -56,8 +60,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
-	if *adjudicator < 0 || *adjudicator > 1 {
-		return fmt.Errorf("adjudicator PFD %v must be a probability", *adjudicator)
+	if *adjudicatorPFD < 0 || *adjudicatorPFD > 1 {
+		return fmt.Errorf("adjudicator PFD %v must be a probability", *adjudicatorPFD)
+	}
+	var adj system.Adjudicator
+	if *adjName != "" {
+		parsed, err := system.ParseAdjudicator(*adjName)
+		if err != nil {
+			return err
+		}
+		if err := parsed.Validate(*versions); err != nil {
+			return err
+		}
+		adj = parsed
 	}
 	if *k < 0 {
 		return fmt.Errorf("sigma multiplier k=%v must be non-negative", *k)
@@ -171,28 +186,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	if *adjudicator > 0 {
+	if *adjudicatorPFD > 0 {
 		fmt.Fprintln(out)
-		totalSingle := 1 - (1-rep.Mu1)*(1-*adjudicator)
-		totalPair := 1 - (1-rep.Mu2)*(1-*adjudicator)
-		adj, err := report.NewTable(
-			fmt.Sprintf("Total mean PFD with adjudicator PFD %s (extension of the paper's perfect-adjudication assumption)", report.Fmt(*adjudicator)),
+		totalSingle := 1 - (1-rep.Mu1)*(1-*adjudicatorPFD)
+		totalPair := 1 - (1-rep.Mu2)*(1-*adjudicatorPFD)
+		stage, err := report.NewTable(
+			fmt.Sprintf("Total mean PFD with adjudicator PFD %s (extension of the paper's perfect-adjudication assumption)", report.Fmt(*adjudicatorPFD)),
 			"system", "software-only", "with adjudicator")
 		if err != nil {
 			return err
 		}
-		if err := adj.AddRow("1 version", report.Fmt(rep.Mu1), report.Fmt(totalSingle)); err != nil {
+		if err := stage.AddRow("1 version", report.Fmt(rep.Mu1), report.Fmt(totalSingle)); err != nil {
 			return err
 		}
-		if err := adj.AddRow("1-out-of-2", report.Fmt(rep.Mu2), report.Fmt(totalPair)); err != nil {
+		if err := stage.AddRow("1-out-of-2", report.Fmt(rep.Mu2), report.Fmt(totalPair)); err != nil {
 			return err
 		}
-		if err := adj.Render(out); err != nil {
+		if err := stage.Render(out); err != nil {
 			return err
 		}
 		if totalPair > 0 {
 			fmt.Fprintf(out, "total gain from diversity: %s (software-only: %s)\n",
 				report.Fmt(totalSingle/totalPair), report.Fmt(rep.Mu1/rep.Mu2))
+		}
+	}
+
+	if adj != nil {
+		if err := renderPool(out, fs, adj, *versions, rep.Mu1); err != nil {
+			return err
 		}
 	}
 
@@ -202,6 +223,45 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return tel.Flush()
+}
+
+// renderPool prints the generalised k-of-N closed forms for the requested
+// adjudicated pool next to the single-version baseline: the adjudicated
+// mean system PFD (the k-of-N extension of equation (1), including any
+// imperfect-stage composition) and the probability that the pool carries
+// at least one defeating fault.
+func renderPool(out io.Writer, fs *faultmodel.FaultSet, adj system.Adjudicator, versions int, mu1 float64) error {
+	mean, err := system.MeanSystemPFD(fs, adj, versions)
+	if err != nil {
+		return err
+	}
+	pAny, err := system.PAnySystemFault(fs, adj, versions)
+	if err != nil {
+		return err
+	}
+	pAny1, err := fs.PAnyFault(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	tbl, err := report.NewTable(
+		fmt.Sprintf("N-version pool closed forms (%d versions, %s adjudication)", versions, adj.Name()),
+		"quantity", "pool", "1 version")
+	if err != nil {
+		return err
+	}
+	if err := tbl.AddRow("mean system PFD (k-of-N eq 1)", report.Fmt(mean), report.Fmt(mu1)); err != nil {
+		return err
+	}
+	if err := tbl.AddRow("P(any defeating fault)", report.Fmt(pAny), report.Fmt(pAny1)); err != nil {
+		return err
+	}
+	if mean > 0 {
+		if err := tbl.AddRow("mean gain vs 1 version", report.Fmt(mu1/mean), ""); err != nil {
+			return err
+		}
+	}
+	return tbl.Render(out)
 }
 
 // renderCrossCheck simulates the 1-out-of-2 system and prints the sampled

@@ -94,7 +94,7 @@ func TestRunWithAdjudicator(t *testing.T) {
 
 	path := writeModel(t, `{"faults": [{"p": 0.1, "q": 0.01}]}`)
 	var out strings.Builder
-	if err := run(context.Background(), []string{"-model", path, "-adjudicator", "0.0001"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-adjudicator-pfd", "0.0001"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	text := out.String()
@@ -103,7 +103,7 @@ func TestRunWithAdjudicator(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
 	}
-	if err := run(context.Background(), []string{"-model", path, "-adjudicator", "2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-adjudicator-pfd", "2"}, &out); err == nil {
 		t.Error("invalid adjudicator PFD succeeded, want error")
 	}
 }
@@ -123,8 +123,10 @@ func TestFlagValidation(t *testing.T) {
 		{"both model and scenario", []string{"-model", path, "-scenario", "safety-grade"}, "not both"},
 		{"unknown scenario", []string{"-scenario", "bogus"}, `unknown scenario "bogus"`},
 		{"negative k", []string{"-model", path, "-k", "-1"}, "must be non-negative"},
-		{"adjudicator above one", []string{"-model", path, "-adjudicator", "2"}, "must be a probability"},
-		{"negative adjudicator", []string{"-model", path, "-adjudicator", "-0.5"}, "must be a probability"},
+		{"adjudicator stage PFD above one", []string{"-model", path, "-adjudicator-pfd", "2"}, "must be a probability"},
+		{"negative adjudicator stage PFD", []string{"-model", path, "-adjudicator-pfd", "-0.5"}, "must be a probability"},
+		{"unknown adjudicator", []string{"-model", path, "-adjudicator", "sideways"}, "unknown adjudicator"},
+		{"adjudicator pool too small", []string{"-model", path, "-adjudicator", "majority", "-versions", "2"}, "cannot vote over 2 versions"},
 	}
 	for _, tc := range cases {
 		tc := tc

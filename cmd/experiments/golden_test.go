@@ -1,0 +1,36 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestGoldenE19 asserts the refactor's compatibility promise for the
+// experiment driver: E19 at the capture seed renders byte-identical
+// output to the pair-shaped (pre-adjudicator) binary. E19's Monte-Carlo
+// runs use all cores, so GOMAXPROCS is pinned to the capture value for
+// the duration; the test therefore must not run in parallel.
+func TestGoldenE19(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_e19.txt"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var out strings.Builder
+	code, err := run(context.Background(), []string{"-id", "E19", "-quick", "-seed", "1"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("run exit code = %d, want 0 (failed checks)", code)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output diverged from pre-refactor golden:\n--- got ---\n%s\n--- want ---\n%s", out.String(), want)
+	}
+}

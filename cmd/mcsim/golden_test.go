@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files under testdata/ were captured from the pair-shaped
+// (pre-adjudicator) CLI at fixed seeds. These tests assert the refactor's
+// core compatibility promise: a legacy 1-out-of-2 invocation renders
+// byte-identical output after the generalisation to N-version pools —
+// same variate sequence, same summation order, same report text. Worker
+// counts are pinned (-workers 4) because the buffered/streaming splits
+// depend on them.
+func TestGoldenLegacyOutputs(t *testing.T) {
+	t.Parallel()
+
+	model := filepath.Join("testdata", "golden_model.json")
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{
+			name:   "dense buffered",
+			args:   []string{"-model", model, "-reps", "20000", "-seed", "3", "-workers", "4"},
+			golden: "golden_dense.txt",
+		},
+		{
+			name:   "streaming",
+			args:   []string{"-model", model, "-reps", "20000", "-seed", "3", "-workers", "4", "-stream"},
+			golden: "golden_stream.txt",
+		},
+		{
+			name:   "sparse",
+			args:   []string{"-model", model, "-reps", "20000", "-seed", "3", "-workers", "4", "-sparse"},
+			golden: "golden_sparse.txt",
+		},
+		{
+			name:   "rare-event",
+			args:   []string{"-scenario", "safety-grade", "-seed", "2", "-reps", "10000", "-rare"},
+			golden: "golden_rare.txt",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			var out strings.Builder
+			if err := run(context.Background(), tc.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output diverged from pre-refactor golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, out.String(), want)
+			}
+		})
+	}
+}

@@ -48,10 +48,11 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	flags := flag.NewFlagSet("mcsim", flag.ContinueOnError)
 	modelPath := flags.String("model", "", "path to a model JSON file (\"-\" for stdin)")
-	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade | million-faults")
+	scenarioName := flags.String("scenario", "", "named scenario: safety-grade | many-small-faults | commercial-grade | n-version-pool | million-faults")
 	reps := flags.Int("reps", 100000, "number of replications")
 	versions := flags.Int("versions", 2, "versions per replication")
 	archName := flags.String("arch", "1oom", "system architecture: 1oom | majority")
+	adjName := flags.String("adjudicator", "", "voting rule: 1oon | majority | KooN (e.g. 2oo3), optionally @pfd for an imperfect adjudication stage (e.g. 2oo3@1e-4); overrides -arch")
 	workers := flags.Int("workers", 0, "worker goroutines (0 = all cores)")
 	seed := flags.Uint64("seed", 1, "random seed")
 	correlation := flags.Float64("correlation", 0, "common-cause probability (0 = the paper's independent model)")
@@ -77,6 +78,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// -adjudicator generalises -arch: when set, the spec carries the
+	// adjudicator alone (the engine rejects specs setting both) and the
+	// report is driven by the parsed rule.
+	var adj system.Adjudicator
+	specArch := *archName
+	if *adjName != "" {
+		if adj, err = system.ParseAdjudicator(*adjName); err != nil {
+			return err
+		}
+		if err := adj.Validate(*versions); err != nil {
+			return err
+		}
+		specArch = ""
+	}
 	if *correlation < 0 || *correlation > 1 {
 		return fmt.Errorf("correlation %v must be a probability", *correlation)
 	}
@@ -98,12 +113,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	if *rare {
 		res, err := eng.Run(ctx, engine.NewRareEventJob(engine.RareEventSpec{
-			Model:      model,
-			Versions:   *versions,
-			Reps:       *reps,
-			Seed:       *seed,
-			TiltTarget: 0.3,
-			Sparse:     *sparse,
+			Model:       model,
+			Versions:    *versions,
+			Reps:        *reps,
+			Seed:        *seed,
+			TiltTarget:  0.3,
+			Sparse:      *sparse,
+			Adjudicator: *adjName,
 		}))
 		if err != nil {
 			return err
@@ -111,7 +127,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if *progress {
 			cliutil.ReportJob(os.Stderr, res)
 		}
-		if err := renderRare(out, res, *versions, *reps); err != nil {
+		if err := renderRare(out, res, *versions, *reps, adj); err != nil {
 			return err
 		}
 		return tel.Flush()
@@ -120,7 +136,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	res, err := eng.Run(ctx, engine.NewMonteCarloJob(engine.MonteCarloSpec{
 		Model:       model,
 		Versions:    *versions,
-		Arch:        *archName,
+		Arch:        specArch,
+		Adjudicator: *adjName,
 		Reps:        *reps,
 		Workers:     *workers,
 		Seed:        *seed,
@@ -135,15 +152,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *progress {
 		cliutil.ReportJob(os.Stderr, res)
 	}
-	if err := renderSimulation(out, res, *versions, *reps, arch); err != nil {
+	if err := renderSimulation(out, res, *versions, *reps, arch, adj); err != nil {
 		return err
 	}
 	return tel.Flush()
 }
 
 // renderSimulation prints the simulated PFD populations next to the
-// model's analytic predictions.
-func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, arch system.Architecture) error {
+// model's analytic predictions. A nil adj renders the legacy arch-driven
+// report byte for byte; a non-nil adj labels the run with the rule's
+// canonical name and fills the model columns from the generalised k-of-N
+// closed forms.
+func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, arch system.Architecture, adj system.Adjudicator) error {
 	fs, name, res := eres.FaultSet, eres.ModelName, eres.MonteCarlo
 	if name == "" {
 		name = "unnamed model"
@@ -155,8 +175,12 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 	if res.Sparse {
 		mode += ", sparse kernel"
 	}
+	adjLabel := arch.String()
+	if adj != nil {
+		adjLabel = adj.Name()
+	}
 	fmt.Fprintf(out, "Model: %s — %d replications of %d versions (%s adjudication%s)\n\n",
-		name, reps, versions, arch, mode)
+		name, reps, versions, adjLabel, mode)
 
 	// The summary helpers serve both aggregation modes: exact sample
 	// statistics for buffered runs, histogram-resolution quantiles for
@@ -183,7 +207,16 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 		return err
 	}
 	modelMu2, modelSigma2 := "n/a", "n/a"
-	if versions >= 1 && arch == system.Arch1OutOfM {
+	switch {
+	case adj != nil:
+		// The generalised closed form covers every rule; the second moment
+		// has no k-of-N closed form here, so the sigma column stays n/a.
+		mu, err := system.MeanSystemPFD(fs, adj, versions)
+		if err != nil {
+			return err
+		}
+		modelMu2 = report.Fmt(mu)
+	case versions >= 1 && arch == system.Arch1OutOfM:
 		mu, err := fs.MeanPFD(versions)
 		if err != nil {
 			return err
@@ -221,7 +254,14 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 		return err
 	}
 	modelSys := "n/a"
-	if arch == system.Arch1OutOfM {
+	switch {
+	case adj != nil:
+		pAny, err := system.PAnySystemFault(fs, adj, versions)
+		if err != nil {
+			return err
+		}
+		modelSys = report.Fmt(1 - pAny)
+	case arch == system.Arch1OutOfM:
 		v, err := fs.PNoFault(versions)
 		if err != nil {
 			return err
@@ -242,7 +282,7 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 
 	if ratio, err := res.RiskRatio(); err == nil {
 		fmt.Fprintf(out, "\nEmpirical risk ratio P(N_sys>0)/P(N1>0) = %s", report.Fmt(ratio))
-		if modelRatio, err := fs.RiskRatio(); err == nil && arch == system.Arch1OutOfM && versions == 2 {
+		if modelRatio, err := fs.RiskRatio(); err == nil && adj == nil && arch == system.Arch1OutOfM && versions == 2 {
 			fmt.Fprintf(out, " (model eq (10): %s)", report.Fmt(modelRatio))
 		}
 		fmt.Fprintln(out)
@@ -251,13 +291,19 @@ func renderSimulation(out io.Writer, eres *engine.Result, versions, reps int, ar
 }
 
 // renderRare prints the importance-sampled estimate against the naive
-// estimator and the closed form.
-func renderRare(out io.Writer, eres *engine.Result, versions, reps int) error {
+// estimator and the closed form. A nil adj keeps the legacy 1-out-of-N
+// header; an adjudicated run names its rule.
+func renderRare(out io.Writer, eres *engine.Result, versions, reps int, adj system.Adjudicator) error {
 	name, re := eres.ModelName, eres.RareEvent
 	if name == "" {
 		name = "unnamed model"
 	}
-	fmt.Fprintf(out, "Model: %s — rare-event estimation of P(N_%d > 0) over %d replications\n\n", name, versions, reps)
+	if adj != nil {
+		fmt.Fprintf(out, "Model: %s — rare-event estimation of P(any %s-defeating fault in %d versions) over %d replications\n\n",
+			name, adj.Name(), versions, reps)
+	} else {
+		fmt.Fprintf(out, "Model: %s — rare-event estimation of P(N_%d > 0) over %d replications\n\n", name, versions, reps)
+	}
 	tbl, err := report.NewTable("P(system carries any defeating fault)",
 		"method", "estimate", "std err", "hit fraction")
 	if err != nil {

@@ -124,6 +124,52 @@ const (
 	ArchMajority = system.ArchMajority
 )
 
+// Adjudicator types, re-exported. An Adjudicator is a pluggable voting
+// rule over an N-version pool — the generalisation of the fixed
+// Architecture enum. MonteCarloConfig.Adjudicator, the engine job specs'
+// adjudicator strings, and the closed-form helpers below all accept them.
+type (
+	// Adjudicator is a voting rule combining N version outputs.
+	Adjudicator = system.Adjudicator
+	// OneOutOfN is the paper's parallel/OR arrangement over N versions.
+	OneOutOfN = system.OneOutOfN
+	// MajorityVote is strict-majority N-version voting.
+	MajorityVote = system.MajorityVote
+	// KOutOfN is the general k-of-N arrangement with a pinned pool size.
+	KOutOfN = system.KOutOfN
+	// ImperfectAdjudicator wraps a voting rule with a failing
+	// adjudication stage of the given per-demand PFD.
+	ImperfectAdjudicator = system.ImperfectAdjudicator
+	// VersionCountError reports a pool size an adjudicator cannot vote
+	// over (e.g. 2oo3 over 2 versions).
+	VersionCountError = system.VersionCountError
+)
+
+// ParseAdjudicator maps a spec string — "1oon", "majority", "KooN" like
+// "2oo3", each optionally suffixed "@pfd" for an imperfect stage — to its
+// adjudicator.
+func ParseAdjudicator(spec string) (Adjudicator, error) { return system.ParseAdjudicator(spec) }
+
+// MeanSystemPFD returns the adjudicated pool's mean system PFD — the
+// k-of-N generalisation of the paper's equation (1).
+func MeanSystemPFD(fs *FaultSet, adj Adjudicator, n int) (float64, error) {
+	return system.MeanSystemPFD(fs, adj, n)
+}
+
+// PAnySystemFault returns the probability that an adjudicated N-version
+// pool carries at least one defeating fault — the k-of-N generalisation
+// of the Section-4 risk P(N_m > 0).
+func PAnySystemFault(fs *FaultSet, adj Adjudicator, n int) (float64, error) {
+	return system.PAnySystemFault(fs, adj, n)
+}
+
+// DefeatProbability returns the probability that a fault with presence
+// probability p defeats the software stage of an n-version pool under the
+// rule: the binomial tail above the rule's defeat threshold.
+func DefeatProbability(adj Adjudicator, n int, p float64) float64 {
+	return system.DefeatProbability(adj, n, p)
+}
+
 // New returns a FaultSet over the given potential faults. See
 // faultmodel.New for the validation rules.
 func New(faults []Fault) (*FaultSet, error) { return faultmodel.New(faults) }
@@ -223,4 +269,8 @@ var (
 	// regime the sparse Monte-Carlo kernel (MonteCarloConfig.Sparse) is
 	// built for.
 	LargeUniverseScenario = scenario.LargeUniverse
+	// NVersionPoolScenario realises the failure-correlation regime of
+	// LLM-generated N-version pools: a few shared blind-spot faults next
+	// to a variant-specific tail, for adjudicated pool studies.
+	NVersionPoolScenario = scenario.NVersionPool
 )

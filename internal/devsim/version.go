@@ -77,22 +77,44 @@ func (v *Version) FaultCount() int { return v.count }
 // NumPotential returns the size of the underlying potential-fault universe.
 func (v *Version) NumPotential() int { return v.mask.Len() }
 
-// CommonPFD returns the PFD of the 1-out-of-2 system built from versions a
-// and b: the summed q_i of faults present in both (the intersection of
-// failure regions, paper Section 2.1). The intersection is found by
-// word-wise AND over the packed masks, walking only the set bits of each
-// nonzero word; the q_i sum still runs in ascending fault order, so
+// checkUniverses verifies every version was developed against the same
+// fault universe size as fs.
+func checkUniverses(fs *faultmodel.FaultSet, versions []*Version) error {
+	if len(versions) == 0 {
+		return fmt.Errorf("devsim: at least one version is required")
+	}
+	for i, v := range versions {
+		if v.mask.Len() != fs.N() {
+			return fmt.Errorf("devsim: mismatched fault universes: version %d has %d faults, set has %d",
+				i, v.mask.Len(), fs.N())
+		}
+	}
+	return nil
+}
+
+// CommonPFD returns the PFD of the 1-out-of-N system built from the given
+// versions: the summed q_i of faults present in every version (the
+// intersection of failure regions, paper Section 2.1, with the pair m = 2
+// as the paper's case). The intersection is found by word-wise AND across
+// all N packed masks, walking only the set bits of each nonzero
+// intersection word; the q_i sum still runs in ascending fault order, so
 // results are bitwise identical to the historical []bool loop. It returns
-// an error if the versions were developed against different-sized fault
-// universes or a different fault set size than fs.
-func CommonPFD(fs *faultmodel.FaultSet, a, b *Version) (float64, error) {
-	if a.mask.Len() != b.mask.Len() || a.mask.Len() != fs.N() {
-		return 0, fmt.Errorf("devsim: mismatched fault universes: versions have %d and %d faults, set has %d",
-			a.mask.Len(), b.mask.Len(), fs.N())
+// an error if no versions are given or any version was developed against
+// a different fault universe size than fs.
+func CommonPFD(fs *faultmodel.FaultSet, versions ...*Version) (float64, error) {
+	if err := checkUniverses(fs, versions); err != nil {
+		return 0, err
 	}
 	sum := 0.0
-	for w := 0; w < a.mask.NumWords(); w++ {
-		x := a.mask.Word(w) & b.mask.Word(w)
+	first := versions[0]
+	for w := 0; w < first.mask.NumWords(); w++ {
+		x := first.mask.Word(w)
+		for _, v := range versions[1:] {
+			x &= v.mask.Word(w)
+			if x == 0 {
+				break
+			}
+		}
 		for x != 0 {
 			sum += fs.Fault(w<<6 + bits.TrailingZeros64(x)).Q
 			x &= x - 1
@@ -101,17 +123,24 @@ func CommonPFD(fs *faultmodel.FaultSet, a, b *Version) (float64, error) {
 	return sum, nil
 }
 
-// CommonFaultCount returns the number of faults shared by both versions,
-// by word-wise AND + popcount over the packed masks. It returns an error
-// under the same conditions as CommonPFD.
-func CommonFaultCount(fs *faultmodel.FaultSet, a, b *Version) (int, error) {
-	if a.mask.Len() != b.mask.Len() || a.mask.Len() != fs.N() {
-		return 0, fmt.Errorf("devsim: mismatched fault universes: versions have %d and %d faults, set has %d",
-			a.mask.Len(), b.mask.Len(), fs.N())
+// CommonFaultCount returns the number of faults shared by all the given
+// versions, by word-wise AND + popcount across the packed masks. It
+// returns an error under the same conditions as CommonPFD.
+func CommonFaultCount(fs *faultmodel.FaultSet, versions ...*Version) (int, error) {
+	if err := checkUniverses(fs, versions); err != nil {
+		return 0, err
 	}
 	count := 0
-	for w := 0; w < a.mask.NumWords(); w++ {
-		count += bits.OnesCount64(a.mask.Word(w) & b.mask.Word(w))
+	first := versions[0]
+	for w := 0; w < first.mask.NumWords(); w++ {
+		x := first.mask.Word(w)
+		for _, v := range versions[1:] {
+			x &= v.mask.Word(w)
+			if x == 0 {
+				break
+			}
+		}
+		count += bits.OnesCount64(x)
 	}
 	return count, nil
 }

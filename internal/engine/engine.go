@@ -11,6 +11,7 @@ import (
 	"diversity/internal/experiments"
 	"diversity/internal/faultmodel"
 	"diversity/internal/montecarlo"
+	"diversity/internal/system"
 	"diversity/internal/telemetry"
 )
 
@@ -357,9 +358,9 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 	if err != nil {
 		return nil, err
 	}
-	arch, err := ParseArch(spec.Arch)
+	adj, err := ResolveAdjudicator(spec.Arch, spec.Adjudicator, spec.Versions)
 	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+		return nil, err
 	}
 	var proc devsim.Process
 	if spec.Correlation > 0 {
@@ -376,14 +377,14 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 		defer repSpan.End()
 	}
 	mc, err := montecarlo.RunContext(ctx, montecarlo.Config{
-		Process:   proc,
-		Versions:  spec.Versions,
-		Arch:      arch,
-		Reps:      spec.Reps,
-		Workers:   spec.Workers,
-		Seed:      spec.Seed,
-		Streaming: spec.Streaming,
-		Sparse:    spec.Sparse,
+		Process:     proc,
+		Versions:    spec.Versions,
+		Adjudicator: adj,
+		Reps:        spec.Reps,
+		Workers:     spec.Workers,
+		Seed:        spec.Seed,
+		Streaming:   spec.Streaming,
+		Sparse:      spec.Sparse,
 		Progress: func(done, total int) {
 			emit(Progress{Stage: "replications", Done: done, Total: total})
 		},
@@ -399,13 +400,14 @@ func (e *Engine) runMonteCarlo(ctx context.Context, spec *MonteCarloSpec, span *
 // rareStageOpts builds estimator options that forward intermediate Done
 // counts for the named stage: rare-event stages report at context-check
 // granularity, not just a leading Done: 0.
-func (e *Engine) rareStageOpts(name string, sparse bool, emit func(Progress)) montecarlo.RareOptions {
+func (e *Engine) rareStageOpts(name string, sparse bool, adj system.Adjudicator, emit func(Progress)) montecarlo.RareOptions {
 	return montecarlo.RareOptions{
 		Progress: func(done, total int) {
 			emit(Progress{Stage: name, Done: done, Total: total})
 		},
-		Metrics: e.tele,
-		Sparse:  sparse,
+		Metrics:     e.tele,
+		Sparse:      sparse,
+		Adjudicator: adj,
 	}
 }
 
@@ -414,18 +416,30 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 	if err != nil {
 		return nil, err
 	}
-	truth, err := fs.PAnyFault(spec.Versions)
+	adj, err := ResolveAdjudicator("", spec.Adjudicator, spec.Versions)
+	if err != nil {
+		return nil, err
+	}
+	// The legacy closed form stays on fs.PAnyFault so unadjudicated specs
+	// keep their exact historical floats; adjudicated specs take the
+	// general defeat-probability product.
+	var truth float64
+	if spec.Adjudicator == "" {
+		truth, err = fs.PAnyFault(spec.Versions)
+	} else {
+		truth, err = system.PAnySystemFault(fs, adj, spec.Versions)
+	}
 	if err != nil {
 		return nil, err
 	}
 	endIS := stage(span, "importance sampling")
-	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling", spec.Sparse, emit))
+	is, err := montecarlo.EstimateRareSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, spec.TiltTarget, e.rareStageOpts("importance sampling", spec.Sparse, adj, emit))
 	endIS()
 	if err != nil {
 		return nil, err
 	}
 	endNaive := stage(span, "naive Monte Carlo")
-	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo", spec.Sparse, emit))
+	naive, err := montecarlo.EstimateNaiveSystemFaultOpts(ctx, fs, spec.Versions, spec.Reps, spec.Seed, e.rareStageOpts("naive Monte Carlo", spec.Sparse, adj, emit))
 	endNaive()
 	if err != nil {
 		return nil, err
@@ -439,6 +453,13 @@ func (e *Engine) runRareEvent(ctx context.Context, spec *RareEventSpec, span *te
 
 func (e *Engine) runExperiments(ctx context.Context, spec *ExperimentsSpec, span *telemetry.Span, emit func(Progress)) (*Result, error) {
 	cfg := experiments.Config{Seed: spec.Seed, Quick: spec.Quick, Streaming: spec.Streaming, Sparse: spec.Sparse, Metrics: e.tele}
+	if spec.Adjudicator != "" {
+		adj, err := ResolveAdjudicator("", spec.Adjudicator, spec.Versions)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Versions, cfg.Adjudicator = spec.Versions, adj
+	}
 	results := make([]*experiments.Result, 0, len(spec.IDs))
 	for i, id := range spec.IDs {
 		emit(Progress{Stage: id, Done: i, Total: len(spec.IDs)})

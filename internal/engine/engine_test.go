@@ -321,13 +321,21 @@ func TestHashNormalisation(t *testing.T) {
 		t.Error("default tilt target and explicit 0.3 hash differently")
 	}
 
-	arch := base
+	// Majority needs a pool of at least 3, so the architecture comparison
+	// runs at a fixed valid pool size: only the voting rule differs.
+	base3 := base
+	base3.Versions = 3
+	h1oom, err := NewMonteCarloJob(base3).Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	arch := base3
 	arch.Arch = "majority"
 	h3, err := NewMonteCarloJob(arch).Hash()
 	if err != nil {
 		t.Fatalf("Hash: %v", err)
 	}
-	if h3 == h1 {
+	if h3 == h1oom {
 		t.Error("different architectures hash identically")
 	}
 }

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"diversity/internal/faultmodel"
+)
+
+// legacySpecs enumerates job specs exactly as a pre-N-version client would
+// have written them: two-version systems with the legacy Arch field (or its
+// default), no adjudicator. Their canonical hashes — and hence cache keys
+// and job-<hash16> IDs — are pinned below; the N-version generalisation
+// must never move them, or every persisted job ID and warm cache entry
+// from an older client silently misses.
+func legacySpecs() map[string]Job {
+	inline := []faultmodel.Fault{{P: 0.3, Q: 0.05}, {P: 0.2, Q: 0.08}}
+	return map[string]Job{
+		"mc-scenario-default-arch": NewMonteCarloJob(MonteCarloSpec{
+			Model:    ModelSpec{Scenario: "commercial-grade", ScenarioSeed: 1},
+			Versions: 2, Reps: 200000, Workers: 4, Seed: 1,
+		}),
+		"mc-majority": NewMonteCarloJob(MonteCarloSpec{
+			Model:    ModelSpec{Scenario: "safety-grade", ScenarioSeed: 1},
+			Versions: 3, Arch: "majority", Reps: 50000, Workers: 2, Seed: 7,
+		}),
+		"mc-inline-stream-sparse": NewMonteCarloJob(MonteCarloSpec{
+			Model:    ModelSpec{Faults: inline, Name: "inline"},
+			Versions: 2, Reps: 10000, Workers: 1, Seed: 3,
+			Streaming: true, Sparse: true,
+		}),
+		"rare-event": NewRareEventJob(RareEventSpec{
+			Model:    ModelSpec{Scenario: "safety-grade", ScenarioSeed: 2},
+			Versions: 2, Reps: 100000, Seed: 5,
+		}),
+		"experiments": NewExperimentsJob(ExperimentsSpec{
+			IDs: []string{"E19"}, Seed: 1, Quick: true,
+		}),
+		"analytic": NewAnalyticJob(AnalyticSpec{
+			Model: ModelSpec{Scenario: "many-small-faults", ScenarioSeed: 1},
+			K:     1.5, Confidence: 0.99,
+		}),
+	}
+}
+
+// legacyHashes pins the canonical hash of each legacy spec as computed
+// before the adjudicator refactor (PR 6). Regenerate deliberately — only
+// with a hashDomain bump — via: go test ./internal/engine -run
+// TestLegacySpecHashContract -v (the failure message prints got hashes).
+var legacyHashes = map[string]string{
+	"mc-scenario-default-arch": "662cd2187008ccdfa129394362bd43a9b1cf624774bbbed0c534358a014358d0",
+	"mc-majority":              "c62592657dd9e1d62dfb9ae73c2c93ad2269747d813c7ffd7f097714735b5b40",
+	"mc-inline-stream-sparse":  "16bd864d20dd27111eacf92ee15e6b3d96ec5ad563af3d6efdbc8f4cbe25d1f1",
+	"rare-event":               "14bd24e7f3eb92eb953ee298f169425162dfd151bf1f46b160378c8910b8ba3b",
+	"experiments":              "2004916be9229de8e5e1648bfad6bf73d616be406365084c0b5a53a7957a17bf",
+	"analytic":                 "262341d4761f57a12b268e24d1c4db0fb599c1cb02857dddb7036b9ee45dc967",
+}
+
+// TestLegacySpecHashContract proves that pre-refactor 1oo2 (and legacy
+// Arch-field) specs hash — and therefore cache-key and job-ID — identically
+// after the N-version generalisation.
+func TestLegacySpecHashContract(t *testing.T) {
+	for name, job := range legacySpecs() {
+		got, err := job.Hash()
+		if err != nil {
+			t.Errorf("%s: Hash: %v", name, err)
+			continue
+		}
+		if want := legacyHashes[name]; got != want {
+			t.Errorf("%s: hash drifted:\n got  %s\n want %s", name, got, want)
+		}
+	}
+}

@@ -116,9 +116,16 @@ type MonteCarloSpec struct {
 	Model ModelSpec `json:"model"`
 	// Versions is the number of versions per replication.
 	Versions int `json:"versions"`
-	// Arch is the adjudication architecture: "1oom" (default) or
-	// "majority".
+	// Arch is the legacy adjudication architecture: "1oom" (default) or
+	// "majority". Ignored unless Adjudicator is empty.
 	Arch string `json:"arch,omitempty"`
+	// Adjudicator selects the voting rule by spec string — "1oon",
+	// "majority", or k-of-N forms like "2oo3", any with an optional
+	// "@pfd" imperfect-stage suffix (system.ParseAdjudicator). Empty
+	// falls back to Arch; the omitempty encoding keeps every pre-existing
+	// job hash and cache key unchanged. Setting both Arch and Adjudicator
+	// is a validation error.
+	Adjudicator string `json:"adjudicator,omitempty"`
 	// Reps is the number of replications; Workers the number of worker
 	// goroutines (0 = all cores; normalised before hashing because the
 	// shard split affects the sampled streams).
@@ -156,6 +163,11 @@ type RareEventSpec struct {
 	// (montecarlo RareOptions.Sparse); omitempty keeps dense-job hashes
 	// stable.
 	Sparse bool `json:"sparse,omitempty"`
+	// Adjudicator selects the voting rule whose defeating faults the
+	// estimators count (system.ParseAdjudicator spec string). Empty means
+	// 1-out-of-m, bit for bit the historical estimator; omitempty keeps
+	// pre-existing job hashes unchanged.
+	Adjudicator string `json:"adjudicator,omitempty"`
 }
 
 // ExperimentsSpec parameterises a paper-experiment suite job.
@@ -172,6 +184,13 @@ type ExperimentsSpec struct {
 	// Sparse runs the suite's Monte-Carlo passes with the geometric
 	// skip-sampling kernel; omitempty keeps dense-job hashes unchanged.
 	Sparse bool `json:"sparse,omitempty"`
+	// Versions and Adjudicator, when set together, ask the N-version
+	// experiments (E19) to evaluate one extra arrangement: an N-version
+	// pool under the given voting rule, closed form against Monte Carlo.
+	// Both omitempty, keeping pre-existing job hashes unchanged; setting
+	// one without the other is a validation error.
+	Versions    int    `json:"versions,omitempty"`
+	Adjudicator string `json:"adjudicator,omitempty"`
 }
 
 // AnalyticSpec parameterises an assessor-report job.
@@ -227,6 +246,36 @@ func ParseArch(name string) (system.Architecture, error) {
 	}
 }
 
+// ResolveAdjudicator resolves a spec's voting rule from its adjudicator
+// string (taking precedence) or its legacy arch name, and validates the
+// rule against the version count — a 2oo3 rule over 2 versions fails here
+// with a system.*VersionCountError, which the serve layer surfaces as
+// HTTP 400. Setting both arch and adjudicator is an error.
+func ResolveAdjudicator(arch, adjudicator string, versions int) (system.Adjudicator, error) {
+	if arch != "" && adjudicator != "" {
+		return nil, fmt.Errorf("engine: set either arch %q or adjudicator %q, not both", arch, adjudicator)
+	}
+	var adj system.Adjudicator
+	if adjudicator != "" {
+		var err error
+		if adj, err = system.ParseAdjudicator(adjudicator); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	} else {
+		a, err := ParseArch(arch)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		if adj, err = a.Adjudicator(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	if err := adj.Validate(versions); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return adj, nil
+}
+
 // Validate checks that the job carries exactly the spec its kind requires
 // and that the spec's parameters are executable. It mirrors the checks the
 // underlying run paths perform, so invalid jobs fail before any work (and
@@ -259,8 +308,8 @@ func (j Job) Validate() error {
 		if spec.Workers < 0 {
 			return fmt.Errorf("engine: worker count %d must not be negative", spec.Workers)
 		}
-		if _, err := ParseArch(spec.Arch); err != nil {
-			return fmt.Errorf("engine: %w", err)
+		if _, err := ResolveAdjudicator(spec.Arch, spec.Adjudicator, spec.Versions); err != nil {
+			return err
 		}
 		if spec.Correlation < 0 || spec.Correlation > 1 {
 			return fmt.Errorf("engine: correlation %v must be a probability", spec.Correlation)
@@ -282,9 +331,21 @@ func (j Job) Validate() error {
 		if spec.TiltTarget < 0 || spec.TiltTarget >= 1 {
 			return fmt.Errorf("engine: tilt target %v must be in [0, 1)", spec.TiltTarget)
 		}
+		if _, err := ResolveAdjudicator("", spec.Adjudicator, spec.Versions); err != nil {
+			return err
+		}
 	case JobExperiments:
-		if j.Experiments == nil {
+		spec := j.Experiments
+		if spec == nil {
 			return fmt.Errorf("engine: %s job is missing its spec", j.Kind)
+		}
+		if (spec.Versions != 0) != (spec.Adjudicator != "") {
+			return fmt.Errorf("engine: experiments versions (%d) and adjudicator (%q) must be set together", spec.Versions, spec.Adjudicator)
+		}
+		if spec.Adjudicator != "" {
+			if _, err := ResolveAdjudicator("", spec.Adjudicator, spec.Versions); err != nil {
+				return err
+			}
 		}
 	case JobAnalytic:
 		spec := j.Analytic
@@ -320,7 +381,13 @@ func (j Job) normalized() Job {
 		if spec.Workers > spec.Reps {
 			spec.Workers = spec.Reps
 		}
-		if spec.Arch == "" {
+		// The explicit-arch normalisation predates adjudicators; it only
+		// applies when the legacy field is in play. An adjudicator spec
+		// must NOT have an arch filled in (the pair would fail validation),
+		// and the Adjudicator field itself is never normalised — unset
+		// stays unset, keeping every legacy 1oo2 hash and cache key
+		// byte-identical.
+		if spec.Arch == "" && spec.Adjudicator == "" {
 			spec.Arch = "1oom"
 		}
 		if spec.Correlation == 0 {

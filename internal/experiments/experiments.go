@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"diversity/internal/system"
 	"diversity/internal/telemetry"
 )
 
@@ -36,6 +37,13 @@ type Config struct {
 	// measured columns shift within Monte-Carlo error while every
 	// model-derived column is unchanged.
 	Sparse bool
+	// Versions and Adjudicator, when set together, ask the adjudicated
+	// experiments (E19) to evaluate one extra arrangement — the requested
+	// pool size under the requested voting rule — next to their standard
+	// rows. Left zero/nil, every experiment's output is byte-identical to
+	// the pair-shaped suite.
+	Versions    int
+	Adjudicator system.Adjudicator
 	// Metrics, when non-nil, receives per-experiment wall time: the
 	// aggregate histogram "experiments.wall_time_seconds" and one gauge
 	// "experiments.wall_time_seconds.<ID>" per experiment. Metrics does

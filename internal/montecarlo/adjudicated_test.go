@@ -1,0 +1,163 @@
+package montecarlo
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+	"diversity/internal/stats"
+	"diversity/internal/system"
+)
+
+// TestClosedFormWithinConfidenceInterval is the refactor's acceptance
+// check: on the paper-style 4-fault universe, the generalised k-of-N
+// closed-form mean (system.MeanSystemPFD, the E19 extension of equation 1)
+// must fall inside the simulated mean's confidence interval for the 1oo2
+// pair, the 1oo3 triple, and the 2oo3 majority arrangement — on both the
+// buffered and the streaming/sparse-capable paths.
+func TestClosedFormWithinConfidenceInterval(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.3, Q: 0.05}, {P: 0.2, Q: 0.08}, {P: 0.15, Q: 0.04}, {P: 0.1, Q: 0.06},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	proc := devsim.NewIndependentProcess(fs)
+	const reps = 120000
+	cases := []struct {
+		name     string
+		versions int
+		adj      system.Adjudicator
+	}{
+		{"1oo2", 2, system.OneOutOfN{}},
+		{"1oo3", 3, system.OneOutOfN{}},
+		{"2oo3", 3, system.KOutOfN{K: 2, N: 3}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := system.MeanSystemPFD(fs, tc.adj, tc.versions)
+			if err != nil {
+				t.Fatalf("MeanSystemPFD: %v", err)
+			}
+			for _, streaming := range []bool{false, true} {
+				res, err := RunContext(context.Background(), Config{
+					Process:     proc,
+					Versions:    tc.versions,
+					Adjudicator: tc.adj,
+					Reps:        reps,
+					Workers:     2,
+					Seed:        11,
+					Streaming:   streaming,
+				})
+				if err != nil {
+					t.Fatalf("RunContext(streaming=%v): %v", streaming, err)
+				}
+				sum, err := res.SystemSummary()
+				if err != nil {
+					t.Fatalf("SystemSummary: %v", err)
+				}
+				// 4-sigma band on the mean: a false failure is a ~1-in-16000
+				// event, and a real closed-form error of any practical size
+				// is hundreds of standard errors wide at 120k replications.
+				stderr := sum.StdDev / math.Sqrt(float64(reps))
+				if math.Abs(sum.Mean-want) > 4*stderr {
+					t.Errorf("streaming=%v: MC mean %v outside closed form %v ± 4·%v",
+						streaming, sum.Mean, want, stderr)
+				}
+				if res.Versions != tc.versions || res.Adjudicator != tc.adj.Name() {
+					t.Errorf("result pool = %d/%q, want %d/%q",
+						res.Versions, res.Adjudicator, tc.versions, tc.adj.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestAdjudicatorPathsAgree: the buffered, streaming, and sparse kernels
+// must produce the identical per-replication system-PFD sequence for an
+// adjudicated pool at a fixed seed (same variate stream, same adjudication
+// threshold), mirroring the 1oo2 cross-path guarantees.
+func TestAdjudicatorPathsAgree(t *testing.T) {
+	t.Parallel()
+
+	fs, err := faultmodel.New([]faultmodel.Fault{
+		{P: 0.3, Q: 0.05}, {P: 0.2, Q: 0.08}, {P: 0.15, Q: 0.04}, {P: 0.1, Q: 0.06},
+	})
+	if err != nil {
+		t.Fatalf("faultmodel.New: %v", err)
+	}
+	proc := devsim.NewIndependentProcess(fs)
+	// One worker: buffered and streaming then aggregate in the same
+	// replication order, so their moments must agree bit for bit.
+	base := Config{
+		Process:     proc,
+		Versions:    3,
+		Adjudicator: system.KOutOfN{K: 2, N: 3},
+		Reps:        20000,
+		Workers:     1,
+		Seed:        23,
+	}
+	buffered, err := RunContext(context.Background(), base)
+	if err != nil {
+		t.Fatalf("buffered: %v", err)
+	}
+	bufSum, err := buffered.SystemSummary()
+	if err != nil {
+		t.Fatalf("SystemSummary: %v", err)
+	}
+	bufMean := bufSum.Mean
+	// The buffered run also keeps the raw population; its plain mean must
+	// agree with the summary to float tolerance.
+	plainMean, err := stats.Mean(buffered.SystemPFD)
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if math.Abs(plainMean-bufMean) > 1e-12 {
+		t.Errorf("summary mean %v vs plain mean %v diverged beyond tolerance", bufMean, plainMean)
+	}
+
+	streamCfg := base
+	streamCfg.Streaming = true
+	streamed, err := RunContext(context.Background(), streamCfg)
+	if err != nil {
+		t.Fatalf("streaming: %v", err)
+	}
+	streamSum, err := streamed.SystemSummary()
+	if err != nil {
+		t.Fatalf("SystemSummary: %v", err)
+	}
+	if streamSum.Mean != bufMean {
+		t.Errorf("streaming mean %v != buffered mean %v (same seed, same threshold)", streamSum.Mean, bufMean)
+	}
+	if streamed.SystemFaultFree != buffered.SystemFaultFree {
+		t.Errorf("streaming fault-free %d != buffered %d", streamed.SystemFaultFree, buffered.SystemFaultFree)
+	}
+
+	// The sparse kernel draws a different variate sequence by design, so
+	// only distribution-level agreement is required: its mean must sit
+	// within a few standard errors of the buffered estimate.
+	sparseCfg := base
+	sparseCfg.Streaming = true
+	sparseCfg.Sparse = true
+	sparse, err := RunContext(context.Background(), sparseCfg)
+	if err != nil {
+		t.Fatalf("sparse: %v", err)
+	}
+	if !sparse.Sparse {
+		t.Fatal("sparse run fell back to the dense kernel")
+	}
+	sparseSum, err := sparse.SystemSummary()
+	if err != nil {
+		t.Fatalf("SystemSummary: %v", err)
+	}
+	stderr := sparseSum.StdDev / math.Sqrt(float64(base.Reps))
+	if math.Abs(sparseSum.Mean-bufMean) > 5*stderr {
+		t.Errorf("sparse mean %v too far from buffered %v (stderr %v)", sparseSum.Mean, bufMean, stderr)
+	}
+}

@@ -51,8 +51,12 @@ type Config struct {
 	// system has 2). Must be at least 1.
 	Versions int
 	// Arch combines the versions into a system. Defaults to
-	// system.Arch1OutOfM when zero.
+	// system.Arch1OutOfM when zero. Ignored when Adjudicator is set.
 	Arch system.Architecture
+	// Adjudicator, when non-nil, selects the voting rule combining the
+	// versions into a system — any system.Adjudicator, including k-of-N
+	// rules the Arch enum cannot express. Nil falls back to Arch.
+	Adjudicator system.Adjudicator
 	// Reps is the number of replications. Must be at least 1.
 	Reps int
 	// Workers is the number of worker goroutines. Zero means
@@ -103,6 +107,11 @@ type Config struct {
 type Result struct {
 	// Reps is the number of completed replications.
 	Reps int
+	// Versions is the number of versions each replication developed.
+	Versions int
+	// Adjudicator is the canonical name of the voting rule the run
+	// adjudicated systems with ("1oon", "majority", "2oo3", ...).
+	Adjudicator string
 	// Streaming reports which aggregation mode produced the result:
 	// buffered runs fill VersionPFD/SystemPFD, streaming runs fill
 	// VersionAgg/SystemAgg.
@@ -197,9 +206,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Reps < 1 {
 		return nil, fmt.Errorf("montecarlo: replication count %d must be at least 1", cfg.Reps)
 	}
-	arch := cfg.Arch
-	if arch == 0 {
-		arch = system.Arch1OutOfM
+	adj := cfg.Adjudicator
+	if adj == nil {
+		arch := cfg.Arch
+		if arch == 0 {
+			arch = system.Arch1OutOfM
+		}
+		var err error
+		if adj, err = arch.Adjudicator(); err != nil {
+			return nil, fmt.Errorf("montecarlo: %w", err)
+		}
+	}
+	if err := adj.Validate(cfg.Versions); err != nil {
+		return nil, fmt.Errorf("montecarlo: %w", err)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -212,10 +231,6 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("montecarlo: run cancelled before start: %w", err)
 	}
 
-	if (cfg.Streaming || cfg.Sparse) && arch != system.Arch1OutOfM && arch != system.ArchMajority {
-		return nil, fmt.Errorf("montecarlo: unknown architecture %d", int(arch))
-	}
-
 	// The sparse kernel needs the SparseDeveloper extension; without it
 	// the run falls back to the dense path (mirroring the streaming
 	// mode's MaskDeveloper fallback).
@@ -225,7 +240,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	fs := cfg.Process.FaultSet()
-	res := &Result{Reps: cfg.Reps, Streaming: cfg.Streaming, Sparse: sparseDev != nil}
+	res := &Result{
+		Reps: cfg.Reps, Versions: cfg.Versions, Adjudicator: adj.Name(),
+		Streaming: cfg.Streaming, Sparse: sparseDev != nil,
+	}
 	var vAggs, sAggs []Agg
 	if cfg.Streaming {
 		vAggs = make([]Agg, workers)
@@ -315,7 +333,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 						}
 						workerSkips[w] += int64(skips)
 						vpfd, vcount := sparsePFD(fs, masks[0])
-						spfd, scount := sparseSystemPFD(fs, arch, masks)
+						spfd, scount := system.BitsetSystemPFD(fs, adj, masks)
 						vAgg.Observe(vpfd)
 						sAgg.Observe(spfd)
 						if vcount == 0 {
@@ -334,7 +352,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 						}
 						workerSkips[w] += int64(skips)
 						vpfd, vcount := sparsePFD(fs, masks[0])
-						spfd, scount := sparseSystemPFD(fs, arch, masks)
+						spfd, scount := system.BitsetSystemPFD(fs, adj, masks)
 						res.VersionPFD[rep] = vpfd
 						res.SystemPFD[rep] = spfd
 						if vcount == 0 {
@@ -358,7 +376,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 							md.DevelopInto(r, mask)
 						}
 						vpfd, vcount := maskPFD(fs, masks[0])
-						spfd, scount := maskSystemPFD(fs, arch, masks)
+						spfd, scount := system.MaskSystemPFD(fs, adj, masks)
 						vAgg.Observe(vpfd)
 						sAgg.Observe(spfd)
 						if vcount == 0 {
@@ -375,7 +393,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 						for i := range versions {
 							versions[i] = cfg.Process.Develop(r)
 						}
-						sys, err := system.New(fs, arch, versions...)
+						sys, err := system.NewVoted(fs, adj, versions...)
 						if err != nil {
 							return err
 						}
@@ -396,7 +414,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					for i := range versions {
 						versions[i] = cfg.Process.Develop(r)
 					}
-					sys, err := system.New(fs, arch, versions...)
+					sys, err := system.NewVoted(fs, adj, versions...)
 					if err != nil {
 						return err
 					}
@@ -443,7 +461,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.Metrics != nil {
 		close(watcherStop)
-		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load(), res.Sparse, res.SparseSkips)
+		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load(), res.Sparse, res.SparseSkips, res.Adjudicator)
 		if cfg.Streaming {
 			cfg.Metrics.Counter("montecarlo.streaming_runs_total").Add(1)
 		}
@@ -482,17 +500,27 @@ func PreRegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("montecarlo.sparse_skips_total")
 	reg.Gauge("montecarlo.replications_per_second.dense")
 	reg.Gauge("montecarlo.replications_per_second.sparse")
+	// Per-adjudicator replication counters for the built-in voting rules;
+	// k-of-N rules appear under their own names after their first run.
+	reg.Counter("montecarlo.replications_total." + system.OneOutOfN{}.Name())
+	reg.Counter("montecarlo.replications_total." + system.MajorityVote{}.Name())
 }
 
-// recordRunMetrics publishes a run's throughput and shard measurements:
+// recordRunMetrics publishes a run's throughput and shard measurements;
+// replications are additionally counted under the run's adjudicator name
+// (montecarlo.replications_total.<adjudicator>), so mixed workloads
+// expose how much simulation each voting rule consumed:
 // replications completed, replications per second over the whole run
 // (both unlabelled and under the kernel-mode suffix .dense/.sparse),
 // shard imbalance ((max-min)/max shard wall time — 0 means perfectly
 // balanced), sparse-kernel skip draws, and, for cancelled runs, the
 // latency between cancellation and the last worker draining.
-func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64, sparse bool, sparseSkips int64) {
+func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64, sparse bool, sparseSkips int64, adjudicator string) {
 	elapsed := time.Since(runStart)
 	reg.Counter("montecarlo.replications_total").Add(completed)
+	if adjudicator != "" {
+		reg.Counter("montecarlo.replications_total." + adjudicator).Add(completed)
+	}
 	mode := "dense"
 	if sparse {
 		mode = "sparse"

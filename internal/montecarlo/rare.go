@@ -9,6 +9,7 @@ import (
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
 	"diversity/internal/stats"
+	"diversity/internal/system"
 	"diversity/internal/telemetry"
 )
 
@@ -35,6 +36,24 @@ type RareOptions struct {
 	// importance weight depends on the indicators only through those
 	// counts.
 	Sparse bool
+	// Adjudicator, when non-nil, selects the voting rule whose defeating
+	// faults the estimators count: each fault's system-level presence
+	// probability becomes its binomial defeat probability
+	// system.DefeatProbability(adj, m, p) instead of the 1-out-of-m
+	// special case p^m. Nil means 1-out-of-m, bit for bit the historical
+	// estimator (the defeat probability reduces to math.Pow(p, m)
+	// exactly).
+	Adjudicator system.Adjudicator
+}
+
+// defeatProb resolves a fault's system-level presence probability under
+// the options' adjudicator: p^m bit for bit when unset.
+func (o RareOptions) defeatProb(m int, p float64) float64 {
+	adj := o.Adjudicator
+	if adj == nil {
+		adj = system.OneOutOfN{}
+	}
+	return system.DefeatProbability(adj, m, p)
 }
 
 func (o RareOptions) report(done, total int) {
@@ -105,12 +124,12 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 	}
 
 	n := fs.N()
-	natural := make([]float64, n) // p_i^m
+	natural := make([]float64, n) // the fault's system-level defeat probability (p_i^m for 1oom)
 	tilted := make([]float64, n)
 	logStay := make([]float64, n) // log((1-p)/(1-t)) per fault
 	logHit := make([]float64, n)  // log(p/t) per fault
 	for i := 0; i < n; i++ {
-		p := math.Pow(fs.Fault(i).P, float64(m))
+		p := opts.defeatProb(m, fs.Fault(i).P)
 		natural[i] = p
 		t := tiltTarget
 		if p > t {
@@ -255,7 +274,7 @@ func EstimateNaiveSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, 
 	n := fs.N()
 	probs := make([]float64, n)
 	for i := 0; i < n; i++ {
-		probs[i] = math.Pow(fs.Fault(i).P, float64(m))
+		probs[i] = opts.defeatProb(m, fs.Fault(i).P)
 	}
 	// Sparse kernel: the event "some fault hits" only needs, per group of
 	// equal-probability faults, whether the first geometric gap lands

@@ -5,7 +5,6 @@ import (
 
 	"diversity/internal/devsim"
 	"diversity/internal/faultmodel"
-	"diversity/internal/system"
 )
 
 // sparsePFD sums the region probabilities of the faults present in a
@@ -25,58 +24,6 @@ func sparsePFD(fs *faultmodel.FaultSet, mask *devsim.Bitset) (pfd float64, count
 	return pfd, count
 }
 
-// sparseSystemPFD computes the system PFD and defeating-fault count from
-// the versions' packed masks. For the 1-out-of-m architecture a fault
-// defeats the system only when every version carries it, so the
-// intersection is found by AND-ing the other masks onto the touched words
-// of the first — again O(k), never O(n). The majority architecture can be
-// defeated by faults absent from the first version, so it scans the full
-// word range; majority runs are not the sparse kernel's performance
-// target, only covered for correctness.
-func sparseSystemPFD(fs *faultmodel.FaultSet, arch system.Architecture, masks []*devsim.Bitset) (pfd float64, count int) {
-	m := len(masks)
-	if arch != system.ArchMajority {
-		// 1-out-of-m: intersection of all masks.
-		if m == 1 {
-			return sparsePFD(fs, masks[0])
-		}
-		first := masks[0]
-		for _, tw := range first.Touched() {
-			w := int(tw)
-			x := first.Word(w)
-			for _, other := range masks[1:] {
-				x &= other.Word(w)
-				if x == 0 {
-					break
-				}
-			}
-			count += bits.OnesCount64(x)
-			for x != 0 {
-				pfd += fs.Fault(w<<6 + bits.TrailingZeros64(x)).Q
-				x &= x - 1
-			}
-		}
-		return pfd, count
-	}
-	for w := 0; w < masks[0].NumWords(); w++ {
-		var union uint64
-		for _, mask := range masks {
-			union |= mask.Word(w)
-		}
-		for union != 0 {
-			b := bits.TrailingZeros64(union)
-			union &^= 1 << uint(b)
-			present := 0
-			for _, mask := range masks {
-				if mask.Word(w)>>uint(b)&1 == 1 {
-					present++
-				}
-			}
-			if 2*present > m {
-				pfd += fs.Fault(w<<6 + b).Q
-				count++
-			}
-		}
-	}
-	return pfd, count
-}
+// The system-PFD companion of sparsePFD lives in the system package
+// (system.BitsetSystemPFD) since the adjudicator generalisation: dense
+// and sparse share one adjudicated reduction routine there.

@@ -6,7 +6,6 @@ import (
 
 	"diversity/internal/faultmodel"
 	"diversity/internal/stats"
-	"diversity/internal/system"
 )
 
 // Histogram geometry: HistBins log10-spaced bins spanning PFD values from
@@ -269,31 +268,6 @@ func maskPFD(fs *faultmodel.FaultSet, present []bool) (pfd float64, count int) {
 	return pfd, count
 }
 
-// maskSystemPFD computes the system PFD and defeating-fault count from
-// the versions' presence masks, mirroring system.New + System.PFD without
-// the per-replication allocations: a fault defeats the system when every
-// version carries it (1-out-of-m) or more than half do (majority). The
-// summation order matches System.PFD, so values are bitwise identical to
-// the buffered path.
-func maskSystemPFD(fs *faultmodel.FaultSet, arch system.Architecture, masks [][]bool) (pfd float64, count int) {
-	m := len(masks)
-	for i := 0; i < fs.N(); i++ {
-		present := 0
-		for _, mask := range masks {
-			if mask[i] {
-				present++
-			}
-		}
-		var fails bool
-		if arch == system.ArchMajority {
-			fails = 2*present > m
-		} else {
-			fails = present == m
-		}
-		if fails {
-			pfd += fs.Fault(i).Q
-			count++
-		}
-	}
-	return pfd, count
-}
+// The system-PFD companion of maskPFD lives in the system package
+// (system.MaskSystemPFD) since the adjudicator generalisation: dense and
+// sparse share one adjudicated reduction routine there.

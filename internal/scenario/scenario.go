@@ -200,6 +200,62 @@ func LargeUniverse(n int) (Scenario, error) {
 	}, nil
 }
 
+// NVersionPool realises the failure-correlation regime recent studies of
+// LLM-generated N-version pools report ("A Systematic Methodology for
+// Evaluating Failure Independence in LLM-Generated Code"; "Effectiveness
+// of LLM-based Software Diversity for Reliability Improvement", see
+// PAPERS.md): machine-generated variants of one specification fail far
+// from independently. Both studies find a small cluster of
+// specification-level blind spots shared by a large fraction of the pool —
+// joint failure rates orders of magnitude above the independence product —
+// next to a long tail of variant-specific faults that diversity does
+// suppress. In the fault-creation model all inter-version correlation is
+// carried by the presence probabilities, so the regime is a two-component
+// mixture:
+//
+//   - 4 shared blind-spot faults, p ~ Beta(8, 8) (mean 0.5): mistakes most
+//     variants repeat, which defeat even large 1-out-of-N pools and floor
+//     the gain from adding versions;
+//   - 60 variant-specific faults, p ~ Beta(1.5, 27) (mean ≈ 5%): the
+//     component k-of-N adjudication suppresses geometrically.
+//
+// Region sizes are lognormal (heavy-tailed, as in the other generated
+// regimes) and normalised to SumQ = 0.05. Generation is deterministic in
+// the seed.
+func NVersionPool(seed uint64) (Scenario, error) {
+	const (
+		nShared = 4
+		nIdio   = 60
+		sumQ    = 0.05
+	)
+	r := randx.NewStream(seed)
+	n := nShared + nIdio
+	faults := make([]faultmodel.Fault, n)
+	raw := make([]float64, n)
+	total := 0.0
+	for i := range faults {
+		if i < nShared {
+			faults[i].P = r.Beta(8, 8)
+		} else {
+			faults[i].P = r.Beta(1.5, 27)
+		}
+		raw[i] = math.Exp(r.NormalMuSigma(math.Log(1e-3), 1.1))
+		total += raw[i]
+	}
+	for i := range faults {
+		faults[i].Q = raw[i] / total * sumQ
+	}
+	fs, err := faultmodel.New(faults)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: n-version-pool parameters invalid: %w", err)
+	}
+	return Scenario{
+		Name:        "n-version-pool",
+		Description: "shared blind-spot faults plus a variant-specific tail; LLM-generated N-version correlation regime",
+		FaultSet:    fs,
+	}, nil
+}
+
 // TwoFault returns the paper's Appendix-A two-fault configuration with the
 // given presence probabilities and equal region sizes — the setting of the
 // single-fault-improvement analysis (experiment E05).
@@ -220,7 +276,7 @@ func TwoFault(p1, p2 float64) (Scenario, error) {
 
 // Names returns the names accepted by ByName, in presentation order.
 func Names() []string {
-	return []string{"safety-grade", "many-small-faults", "commercial-grade", "million-faults"}
+	return []string{"safety-grade", "many-small-faults", "commercial-grade", "n-version-pool", "million-faults"}
 }
 
 // ByName generates the named scenario from seed. It is the single
@@ -236,6 +292,8 @@ func ByName(name string, seed uint64) (Scenario, error) {
 		return ManySmallFaults(seed)
 	case "commercial-grade":
 		return CommercialGrade(seed)
+	case "n-version-pool":
+		return NVersionPool(seed)
 	case "million-faults":
 		s, err := LargeUniverse(1_000_000)
 		if err != nil {

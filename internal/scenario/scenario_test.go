@@ -164,6 +164,95 @@ func TestCommercialGradeRegime(t *testing.T) {
 	}
 }
 
+// TestNVersionPoolRegime pins the LLM-diversity correlation regime: a
+// small cluster of high-presence shared blind spots next to a large
+// low-presence idiosyncratic tail, so adding versions to a 1-out-of-N pool
+// shows geometric gains that flatten against the shared-fault floor.
+func TestNVersionPoolRegime(t *testing.T) {
+	t.Parallel()
+
+	s, err := NVersionPool(1)
+	if err != nil {
+		t.Fatalf("NVersionPool: %v", err)
+	}
+	if s.Name != "n-version-pool" || s.Description == "" {
+		t.Errorf("scenario metadata wrong: %+v", s)
+	}
+	fs := s.FaultSet
+	if fs.N() != 64 {
+		t.Errorf("N = %d, want 64 (4 shared + 60 idiosyncratic)", fs.N())
+	}
+	// The two mixture components are distinguishable by presence
+	// probability: shared faults cluster near 0.5, the tail near 0.05.
+	shared, tail := 0, 0
+	for i := 0; i < fs.N(); i++ {
+		if fs.Fault(i).P > 0.25 {
+			shared++
+		} else {
+			tail++
+		}
+	}
+	if shared < 3 || shared > 8 {
+		t.Errorf("found %d high-presence blind-spot faults, want ~4", shared)
+	}
+	if tail < 50 {
+		t.Errorf("found %d low-presence tail faults, want ~60", tail)
+	}
+	// The defining reliability signature: the pair's mean PFD improves on a
+	// single version, but far less than independence would predict, and
+	// deeper pools saturate (floor set by the shared faults).
+	mu1, err := fs.MeanPFD(1)
+	if err != nil {
+		t.Fatalf("MeanPFD(1): %v", err)
+	}
+	mu2, err := fs.MeanPFD(2)
+	if err != nil {
+		t.Fatalf("MeanPFD(2): %v", err)
+	}
+	mu4, err := fs.MeanPFD(4)
+	if err != nil {
+		t.Fatalf("MeanPFD(4): %v", err)
+	}
+	mu5, err := fs.MeanPFD(5)
+	if err != nil {
+		t.Fatalf("MeanPFD(5): %v", err)
+	}
+	if !(mu2 < mu1) || !(mu5 < mu4) || !(mu4 < mu2) {
+		t.Fatalf("pool means not decreasing: mu1=%v mu2=%v mu4=%v mu5=%v", mu1, mu2, mu4, mu5)
+	}
+	if gain := mu1 / mu2; gain > 20 {
+		t.Errorf("pair gain %v looks independent; the regime must keep correlated blind spots", gain)
+	}
+	// Saturation: the per-version gain shrinks with depth as the shared
+	// blind spots (halving per extra version) come to dominate the tail
+	// (shrinking ~20x per extra version).
+	if mu4/mu5 > mu1/mu2 {
+		t.Errorf("gain should saturate with depth: 4→5 step gain %v exceeds 1→2 step gain %v", mu4/mu5, mu1/mu2)
+	}
+	// Deterministic in the seed, different across seeds.
+	again, err := NVersionPool(1)
+	if err != nil {
+		t.Fatalf("NVersionPool: %v", err)
+	}
+	if again.FaultSet.Fault(0) != fs.Fault(0) {
+		t.Error("same seed produced different parameters")
+	}
+	other, err := NVersionPool(2)
+	if err != nil {
+		t.Fatalf("NVersionPool: %v", err)
+	}
+	if other.FaultSet.Fault(0) == fs.Fault(0) {
+		t.Error("different seeds produced identical parameters")
+	}
+	byName, err := ByName("n-version-pool", 1)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if byName.FaultSet.Fault(0) != fs.Fault(0) {
+		t.Error("ByName does not dispatch to NVersionPool")
+	}
+}
+
 func TestTwoFault(t *testing.T) {
 	t.Parallel()
 

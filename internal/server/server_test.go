@@ -493,6 +493,9 @@ func TestBadRequests(t *testing.T) {
 		{"invalid spec", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":0,"reps":100,"seed":1}}`},
 		{"over rep cap", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":2,"reps":100000000,"seed":1}}`},
 		{"unknown scenario", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"nope"},"versions":2,"reps":100,"seed":1}}`},
+		{"unknown adjudicator", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":3,"adjudicator":"sideways","reps":100,"seed":1}}`},
+		{"adjudicator pool too small", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":2,"adjudicator":"2oo3","reps":100,"seed":1}}`},
+		{"arch and adjudicator both set", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":3,"arch":"majority","adjudicator":"2oo3","reps":100,"seed":1}}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(tc.body)))
@@ -517,6 +520,30 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAdjudicatedJob runs a 2oo3 majority-threshold job end to end through
+// the HTTP API and checks the result view names the pool it adjudicated.
+func TestAdjudicatedJob(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, nil)
+
+	body := `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade","scenarioSeed":1},"versions":3,"adjudicator":"2oo3","reps":2000,"workers":1,"seed":1}}`
+	resp, v := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	final := pollUntilTerminal(t, ts, v.ID)
+	if final.Status != string(statusDone) {
+		t.Fatalf("final status = %q (error %q), want done", final.Status, final.Error)
+	}
+	mc := final.Result.MonteCarlo
+	if mc == nil {
+		t.Fatal("final view carries no Monte-Carlo result")
+	}
+	if mc.Versions != 3 || mc.Adjudicator != "2oo3" {
+		t.Fatalf("result pool = %d versions, adjudicator %q; want 3 and 2oo3", mc.Versions, mc.Adjudicator)
 	}
 }
 

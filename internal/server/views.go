@@ -68,6 +68,8 @@ func summaryViewOf(s stats.Summary) summaryView {
 
 type mcResultView struct {
 	Reps             int         `json:"reps"`
+	Versions         int         `json:"versions,omitempty"`
+	Adjudicator      string      `json:"adjudicator,omitempty"`
 	Streaming        bool        `json:"streaming,omitempty"`
 	Sparse           bool        `json:"sparse,omitempty"`
 	Version          summaryView `json:"version"`
@@ -178,6 +180,8 @@ func resultViewOf(res *engine.Result) *resultView {
 		mc := res.MonteCarlo
 		mv := &mcResultView{
 			Reps:             mc.Reps,
+			Versions:         mc.Versions,
+			Adjudicator:      mc.Adjudicator,
 			Streaming:        mc.Streaming,
 			Sparse:           mc.Sparse,
 			VersionFaultFree: mc.VersionFaultFree,

@@ -1,0 +1,130 @@
+package system
+
+import (
+	"math/bits"
+
+	"diversity/internal/devsim"
+	"diversity/internal/faultmodel"
+)
+
+// This file holds the allocation-free system-PFD kernels shared by the
+// Monte-Carlo harness's dense/streaming and sparse paths (formerly
+// duplicated there as maskSystemPFD and sparseSystemPFD, each hard-coding
+// the two-architecture enum). Both reduce the adjudicator to its defeat
+// threshold once, outside the per-fault loop, and preserve the historical
+// summation orders bit for bit: ascending fault index for masks, and for
+// bitsets the touched-word intersection walk (1-out-of-N) or the full
+// word-range union walk (every other rule).
+
+// MaskSystemPFD computes the system PFD and defeating-fault count of an
+// N-version pool from the versions' presence masks, mirroring New +
+// System.PFD without the per-replication allocations. The q_i summation
+// runs in ascending fault order, so values are bitwise identical to the
+// buffered path. An imperfect adjudication stage is folded into the
+// returned PFD (the count stays the voting rule's).
+func MaskSystemPFD(fs *faultmodel.FaultSet, adj Adjudicator, masks [][]bool) (pfd float64, count int) {
+	m := len(masks)
+	th := DefeatThreshold(adj, m)
+	if th <= m {
+		for i := 0; i < fs.N(); i++ {
+			present := 0
+			for _, mask := range masks {
+				if mask[i] {
+					present++
+				}
+			}
+			if present >= th {
+				pfd += fs.Fault(i).Q
+				count++
+			}
+		}
+	}
+	return ApplyStagePFD(adj, pfd), count
+}
+
+// BitsetSystemPFD computes the system PFD and defeating-fault count of an
+// N-version pool from the versions' packed masks. For intersection rules
+// (defeat threshold = pool size, i.e. 1-out-of-N) a fault defeats the
+// system only when every version carries it, so the intersection is found
+// by AND-ing the other masks onto the touched words of the first — O(k)
+// in the faults present, never O(n). Other rules can be defeated by
+// faults absent from the first version, so they scan the full word range
+// and compare each union bit's stacked popcount against the threshold;
+// those runs are covered for correctness, not the sparse kernel's
+// performance target. An imperfect adjudication stage is folded into the
+// returned PFD (the count stays the voting rule's).
+func BitsetSystemPFD(fs *faultmodel.FaultSet, adj Adjudicator, masks []*devsim.Bitset) (pfd float64, count int) {
+	m := len(masks)
+	th := DefeatThreshold(adj, m)
+	switch {
+	case th > m:
+		// No carrier count defeats the rule: only the stage can fail.
+	case th == m:
+		// Intersection of all masks, walked over the first mask's touched
+		// words only.
+		if m == 1 {
+			pfd, count = bitsetPFD(fs, masks[0])
+			break
+		}
+		first := masks[0]
+		for _, tw := range first.Touched() {
+			w := int(tw)
+			x := first.Word(w)
+			for _, other := range masks[1:] {
+				x &= other.Word(w)
+				if x == 0 {
+					break
+				}
+			}
+			count += bits.OnesCount64(x)
+			for x != 0 {
+				pfd += fs.Fault(w<<6 + bits.TrailingZeros64(x)).Q
+				x &= x - 1
+			}
+		}
+	case th == 0:
+		// Degenerate rule defeated even by absent faults: every region
+		// counts.
+		for i := 0; i < fs.N(); i++ {
+			pfd += fs.Fault(i).Q
+		}
+		count = fs.N()
+	default:
+		for w := 0; w < masks[0].NumWords(); w++ {
+			var union uint64
+			for _, mask := range masks {
+				union |= mask.Word(w)
+			}
+			for union != 0 {
+				b := bits.TrailingZeros64(union)
+				union &^= 1 << uint(b)
+				present := 0
+				for _, mask := range masks {
+					if mask.Word(w)>>uint(b)&1 == 1 {
+						present++
+					}
+				}
+				if present >= th {
+					pfd += fs.Fault(w<<6 + b).Q
+					count++
+				}
+			}
+		}
+	}
+	return ApplyStagePFD(adj, pfd), count
+}
+
+// bitsetPFD sums the region probabilities of the faults present in one
+// packed mask, walking only its touched words.
+func bitsetPFD(fs *faultmodel.FaultSet, mask *devsim.Bitset) (pfd float64, count int) {
+	for _, tw := range mask.Touched() {
+		w := int(tw)
+		x := mask.Word(w)
+		count += bits.OnesCount64(x)
+		for x != 0 {
+			pfd += fs.Fault(w<<6 + bits.TrailingZeros64(x)).Q
+			x &= x - 1
+		}
+	}
+	return pfd, count
+}

@@ -49,29 +49,63 @@ func (a Architecture) String() string {
 }
 
 // System is a redundant software system: a set of versions over a common
-// fault universe combined by an adjudication architecture.
+// fault universe combined by an adjudicator.
 type System struct {
 	fs       *faultmodel.FaultSet
 	versions []*devsim.Version
 	arch     Architecture
+	adj      Adjudicator
 }
 
-// New assembles a system. It returns an error if no versions are given,
-// the architecture is unknown, or any version was developed against a
-// different fault universe size than fs.
+// New assembles a system from the legacy Architecture enum: Arch1OutOfM
+// maps to the OneOutOfN adjudicator and ArchMajority to MajorityVote. It
+// returns an error if no versions are given, the architecture is unknown,
+// the version count does not satisfy the adjudicator (a
+// *VersionCountError — e.g. a majority vote over fewer than 3 versions,
+// which used to be silently representable), or any version was developed
+// against a different fault universe size than fs.
 func New(fs *faultmodel.FaultSet, arch Architecture, versions ...*devsim.Version) (*System, error) {
+	adj, err := arch.Adjudicator()
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewVoted(fs, adj, versions...)
+	if err != nil {
+		return nil, err
+	}
+	s.arch = arch
+	return s, nil
+}
+
+// NewVoted assembles a system from an adjudicator. It returns
+// ErrNoVersions for an empty pool, the adjudicator's *VersionCountError
+// for a pool size the rule cannot vote over, and an error if any version
+// was developed against a different fault universe size than fs.
+func NewVoted(fs *faultmodel.FaultSet, adj Adjudicator, versions ...*devsim.Version) (*System, error) {
 	if len(versions) == 0 {
 		return nil, ErrNoVersions
 	}
-	if arch != Arch1OutOfM && arch != ArchMajority {
-		return nil, fmt.Errorf("system: unknown architecture %d", int(arch))
+	if adj == nil {
+		return nil, errors.New("system: adjudicator must not be nil")
+	}
+	if err := adj.Validate(len(versions)); err != nil {
+		return nil, err
+	}
+	return newVoted(fs, adj, versions)
+}
+
+// newVoted performs the universe checks and assembly shared by New and
+// NewVoted, after pool-size validation has been settled by the caller.
+func newVoted(fs *faultmodel.FaultSet, adj Adjudicator, versions []*devsim.Version) (*System, error) {
+	if len(versions) == 0 {
+		return nil, ErrNoVersions
 	}
 	for i, v := range versions {
 		if v.NumPotential() != fs.N() {
 			return nil, fmt.Errorf("system: version %d has %d potential faults, fault set has %d", i, v.NumPotential(), fs.N())
 		}
 	}
-	s := &System{fs: fs, versions: make([]*devsim.Version, len(versions)), arch: arch}
+	s := &System{fs: fs, versions: make([]*devsim.Version, len(versions)), adj: adj}
 	copy(s.versions, versions)
 	return s, nil
 }
@@ -79,12 +113,30 @@ func New(fs *faultmodel.FaultSet, arch Architecture, versions ...*devsim.Version
 // NumVersions returns the number of channels.
 func (s *System) NumVersions() int { return len(s.versions) }
 
-// Architecture returns the adjudication architecture.
-func (s *System) Architecture() Architecture { return s.arch }
+// Architecture returns the legacy adjudication architecture enum: the
+// value New was given, or the closest equivalent (zero if none) for
+// NewVoted-assembled systems.
+func (s *System) Architecture() Architecture {
+	if s.arch != 0 {
+		return s.arch
+	}
+	switch VotingRule(s.adj).(type) {
+	case OneOutOfN:
+		return Arch1OutOfM
+	case MajorityVote:
+		return ArchMajority
+	}
+	return 0
+}
 
-// FailsOnFault reports whether the region of potential fault i defeats the
-// whole system: all versions contain it (1-out-of-m) or more than half do
-// (majority). It panics if i is out of range, mirroring slice indexing.
+// Adjudicator returns the system's adjudicator.
+func (s *System) Adjudicator() Adjudicator { return s.adj }
+
+// FailsOnFault reports whether the region of potential fault i defeats
+// the whole system: the number of versions carrying the fault reaches the
+// adjudicator's defeat threshold (all versions for 1-out-of-N, more than
+// half for majority). It panics if i is out of range, mirroring slice
+// indexing.
 func (s *System) FailsOnFault(i int) bool {
 	count := 0
 	for _, v := range s.versions {
@@ -92,16 +144,13 @@ func (s *System) FailsOnFault(i int) bool {
 			count++
 		}
 	}
-	switch s.arch {
-	case ArchMajority:
-		return 2*count > len(s.versions)
-	default: // Arch1OutOfM
-		return count == len(s.versions)
-	}
+	return s.adj.Defeated(count, len(s.versions))
 }
 
 // PFD returns the system probability of failure on demand: the summed
-// region probabilities of the faults that defeat the system.
+// region probabilities of the faults that defeat the system, composed
+// with the adjudication stage's own failure probability when the
+// adjudicator carries one (ImperfectAdjudicator).
 func (s *System) PFD() float64 {
 	sum := 0.0
 	for i := 0; i < s.fs.N(); i++ {
@@ -109,7 +158,7 @@ func (s *System) PFD() float64 {
 			sum += s.fs.Fault(i).Q
 		}
 	}
-	return sum
+	return ApplyStagePFD(s.adj, sum)
 }
 
 // SystemFaultCount returns the number of potential faults that defeat the

@@ -238,9 +238,12 @@ func EstimatePmax(o Observations, level float64) (PmaxBound, error) {
 	return calibrate.UpperPmax(o, level)
 }
 
-// CommonPFD returns the 1-out-of-2 system PFD of a pair of developed
-// versions: the summed region probabilities of their common faults.
-func CommonPFD(fs *FaultSet, a, b *Version) (float64, error) { return devsim.CommonPFD(fs, a, b) }
+// CommonPFD returns the 1-out-of-N system PFD of developed versions: the
+// summed region probabilities of the faults present in every one of them.
+// With a pair of versions it is the paper's 1-out-of-2 system PFD.
+func CommonPFD(fs *FaultSet, versions ...*Version) (float64, error) {
+	return devsim.CommonPFD(fs, versions...)
+}
 
 // ELFromFaultSet maps a fault set onto the Eckhardt-Lee demand space whose
 // cells are the failure regions; the two models then agree exactly on mean
