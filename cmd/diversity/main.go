@@ -5,7 +5,10 @@
 // approximation — optionally with the exact PFD distribution quantiles.
 //
 // The computation runs as an analytic job on the unified execution engine
-// (internal/engine); -no-cache disables the engine's result cache.
+// (internal/engine); -no-cache disables the engine's result cache. The
+// shared observability flags apply: -metrics-addr serves Prometheus
+// exposition (/metrics), expvar, pprof, /debug/events and /debug/traces;
+// -telemetry-json writes the final snapshot atomically.
 //
 // Usage:
 //

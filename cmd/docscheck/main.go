@@ -1,8 +1,10 @@
 // Command docscheck is the CI documentation gate: it walks every
 // Markdown file in the repository, verifies that relative links resolve
-// to files that exist, and extracts every fenced ```go code block and
-// compiles it against the current tree, so documentation examples cannot
-// silently rot as APIs move.
+// to files that exist, extracts every fenced ```go code block and
+// compiles it against the current tree, and cross-checks the metric
+// tables of docs/METRICS.md against the telemetry a live in-process
+// workload actually emits (see metrics.go), so documentation cannot
+// silently rot as APIs and metric names move.
 //
 // Fenced blocks are compiled three ways depending on shape: blocks that
 // declare a package compile verbatim; blocks with top-level declarations
@@ -78,6 +80,11 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	problems = append(problems, compileSnippets(root, snippets)...)
+	metricProblems := checkMetrics(root)
+	problems = append(problems, metricProblems...)
+	if verbose && len(metricProblems) == 0 {
+		fmt.Fprintln(out, "docscheck: docs/METRICS.md cross-checked against live telemetry")
+	}
 
 	if len(problems) > 0 {
 		for _, p := range problems {

@@ -1,0 +1,276 @@
+package main
+
+// The metrics gate cross-checks docs/METRICS.md against the telemetry
+// the code actually emits. A small in-process workload (engine runs in
+// every mode, a quick experiment, a cancelled Monte-Carlo run, server
+// construction, one health sample) populates a live registry; then
+// every documented metric row must match at least one live metric of
+// the same type, every live metric must be documented, and every row's
+// Prometheus column must name a family the exposition really renders.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+
+	"diversity/internal/devsim"
+	"diversity/internal/engine"
+	"diversity/internal/experiments"
+	"diversity/internal/montecarlo"
+	"diversity/internal/scenario"
+	"diversity/internal/server"
+	"diversity/internal/telemetry"
+)
+
+// metricRow is one parsed table row of docs/METRICS.md.
+type metricRow struct {
+	display string         // the dotted pattern as written
+	re      *regexp.Regexp // placeholder segments generalised
+	typ     string         // "counter", "gauge" or "histogram"
+	promFam string         // family name from the Prometheus column
+}
+
+// codeSpan matches inline code spans.
+var codeSpan = regexp.MustCompile("`([^`]+)`")
+
+// parseMetricRows extracts every metric row from the METRICS.md tables:
+// lines of the form "| `dotted.name` | type | unit | emitted | prom |".
+// A name cell may list sibling suffixes ("`a.b.done` / `.failed`"),
+// which expand against the first span's prefix.
+func parseMetricRows(doc string) ([]metricRow, []string) {
+	var rows []metricRow
+	var problems []string
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		// Leading and trailing "|" produce empty first/last cells.
+		if len(cells) < 7 {
+			problems = append(problems, fmt.Sprintf("docs/METRICS.md: metric row with %d cells, want 5 columns: %q", len(cells)-2, line))
+			continue
+		}
+		typ := strings.TrimSpace(cells[2])
+		if typ != "counter" && typ != "gauge" && typ != "histogram" {
+			continue // not a metric table (e.g. an example row elsewhere)
+		}
+		names := expandNameCell(strings.TrimSpace(cells[1]))
+		if len(names) == 0 {
+			problems = append(problems, fmt.Sprintf("docs/METRICS.md: metric row without a code-span name: %q", line))
+			continue
+		}
+		prom := ""
+		if m := codeSpan.FindStringSubmatch(cells[len(cells)-2]); m != nil {
+			prom, _, _ = strings.Cut(m[1], "{")
+		}
+		for _, name := range names {
+			re, err := patternRegexp(name)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("docs/METRICS.md: bad metric pattern %q: %v", name, err))
+				continue
+			}
+			rows = append(rows, metricRow{display: name, re: re, typ: typ, promFam: prom})
+		}
+	}
+	return rows, problems
+}
+
+// expandNameCell returns the dotted patterns of one name cell. Spans
+// after the first that start with "." replace the same number of
+// trailing segments of the first span.
+func expandNameCell(cell string) []string {
+	spans := codeSpan.FindAllStringSubmatch(cell, -1)
+	var names []string
+	for i, m := range spans {
+		span := m[1]
+		if i == 0 || !strings.HasPrefix(span, ".") {
+			names = append(names, span)
+			continue
+		}
+		base := strings.Split(names[0], ".")
+		suffix := strings.Split(strings.TrimPrefix(span, "."), ".")
+		if len(suffix) >= len(base) {
+			continue
+		}
+		names = append(names, strings.Join(append(base[:len(base)-len(suffix)], suffix...), "."))
+	}
+	return names
+}
+
+// patternRegexp compiles a dotted doc pattern, generalising every
+// <placeholder> to one dot-free segment.
+func patternRegexp(pattern string) (*regexp.Regexp, error) {
+	var b strings.Builder
+	b.WriteString("^")
+	for i, seg := range strings.Split(pattern, ".") {
+		if i > 0 {
+			b.WriteString(`\.`)
+		}
+		if strings.HasPrefix(seg, "<") && strings.HasSuffix(seg, ">") {
+			b.WriteString(`[^.]+`)
+		} else {
+			b.WriteString(regexp.QuoteMeta(seg))
+		}
+	}
+	b.WriteString("$")
+	return regexp.Compile(b.String())
+}
+
+// buildLiveRegistry exercises every telemetry-emitting layer in-process
+// and returns the populated registry.
+func buildLiveRegistry() (*telemetry.Registry, error) {
+	reg := telemetry.NewRegistry()
+	logger, err := telemetry.NewLogger(io.Discard, "error")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	model := engine.ModelSpec{Scenario: "safety-grade", ScenarioSeed: 1}
+
+	// Engine runs: a cache hit (same job twice), an eviction (capacity 1,
+	// different job), and Monte-Carlo jobs covering the dense, streaming
+	// and sparse kernels on multiple workers.
+	eng := engine.New(engine.Options{Telemetry: reg, Logger: logger, CacheSize: 1})
+	analytic := engine.NewAnalyticJob(engine.AnalyticSpec{Model: model, K: 1, Confidence: 0.99})
+	for _, job := range []engine.Job{
+		analytic,
+		analytic, // served from cache
+		engine.NewAnalyticJob(engine.AnalyticSpec{Model: model, K: 2, Confidence: 0.99}), // evicts
+		engine.NewMonteCarloJob(engine.MonteCarloSpec{Model: model, Versions: 2, Reps: 4000, Workers: 2, Seed: 1, Streaming: true}),
+		engine.NewMonteCarloJob(engine.MonteCarloSpec{Model: model, Versions: 3, Adjudicator: "majority", Reps: 2000, Workers: 2, Seed: 2, Sparse: true}),
+	} {
+		if _, err := eng.Run(ctx, job); err != nil {
+			return nil, fmt.Errorf("building live registry: %w", err)
+		}
+	}
+
+	// A quick experiment feeds the experiments.* metrics.
+	if _, err := experiments.Run("E04", experiments.Config{Seed: 1, Quick: true, Metrics: reg}); err != nil {
+		return nil, fmt.Errorf("building live registry: %w", err)
+	}
+
+	// A run cancelled from its first progress report feeds the
+	// cancellation-latency histogram.
+	sc, err := scenario.ByName("safety-grade", 1)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var once sync.Once
+	_, err = montecarlo.RunContext(cctx, montecarlo.Config{
+		Process:  devsim.NewIndependentProcess(sc.FaultSet),
+		Versions: 2,
+		Reps:     50_000_000,
+		Workers:  2,
+		Seed:     3,
+		Metrics:  reg,
+		Progress: func(done, total int) { once.Do(cancel) },
+	})
+	if err == nil {
+		return nil, fmt.Errorf("building live registry: cancelled Monte-Carlo run completed")
+	}
+
+	// Server construction pre-registers the serving-layer series.
+	server.New(server.Config{Registry: reg, Logger: logger})
+
+	// One health sample feeds the process.* gauges.
+	telemetry.SampleHealth(reg)
+	return reg, nil
+}
+
+// checkMetrics is the METRICS.md gate: documented rows must be emitted,
+// emitted metrics must be documented, and the Prometheus column must
+// match the real exposition.
+func checkMetrics(root string) []string {
+	docPath := filepath.Join(root, "docs", "METRICS.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return []string{fmt.Sprintf("metrics: %v", err)}
+	}
+	rows, problems := parseMetricRows(string(data))
+	if len(rows) == 0 {
+		return append(problems, "metrics: no metric rows parsed from docs/METRICS.md")
+	}
+
+	reg, err := buildLiveRegistry()
+	if err != nil {
+		return append(problems, fmt.Sprintf("metrics: %v", err))
+	}
+	snap := reg.Snapshot()
+	live := make(map[string]string) // dotted name -> type
+	for name := range snap.Counters {
+		live[name] = "counter"
+	}
+	for name := range snap.Gauges {
+		live[name] = "gauge"
+	}
+	for name := range snap.Histograms {
+		live[name] = "histogram"
+	}
+
+	// Documented -> emitted.
+	for _, row := range rows {
+		found := false
+		for name, typ := range live {
+			if row.re.MatchString(name) {
+				if typ != row.typ {
+					problems = append(problems, fmt.Sprintf("metrics: docs/METRICS.md documents %s as %s but the code emits %s as a %s", row.display, row.typ, name, typ))
+				}
+				found = true
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("metrics: docs/METRICS.md documents %s (%s) but the workload emitted no matching metric", row.display, row.typ))
+		}
+	}
+
+	// Emitted -> documented.
+	for name, typ := range live {
+		documented := false
+		for _, row := range rows {
+			if row.typ == typ && row.re.MatchString(name) {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			problems = append(problems, fmt.Sprintf("metrics: the code emits %s %s, which docs/METRICS.md does not document", typ, name))
+		}
+	}
+
+	// Prometheus column -> real exposition families.
+	var expo bytes.Buffer
+	if err := telemetry.WriteProm(&expo, snap); err != nil {
+		return append(problems, fmt.Sprintf("metrics: rendering exposition: %v", err))
+	}
+	families := make(map[string]string) // family -> type
+	for _, line := range strings.Split(expo.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, typ, ok := strings.Cut(rest, " "); ok {
+				families[name] = typ
+			}
+		}
+	}
+	for _, row := range rows {
+		if row.promFam == "" {
+			problems = append(problems, fmt.Sprintf("metrics: docs/METRICS.md row %s has no Prometheus column", row.display))
+			continue
+		}
+		typ, ok := families[row.promFam]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("metrics: docs/METRICS.md maps %s to Prometheus family %s, which the exposition does not render", row.display, row.promFam))
+			continue
+		}
+		if typ != row.typ {
+			problems = append(problems, fmt.Sprintf("metrics: Prometheus family %s is a %s but docs/METRICS.md documents %s as %s", row.promFam, typ, row.display, row.typ))
+		}
+	}
+	return problems
+}

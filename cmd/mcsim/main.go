@@ -10,9 +10,12 @@
 // cache (disable with -no-cache).
 //
 // Observability (shared with the other CLIs): -metrics-addr serves
-// expvar and pprof over HTTP, -telemetry-json writes the final metrics
-// snapshot, and -log-level controls the structured stderr log. None of
-// the telemetry flags change what is written to stdout.
+// Prometheus exposition (/metrics), expvar, pprof, the flight recorder
+// (/debug/events) and retained traces (/debug/traces) over HTTP;
+// -telemetry-json writes the final metrics snapshot atomically;
+// -log-level controls the structured stderr log and -max-traces the
+// trace retention. None of the telemetry flags change what is written
+// to stdout.
 //
 // Usage:
 //

@@ -13,8 +13,16 @@
 //	GET    /v1/jobs/{id}/events live progress as Server-Sent Events
 //	GET    /v1/scenarios        named scenarios a spec may reference
 //	GET    /healthz, /readyz    liveness / readiness probes
+//	GET    /metrics             Prometheus text exposition
 //	GET    /debug/vars          process metrics (expvar, incl. telemetry)
+//	GET    /debug/events        flight recorder: recent lifecycle events
+//	GET    /debug/traces        retained run traces (see -max-traces)
 //	GET    /debug/pprof/        live profiles
+//
+// Every request is correlated: the X-Request-ID header (accepted or
+// generated) becomes the engine run ID, is echoed on the response,
+// stamped as run= on every log line, and carried by SSE progress
+// events, job views, flight-recorder events and trace snapshots.
 //
 // Backpressure is part of the contract: a full queue rejects with 503 +
 // Retry-After, a per-client token bucket (-rate/-burst) rejects with

@@ -6,6 +6,7 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -67,6 +68,9 @@ type TelemetryFlags struct {
 	JSONPath string
 	// LogLevel is the -log-level value.
 	LogLevel string
+	// MaxTraces is the -max-traces value: how many recent run traces
+	// the registry retains for snapshots and /debug/traces.
+	MaxTraces int
 }
 
 // RegisterTelemetryFlags registers the shared observability flags —
@@ -77,6 +81,7 @@ func RegisterTelemetryFlags(fs *flag.FlagSet) *TelemetryFlags {
 	fs.StringVar(&tf.MetricsAddr, "metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (e.g. localhost:6060; empty = off)")
 	fs.StringVar(&tf.JSONPath, "telemetry-json", "", "write the final telemetry snapshot as JSON to this file (\"-\" for stderr)")
 	fs.StringVar(&tf.LogLevel, "log-level", "warn", "structured log level on stderr: debug | info | warn | error")
+	fs.IntVar(&tf.MaxTraces, "max-traces", telemetry.DefaultMaxTraces, "number of recent run traces retained in snapshots and /debug/traces")
 	return tf
 }
 
@@ -91,22 +96,29 @@ type Telemetry struct {
 	// how callers learn it.
 	Addr     string
 	server   *http.Server
+	sampler  *telemetry.HealthSampler
 	jsonPath string
 }
 
 // Open builds the observability state the flags ask for: a logger at
-// the requested level writing to stderr, a fresh metrics registry, and
-// — when -metrics-addr is set — a running HTTP listener with the
-// registry published to expvar.
+// the requested level writing to stderr, a fresh metrics registry with
+// the requested trace retention and a running runtime-health sampler,
+// and — when -metrics-addr is set — a running HTTP listener with the
+// registry published to expvar and Prometheus exposition on /metrics.
 func (tf *TelemetryFlags) Open(stderr io.Writer) (*Telemetry, error) {
 	logger, err := telemetry.NewLogger(stderr, tf.LogLevel)
 	if err != nil {
 		return nil, err
 	}
 	t := &Telemetry{Registry: telemetry.NewRegistry(), Logger: logger, jsonPath: tf.JSONPath}
+	if tf.MaxTraces > 0 {
+		t.Registry.SetMaxTraces(tf.MaxTraces)
+	}
+	t.sampler = telemetry.StartHealthSampler(t.Registry, telemetry.DefaultHealthInterval)
 	if tf.MetricsAddr != "" {
 		server, addr, err := ServeMetrics(tf.MetricsAddr, t.Registry)
 		if err != nil {
+			t.sampler.Stop()
 			return nil, err
 		}
 		t.server, t.Addr = server, addr
@@ -123,12 +135,14 @@ func (t *Telemetry) EngineOptions(opts engine.Options) engine.Options {
 	return opts
 }
 
-// Shutdown stops the metrics listener, if one is running. Deferred by
-// the CLIs so in-process test runs do not leak listeners.
+// Shutdown stops the metrics listener (if one is running) and the
+// runtime-health sampler. Deferred by the CLIs so in-process test runs
+// do not leak listeners or goroutines.
 func (t *Telemetry) Shutdown() {
 	if t.server != nil {
 		t.server.Close()
 	}
+	t.sampler.Stop()
 }
 
 // Flush writes the final snapshot to the -telemetry-json destination;
@@ -142,10 +156,12 @@ func (t *Telemetry) Flush() error {
 
 // NewDebugMux returns a fresh mux carrying the process debug surface:
 // reg published to expvar under "telemetry", the expvar variables on
-// /debug/vars, and the net/http/pprof profiles under /debug/pprof/. It
-// is the single place the debug routes are assembled — ServeMetrics
-// serves one standalone for the batch CLIs, and cmd/serve mounts its
-// job API on the same mux so one listener carries both surfaces.
+// /debug/vars, the net/http/pprof profiles under /debug/pprof/,
+// Prometheus text exposition on /metrics, the flight-recorder ring on
+// /debug/events, and retained run traces on /debug/traces. It is the
+// single place the debug routes are assembled — ServeMetrics serves one
+// standalone for the batch CLIs, and cmd/serve mounts its job API on
+// the same mux so one listener carries both surfaces.
 func NewDebugMux(reg *telemetry.Registry) *http.ServeMux {
 	reg.PublishExpvar("telemetry")
 	mux := http.NewServeMux()
@@ -155,7 +171,24 @@ func NewDebugMux(reg *telemetry.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		telemetry.WriteProm(w, reg.Snapshot())
+	})
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		writeDebugJSON(w, map[string]any{"events": reg.Events().Snapshot()})
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeDebugJSON(w, map[string]any{"traces": reg.Traces()})
+	})
 	return mux
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // ServeMetrics publishes reg to expvar under "telemetry" and starts an

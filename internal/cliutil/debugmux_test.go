@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -26,6 +28,82 @@ func TestNewDebugMuxServesVarsAndPprof(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestDebugMuxMetricsExposition checks /metrics serves the registry in
+// the Prometheus text format with the right content type.
+func TestDebugMuxMetricsExposition(t *testing.T) {
+	t.Parallel()
+
+	reg := telemetry.NewRegistry()
+	reg.Counter("montecarlo.replications_total.majority").Add(42)
+	srv := httptest.NewServer(NewDebugMux(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Errorf("content type = %q, want %q", ct, telemetry.PromContentType)
+	}
+	want := `montecarlo_replications_total{adjudicator="majority"} 42`
+	if !strings.Contains(string(body), want) {
+		t.Errorf("exposition missing %q:\n%s", want, body)
+	}
+}
+
+// TestDebugMuxEventsAndTraces checks the flight recorder and retained
+// traces are served as JSON.
+func TestDebugMuxEventsAndTraces(t *testing.T) {
+	t.Parallel()
+
+	reg := telemetry.NewRegistry()
+	reg.Event("job.accepted", "run-11112222", map[string]string{"id": "j-1-aaaa"})
+	tr := telemetry.NewTrace("run-11112222", "job:montecarlo")
+	tr.End()
+	reg.RecordTrace(tr)
+	srv := httptest.NewServer(NewDebugMux(reg))
+	defer srv.Close()
+
+	var events struct {
+		Events []telemetry.Event `json:"events"`
+	}
+	getJSON(t, srv.URL+"/debug/events", &events)
+	if len(events.Events) != 1 || events.Events[0].Kind != "job.accepted" || events.Events[0].Run != "run-11112222" {
+		t.Errorf("/debug/events = %+v, want one job.accepted for run-11112222", events.Events)
+	}
+
+	var traces struct {
+		Traces []telemetry.TraceSnapshot `json:"traces"`
+	}
+	getJSON(t, srv.URL+"/debug/traces", &traces)
+	if len(traces.Traces) != 1 || traces.Traces[0].ID != "run-11112222" {
+		t.Errorf("/debug/traces = %+v, want one trace run-11112222", traces.Traces)
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, want 200", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: content type %q, want application/json", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
 	}
 }
 

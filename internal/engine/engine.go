@@ -157,6 +157,12 @@ type Result struct {
 	// FromCache reports that the result was served from the cache without
 	// recomputation.
 	FromCache bool
+	// RunID identifies this execution (or cache service) for correlation
+	// with log lines, trace snapshots and flight-recorder events. Unlike
+	// ID it is unique per call: a caller-supplied request ID (via
+	// telemetry.ContextWithRunID) is echoed here, and results served from
+	// the cache carry the requesting run's ID, not the computing run's.
+	RunID string
 	// ModelName and FaultSet describe the resolved model (nil for
 	// experiment-suite jobs, which sweep their own scenario populations).
 	ModelName string
@@ -217,6 +223,11 @@ func (e *Engine) count(name string) {
 	}
 }
 
+// event records a flight-recorder event when telemetry is on.
+func (e *Engine) event(kind, run string, fields map[string]string) {
+	e.tele.Event(kind, run, fields)
+}
+
 // shortHash abbreviates a job hash for log lines.
 func shortHash(hash string) string {
 	if len(hash) > 12 {
@@ -257,15 +268,25 @@ func (e *Engine) RunWithProgress(ctx context.Context, job Job, progress func(Pro
 	if err != nil {
 		return nil, err
 	}
-	runID := telemetry.NewRunID()
+	// The run ID correlates this execution across every surface: log
+	// lines, the trace snapshot and the flight recorder. A caller that
+	// already carries one (the serving layer threads the request ID of
+	// the submission) wins; otherwise the engine mints a fresh one.
+	runID, ok := telemetry.RunIDFromContext(ctx)
+	if !ok {
+		runID = telemetry.NewRunID()
+		ctx = telemetry.ContextWithRunID(ctx, runID)
+	}
 	if e.cache != nil {
 		if cached, ok := e.cache.get(hash); ok {
 			e.count("engine.cache.hits")
+			e.event("job.cache_hit", runID, map[string]string{"kind": string(job.Kind), "job": IDFromHash(hash)})
 			if e.logger != nil {
-				e.logger.Info("job served from cache", "run", runID, "kind", job.Kind, "hash", shortHash(hash))
+				e.logger.InfoContext(ctx, "job served from cache", "kind", job.Kind, "hash", shortHash(hash))
 			}
 			hit := *cached
 			hit.FromCache = true
+			hit.RunID = runID
 			return &hit, nil
 		}
 		e.count("engine.cache.misses")
@@ -283,8 +304,9 @@ func (e *Engine) RunWithProgress(ctx context.Context, job Job, progress func(Pro
 		trace = telemetry.NewTrace(runID, "job:"+string(job.Kind))
 		span = trace.Root()
 	}
+	e.event("job.start", runID, map[string]string{"kind": string(job.Kind), "job": IDFromHash(hash)})
 	if e.logger != nil {
-		e.logger.Info("job start", "run", runID, "kind", job.Kind, "hash", shortHash(hash))
+		e.logger.InfoContext(ctx, "job start", "kind", job.Kind, "hash", shortHash(hash))
 	}
 	started := time.Now()
 	var res *Result
@@ -308,20 +330,26 @@ func (e *Engine) RunWithProgress(ctx context.Context, job Job, progress func(Pro
 			Observe(elapsed.Seconds())
 	}
 	if err != nil {
+		e.event("job.failed", runID, map[string]string{"kind": string(job.Kind), "error": err.Error()})
 		if e.logger != nil {
-			e.logger.Error("job failed", "run", runID, "kind", job.Kind, "elapsed", elapsed, "error", err)
+			e.logger.ErrorContext(ctx, "job failed", "kind", job.Kind, "elapsed", elapsed, "error", err)
 		}
 		return nil, err
 	}
+	e.event("job.finished", runID, map[string]string{"kind": string(job.Kind), "job": IDFromHash(hash), "elapsed": elapsed.String()})
 	if e.logger != nil {
-		e.logger.Info("job finished", "run", runID, "kind", job.Kind, "elapsed", elapsed, "hash", shortHash(hash))
+		e.logger.InfoContext(ctx, "job finished", "kind", job.Kind, "elapsed", elapsed, "hash", shortHash(hash))
 	}
 	res.Kind = job.Kind
 	res.Hash = hash
 	res.ID = IDFromHash(hash)
+	res.RunID = runID
 	if e.cache != nil {
-		if evicted := e.cache.put(hash, res); evicted > 0 && e.tele != nil {
-			e.tele.Counter("engine.cache.evictions").Add(int64(evicted))
+		if evicted := e.cache.put(hash, res); evicted > 0 {
+			if e.tele != nil {
+				e.tele.Counter("engine.cache.evictions").Add(int64(evicted))
+			}
+			e.event("cache.evicted", runID, map[string]string{"entries": fmt.Sprintf("%d", evicted)})
 		}
 	}
 	return res, nil

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"diversity/internal/telemetry"
+)
+
+// TestRunIDFromContext checks the engine adopts a caller-supplied run ID
+// for the whole observability surface: the result, the recorded trace,
+// the flight-recorder events, and (via the context-aware logger) every
+// log line.
+func TestRunIDFromContext(t *testing.T) {
+	t.Parallel()
+
+	reg := telemetry.NewRegistry()
+	var logBuf bytes.Buffer
+	logger, err := telemetry.NewLogger(&logBuf, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Telemetry: reg, Logger: logger})
+
+	const want = "req-e2e-0001"
+	ctx := telemetry.ContextWithRunID(context.Background(), want)
+	res, err := eng.Run(ctx, NewAnalyticJob(AnalyticSpec{Model: testModel(t), K: 1, Confidence: 0.99}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.RunID != want {
+		t.Errorf("Result.RunID = %q, want %q", res.RunID, want)
+	}
+
+	traces := reg.Traces()
+	if len(traces) != 1 || traces[0].ID != want {
+		t.Errorf("traces = %+v, want one trace with ID %q", traces, want)
+	}
+
+	events := reg.Events().Snapshot()
+	if len(events) == 0 {
+		t.Fatal("no flight-recorder events")
+	}
+	kinds := make(map[string]bool)
+	for _, e := range events {
+		kinds[e.Kind] = true
+		if e.Run != want {
+			t.Errorf("event %s carries run %q, want %q", e.Kind, e.Run, want)
+		}
+	}
+	if !kinds["job.start"] || !kinds["job.finished"] {
+		t.Errorf("event kinds = %v, want job.start and job.finished", kinds)
+	}
+
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if !strings.Contains(line, "run="+want) {
+			t.Errorf("log line missing run=%s: %q", want, line)
+		}
+	}
+}
+
+// TestRunIDGenerated checks a context without a run ID still yields a
+// fresh correlated ID on the result and trace.
+func TestRunIDGenerated(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistryEngine(t)
+	res, err := reg.eng.Run(context.Background(), NewAnalyticJob(AnalyticSpec{Model: testModel(t), K: 1, Confidence: 0.99}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !strings.HasPrefix(res.RunID, "run-") {
+		t.Errorf("generated RunID = %q, want run- prefix", res.RunID)
+	}
+	traces := reg.reg.Traces()
+	if len(traces) != 1 || traces[0].ID != res.RunID {
+		t.Errorf("trace ID = %+v, want %q", traces, res.RunID)
+	}
+}
+
+type regEngine struct {
+	reg *telemetry.Registry
+	eng *Engine
+}
+
+func NewRegistryEngine(t *testing.T) regEngine {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	return regEngine{reg: reg, eng: New(Options{Telemetry: reg})}
+}
+
+// TestCacheHitRunID checks a cache hit is attributed to the requesting
+// run, not the run that originally computed the result.
+func TestCacheHitRunID(t *testing.T) {
+	t.Parallel()
+
+	re := NewRegistryEngine(t)
+	job := NewAnalyticJob(AnalyticSpec{Model: testModel(t), K: 1, Confidence: 0.99})
+
+	first, err := re.eng.Run(telemetry.ContextWithRunID(context.Background(), "req-first"), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := re.eng.Run(telemetry.ContextWithRunID(context.Background(), "req-second"), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.RunID != "req-first" || second.RunID != "req-second" {
+		t.Errorf("run IDs = %q, %q; want req-first, req-second", first.RunID, second.RunID)
+	}
+	if !second.FromCache {
+		t.Fatal("second run not served from cache")
+	}
+	var hit *telemetry.Event
+	for _, e := range re.reg.Events().Snapshot() {
+		if e.Kind == "job.cache_hit" {
+			ev := e
+			hit = &ev
+		}
+	}
+	if hit == nil {
+		t.Fatal("no job.cache_hit event recorded")
+	}
+	if hit.Run != "req-second" {
+		t.Errorf("cache hit attributed to run %q, want req-second", hit.Run)
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"diversity/internal/telemetry"
+)
+
+// syncWriter is a goroutine-safe log sink: the server logs from request
+// goroutines and workers concurrently.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRequestIDCorrelation is the end-to-end correlation check: one
+// client-supplied X-Request-ID must be traceable across the response
+// header, the job view, the SSE stream, the flight recorder, the
+// retained trace, and every related log line.
+func TestRequestIDCorrelation(t *testing.T) {
+	t.Parallel()
+
+	const reqID = "req-corr-0001"
+	reg := telemetry.NewRegistry()
+	logSink := &syncWriter{}
+	logger, err := telemetry.NewLogger(logSink, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Registry: reg, Logger: logger}, nil)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(analyticJobJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var accepted jobView
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+
+	// 1. Response header echoes the ID.
+	if got := resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Errorf("X-Request-ID response header = %q, want %q", got, reqID)
+	}
+	// 2. The job view carries it as the run ID.
+	if accepted.RunID != reqID {
+		t.Errorf("submit jobView.runId = %q, want %q", accepted.RunID, reqID)
+	}
+
+	final := pollUntilTerminal(t, ts, accepted.ID)
+	if final.Status != string(statusDone) {
+		t.Fatalf("job finished %q: %+v", final.Status, final)
+	}
+	if final.RunID != reqID {
+		t.Errorf("terminal jobView.runId = %q, want %q", final.RunID, reqID)
+	}
+
+	// 3. The SSE stream's terminal view carries it.
+	sseResp, err := http.Get(ts.URL + "/v1/jobs/" + accepted.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer sseResp.Body.Close()
+	var doneView jobView
+	scanner := bufio.NewScanner(sseResp.Body)
+	sawDone := false
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "event: done" {
+			sawDone = true
+			continue
+		}
+		if sawDone && strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &doneView); err != nil {
+				t.Fatalf("decoding done event: %v", err)
+			}
+			break
+		}
+	}
+	if !sawDone || doneView.RunID != reqID {
+		t.Errorf("SSE done view runId = %q (done seen %v), want %q", doneView.RunID, sawDone, reqID)
+	}
+
+	// 4. The flight recorder attributes the whole lifecycle to the run:
+	// acceptance and terminal state from the server, start and finish
+	// from the engine.
+	kinds := make(map[string]string)
+	for _, e := range reg.Events().Snapshot() {
+		kinds[e.Kind] = e.Run
+	}
+	for _, kind := range []string{"job.accepted", "job.start", "job.finished", "job.done"} {
+		if run, ok := kinds[kind]; !ok || run != reqID {
+			t.Errorf("event %s run = %q (present %v), want %q", kind, run, ok, reqID)
+		}
+	}
+
+	// 5. The engine trace adopted the request ID.
+	foundTrace := false
+	for _, tr := range reg.Traces() {
+		if tr.ID == reqID {
+			foundTrace = true
+		}
+	}
+	if !foundTrace {
+		t.Errorf("no retained trace with ID %q; traces: %+v", reqID, reg.Traces())
+	}
+
+	// 6. The access log and the job lifecycle lines carry run=<id>.
+	logs := logSink.String()
+	wantLines := []string{"msg=\"http request\"", "msg=\"job accepted\""}
+	for _, want := range wantLines {
+		found := false
+		for _, line := range strings.Split(logs, "\n") {
+			if strings.Contains(line, want) && strings.Contains(line, "run="+reqID) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no log line with %s and run=%s:\n%s", want, reqID, logs)
+		}
+	}
+}
+
+// TestRequestIDGeneratedAndSanitised checks a missing or hostile
+// X-Request-ID is replaced with a generated run ID.
+func TestRequestIDGeneratedAndSanitised(t *testing.T) {
+	t.Parallel()
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, nil)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); !strings.HasPrefix(id, "run-") {
+		t.Errorf("generated X-Request-ID = %q, want run- prefix", id)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "evil id with=spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); !strings.HasPrefix(id, "run-") {
+		t.Errorf("hostile X-Request-ID echoed back as %q, want replacement with run- prefix", id)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	long := strings.Repeat("a", maxRequestIDLen+1)
+	req.Header.Set("X-Request-ID", long)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id == long {
+		t.Error("oversized X-Request-ID accepted verbatim")
+	}
+}

@@ -69,18 +69,71 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with the per-route/status duration
-// histogram "server.request_duration_seconds.<route>.<status>".
+// apiRoutes lists every instrumented route with the status code its
+// success path answers. New pre-registers one request-duration
+// histogram per pair, so a first scrape already exports the full
+// steady-state series set instead of only the routes traffic has hit;
+// error-status series still appear on first use.
+var apiRoutes = []struct{ name, status string }{
+	{"healthz", "200"},
+	{"readyz", "200"},
+	{"scenarios", "200"},
+	{"jobs_submit", "202"},
+	{"jobs_list", "200"},
+	{"jobs_get", "200"},
+	{"jobs_cancel", "202"},
+	{"jobs_events", "200"},
+}
+
+// maxRequestIDLen bounds an accepted X-Request-ID; longer (or otherwise
+// unusable) client values are replaced with a generated ID.
+const maxRequestIDLen = 64
+
+// requestID returns the request's correlation ID: the client's
+// X-Request-ID header when it is printable and reasonably sized (so a
+// hostile value cannot inject log lines or unbounded label text),
+// otherwise a freshly generated run ID.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > maxRequestIDLen {
+		return telemetry.NewRunID()
+	}
+	for _, c := range id {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' || c == ':'
+		if !ok {
+			return telemetry.NewRunID()
+		}
+	}
+	return id
+}
+
+// instrument wraps a handler with the shared request plumbing: the
+// X-Request-ID correlation ID (accepted from the client or generated,
+// echoed on the response, and threaded through the request context so
+// engine runs, traces and log lines all carry it), the per-route/status
+// duration histogram "server.request_duration_seconds.<route>.<status>",
+// and one structured access-log line per request.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := telemetry.ContextWithRunID(r.Context(), reqID)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		h(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		elapsed := time.Since(start)
 		name := "server.request_duration_seconds." + route + "." + strconv.Itoa(sw.status)
-		s.reg.Histogram(name, telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+		s.reg.Histogram(name, telemetry.DurationBuckets).Observe(elapsed.Seconds())
+		if s.log != nil {
+			s.log.InfoContext(ctx, "http request",
+				"route", route, "method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "duration", elapsed, "client", clientKey(r))
+		}
 	})
 }
 
@@ -171,8 +224,10 @@ func specReps(job engine.Job) int {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := clientKey(r)
+	runID, _ := telemetry.RunIDFromContext(r.Context())
 	if !s.limiter.allow(key) {
 		s.reg.Counter("server.rejected_total.rate_limited").Inc()
+		s.reg.Event("submit.rejected", runID, map[string]string{"reason": "rate_limited", "client": key})
 		w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfter(key)))
 		writeError(w, http.StatusTooManyRequests, "rate limit exceeded: client %s is over %g requests/second (burst %d)", key, s.cfg.RatePerSec, s.cfg.Burst)
 		return
@@ -201,16 +256,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	js, err := s.submit(job, engineID)
+	js, err := s.submit(job, engineID, runID)
 	switch {
 	case err == nil:
 	case errors.Is(err, errQueueFull):
 		s.reg.Counter("server.rejected_total.queue_full").Inc()
+		s.reg.Event("submit.rejected", runID, map[string]string{"reason": "queue_full", "job": engineID})
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "job queue full (depth %d): retry shortly", s.cfg.QueueDepth)
 		return
 	case errors.Is(err, errDraining):
 		s.reg.Counter("server.rejected_total.draining").Inc()
+		s.reg.Event("submit.rejected", runID, map[string]string{"reason": "draining", "job": engineID})
 		w.Header().Set("Retry-After", "10")
 		writeError(w, http.StatusServiceUnavailable, "server is draining and accepts no new jobs")
 		return
@@ -275,7 +332,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ch, cur, hasCur := js.tracker.subscribe()
 	defer js.tracker.unsubscribe(ch)
 	if hasCur {
-		writeSSE(w, flusher, "progress", progressView{Stage: cur.Stage, Done: cur.Done, Total: cur.Total})
+		writeSSE(w, flusher, "progress", progressView{Run: js.runID, Stage: cur.Stage, Done: cur.Done, Total: cur.Total})
 	}
 
 	keepalive := time.NewTicker(15 * time.Second)
@@ -283,14 +340,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case p := <-ch:
-			writeSSE(w, flusher, "progress", progressView{Stage: p.Stage, Done: p.Done, Total: p.Total})
+			writeSSE(w, flusher, "progress", progressView{Run: js.runID, Stage: p.Stage, Done: p.Done, Total: p.Total})
 		case <-js.tracker.Done():
 			// Drain reports published before the terminal transition so
 			// the stream never ends short of the last counts.
 			for {
 				select {
 				case p := <-ch:
-					writeSSE(w, flusher, "progress", progressView{Stage: p.Stage, Done: p.Done, Total: p.Total})
+					writeSSE(w, flusher, "progress", progressView{Run: js.runID, Stage: p.Stage, Done: p.Done, Total: p.Total})
 					continue
 				default:
 				}

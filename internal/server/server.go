@@ -88,6 +88,7 @@ func (s jobStatus) terminal() bool {
 type jobState struct {
 	id       string // server-unique submission ID
 	engineID string // stable spec-hash-derived engine job ID
+	runID    string // request/run correlation ID, immutable after submit
 	job      engine.Job
 	tracker  *progressTracker
 
@@ -164,8 +165,9 @@ func New(cfg Config) *Server {
 		Logger:    cfg.Logger,
 	})
 	s.runJob = s.eng.RunWithProgress
-	// Pre-register the serving metrics so the expvar endpoint carries
-	// every series — zeros included — before the first request.
+	// Pre-register the serving metrics so the expvar endpoint and the
+	// first /metrics scrape carry every series — zeros included — before
+	// the first request.
 	reg.Gauge("server.queue_depth")
 	reg.Gauge("server.jobs_inflight")
 	for _, reason := range []string{"queue_full", "rate_limited", "draining"} {
@@ -173,6 +175,9 @@ func New(cfg Config) *Server {
 	}
 	for _, status := range []jobStatus{statusDone, statusFailed, statusCancelled} {
 		reg.Counter("server.jobs_total." + string(status))
+	}
+	for _, route := range apiRoutes {
+		reg.Histogram("server.request_duration_seconds."+route.name+"."+route.status, telemetry.DurationBuckets)
 	}
 	return s
 }
@@ -200,8 +205,11 @@ var (
 // submit registers and enqueues a job, returning its state. The draining
 // check, ledger insert and queue send happen under one lock so Shutdown
 // cannot drain the queue between a successful admission check and the
-// send (which would strand the job).
-func (s *Server) submit(job engine.Job, engineID string) (*jobState, error) {
+// send (which would strand the job). runID is the submitting request's
+// correlation ID; the worker threads it to the engine run, so the trace,
+// logs and flight-recorder events of the eventual execution all carry
+// the submission's X-Request-ID.
+func (s *Server) submit(job engine.Job, engineID, runID string) (*jobState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || !s.started {
@@ -211,6 +219,7 @@ func (s *Server) submit(job engine.Job, engineID string) (*jobState, error) {
 	js := &jobState{
 		id:        fmt.Sprintf("j-%06d-%s", s.seq, shortEngineID(engineID)),
 		engineID:  engineID,
+		runID:     runID,
 		job:       job,
 		tracker:   newProgressTracker(),
 		status:    statusQueued,
@@ -225,10 +234,20 @@ func (s *Server) submit(job engine.Job, engineID string) (*jobState, error) {
 	s.order = append(s.order, js.id)
 	s.evictOldestLocked()
 	s.reg.Gauge("server.queue_depth").Set(float64(len(s.queue)))
+	s.reg.Event("job.accepted", js.runID, map[string]string{
+		"id": js.id, "job": engineID, "kind": string(js.job.Kind),
+	})
 	if s.log != nil {
-		s.log.Info("job accepted", "id", js.id, "job", engineID, "kind", js.job.Kind, "queue_depth", len(s.queue))
+		s.log.InfoContext(js.logCtx(), "job accepted", "id", js.id, "job", engineID, "kind", js.job.Kind, "queue_depth", len(s.queue))
 	}
 	return js, nil
+}
+
+// logCtx returns a context carrying the job's run ID, so slog lines
+// emitted outside a request handler still correlate with the
+// submission's X-Request-ID.
+func (js *jobState) logCtx() context.Context {
+	return telemetry.ContextWithRunID(context.Background(), js.runID)
 }
 
 // shortEngineID strips the "job-" prefix and truncates to 8 hex digits
@@ -318,13 +337,16 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one dequeued job to a terminal state.
+// execute runs one dequeued job to a terminal state. The run context
+// carries the submission's request ID, so the engine adopts it as the
+// run ID — one identifier correlates the access log, job logs, trace
+// snapshot and flight recorder.
 func (s *Server) execute(js *jobState) {
 	if s.isDraining() {
 		s.reject(js, "server shutting down before the job started")
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(js.logCtx())
 	defer cancel()
 	js.mu.Lock()
 	if js.status != statusQueued { // cancelled while queued
@@ -356,8 +378,9 @@ func (s *Server) execute(js *jobState) {
 	final := js.status
 	js.mu.Unlock()
 	s.reg.Counter("server.jobs_total." + string(final)).Inc()
+	s.reg.Event("job."+string(final), js.runID, map[string]string{"id": js.id, "job": js.engineID})
 	if s.log != nil {
-		s.log.Info("job finished", "id", js.id, "status", string(final))
+		s.log.InfoContext(js.logCtx(), "job finished", "id", js.id, "status", string(final))
 	}
 	js.tracker.finish()
 }
@@ -375,8 +398,9 @@ func (s *Server) reject(js *jobState, reason string) {
 	js.finished = time.Now()
 	js.mu.Unlock()
 	s.reg.Counter("server.jobs_total." + string(statusFailed)).Inc()
+	s.reg.Event("job.failed", js.runID, map[string]string{"id": js.id, "reason": reason})
 	if s.log != nil {
-		s.log.Info("job rejected", "id", js.id, "reason", reason)
+		s.log.InfoContext(js.logCtx(), "job rejected", "id", js.id, "reason", reason)
 	}
 	js.tracker.finish()
 }
@@ -394,6 +418,7 @@ func (s *Server) requestCancel(js *jobState) {
 		js.finished = time.Now()
 		js.mu.Unlock()
 		s.reg.Counter("server.jobs_total." + string(statusCancelled)).Inc()
+		s.reg.Event("job.cancelled", js.runID, map[string]string{"id": js.id, "detail": "cancelled before start"})
 		js.tracker.finish()
 		return
 	case statusRunning:
@@ -422,6 +447,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.drainCh)
 	}
 	s.mu.Unlock()
+	if !alreadyDraining {
+		s.reg.Event("drain.begin", "", nil)
+	}
 
 	// Reject everything still queued. Workers racing on the same
 	// channel reject too (execute checks draining first), so every

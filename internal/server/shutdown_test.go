@@ -139,7 +139,7 @@ func TestShutdownIdempotent(t *testing.T) {
 		t.Fatalf("second Shutdown = %v", err)
 	}
 	// Submissions after drain report the draining error.
-	if _, err := s.submit(engine.Job{}, "job-x"); err != errDraining {
+	if _, err := s.submit(engine.Job{}, "job-x", "run-x"); err != errDraining {
 		t.Fatalf("submit after drain = %v, want errDraining", err)
 	}
 }

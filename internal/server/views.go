@@ -13,6 +13,7 @@ import (
 type jobView struct {
 	ID        string        `json:"id"`
 	JobID     string        `json:"jobId"`
+	RunID     string        `json:"runId,omitempty"`
 	Kind      string        `json:"kind"`
 	Status    string        `json:"status"`
 	Submitted time.Time     `json:"submitted"`
@@ -23,8 +24,10 @@ type jobView struct {
 	Result    *resultView   `json:"result,omitempty"`
 }
 
-// progressView mirrors engine.Progress.
+// progressView mirrors engine.Progress, plus the run ID so SSE
+// consumers can correlate progress frames with server logs and traces.
 type progressView struct {
+	Run   string `json:"run,omitempty"`
 	Stage string `json:"stage"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
@@ -142,6 +145,7 @@ func (s *Server) viewOf(js *jobState, withResult bool) jobView {
 	v := jobView{
 		ID:        js.id,
 		JobID:     js.engineID,
+		RunID:     js.runID,
 		Kind:      string(js.job.Kind),
 		Status:    string(js.status),
 		Submitted: js.submitted,
@@ -156,7 +160,7 @@ func (s *Server) viewOf(js *jobState, withResult bool) jobView {
 		v.Finished = &t
 	}
 	if p, ok := js.tracker.snapshot(); ok && !js.status.terminal() {
-		v.Progress = &progressView{Stage: p.Stage, Done: p.Done, Total: p.Total}
+		v.Progress = &progressView{Run: js.runID, Stage: p.Stage, Done: p.Done, Total: p.Total}
 	}
 	if withResult && js.status == statusDone && js.result != nil {
 		v.Result = resultViewOf(js.result)

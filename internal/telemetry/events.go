@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one flight-recorder entry: a structured record of something
+// operationally interesting (a job lifecycle transition, a rejection, a
+// cache eviction, a drain) that an operator may want to reconstruct
+// after the fact.
+type Event struct {
+	// Seq orders events globally; it increases by one per recorded event
+	// and survives ring wrap-around, so gaps in a snapshot reveal how
+	// much history was overwritten.
+	Seq uint64 `json:"seq"`
+	// Time is the recording time.
+	Time time.Time `json:"time"`
+	// Kind names the event ("job.accepted", "job.cache_hit",
+	// "submit.rejected", "drain.begin", ...).
+	Kind string `json:"kind"`
+	// Run is the run/request ID the event belongs to, empty for
+	// process-level events such as drain transitions.
+	Run string `json:"run,omitempty"`
+	// Fields carries kind-specific detail (job kind, rejection reason,
+	// terminal status, ...).
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// EventLog is a bounded ring of recent events — the flight recorder.
+// Recording is lock-free: a writer claims a sequence number with one
+// atomic add and publishes the event with one atomic pointer store, so
+// hot paths never contend on a mutex and a stalled reader cannot block
+// a writer. Readers snapshot by loading every slot; a concurrently
+// overwritten slot yields either the old or the new event, both valid.
+type EventLog struct {
+	slots []atomic.Pointer[Event]
+	seq   atomic.Uint64
+}
+
+// DefaultEventCapacity is the ring size NewRegistry gives its event log.
+const DefaultEventCapacity = 256
+
+// NewEventLog returns an event ring holding the most recent capacity
+// events (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{slots: make([]atomic.Pointer[Event], capacity)}
+}
+
+// Record appends an event, overwriting the oldest once the ring is full.
+// The fields map is retained — callers must not mutate it afterwards.
+func (l *EventLog) Record(kind, run string, fields map[string]string) {
+	if l == nil {
+		return
+	}
+	seq := l.seq.Add(1)
+	e := &Event{Seq: seq, Time: time.Now(), Kind: kind, Run: run, Fields: fields}
+	l.slots[seq%uint64(len(l.slots))].Store(e)
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(l.slots))
+	for i := range l.slots {
+		if e := l.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEventLogOrderAndWrap fills the ring past capacity and checks the
+// snapshot keeps the newest events, oldest first, with contiguous
+// sequence numbers.
+func TestEventLogOrderAndWrap(t *testing.T) {
+	t.Parallel()
+
+	l := NewEventLog(8)
+	for i := 0; i < 20; i++ {
+		l.Record("job.start", fmt.Sprintf("run-%02d", i), map[string]string{"i": fmt.Sprint(i)})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot holds %d events, want ring capacity 8", len(snap))
+	}
+	for i, e := range snap {
+		wantSeq := uint64(13 + i) // 20 recorded, ring of 8 keeps seq 13..20
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Kind != "job.start" {
+			t.Errorf("event %d: kind = %q", i, e.Kind)
+		}
+	}
+	if snap[0].Run != "run-12" || snap[7].Run != "run-19" {
+		t.Errorf("run window = %s..%s, want run-12..run-19", snap[0].Run, snap[7].Run)
+	}
+}
+
+// TestEventLogNilSafe checks the nil receiver paths used when a
+// registry is absent.
+func TestEventLogNilSafe(t *testing.T) {
+	t.Parallel()
+
+	var l *EventLog
+	l.Record("kind", "run", nil)
+	if got := l.Snapshot(); got != nil {
+		t.Errorf("nil snapshot = %v, want nil", got)
+	}
+	var reg *Registry
+	reg.Event("kind", "run", nil) // must not panic
+}
+
+// TestEventLogConcurrent hammers Record and Snapshot together; under
+// -race this is the data-race check for the lock-free ring.
+func TestEventLogConcurrent(t *testing.T) {
+	t.Parallel()
+
+	l := NewEventLog(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Record("k", fmt.Sprintf("run-%d", g), nil)
+				if i%50 == 0 {
+					for _, e := range l.Snapshot() {
+						if e.Kind != "k" {
+							t.Errorf("torn event: %+v", e)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.seq.Load(); got != 8*500 {
+		t.Errorf("recorded seq = %d, want %d", got, 8*500)
+	}
+}
+
+// TestRegistryEventsInSnapshot checks registry-recorded events surface
+// in both Events() and the JSON snapshot.
+func TestRegistryEventsInSnapshot(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	reg.Event("job.accepted", "run-1", map[string]string{"id": "j-1"})
+	reg.Event("job.finished", "run-1", map[string]string{"id": "j-1"})
+	snap := reg.Snapshot()
+	if len(snap.Events) != 2 {
+		t.Fatalf("snapshot events = %d, want 2", len(snap.Events))
+	}
+	if snap.Events[0].Kind != "job.accepted" || snap.Events[1].Kind != "job.finished" {
+		t.Errorf("event order: %q then %q", snap.Events[0].Kind, snap.Events[1].Kind)
+	}
+	if snap.Events[0].Run != "run-1" || snap.Events[0].Fields["id"] != "j-1" {
+		t.Errorf("event payload: %+v", snap.Events[0])
+	}
+	if got := len(reg.Events().Snapshot()); got != 2 {
+		t.Errorf("Events() snapshot = %d events, want 2", got)
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// healthGauges maps the runtime/metrics samples the health sampler polls
+// to the registry gauges they feed. Only metrics the running toolchain
+// actually exports are sampled (lookup is filtered against
+// metrics.All at first use), so toolchain drift degrades to missing
+// gauges rather than zeros of the wrong meaning.
+var healthGauges = []struct {
+	runtime string // runtime/metrics name
+	gauge   string // registry gauge (KindUint64/KindFloat64) or prefix (histograms)
+}{
+	{"/sched/goroutines:goroutines", "process.goroutines"},
+	{"/memory/classes/heap/objects:bytes", "process.heap_bytes"},
+	{"/memory/classes/total:bytes", "process.memory_total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "process.gc_cycles"},
+	{"/sched/pauses/total/gc:seconds", "process.gc_pause"},
+	{"/sched/latencies:seconds", "process.sched_latency"},
+}
+
+// healthSamples resolves the subset of healthGauges the toolchain
+// supports into a reusable sample slice.
+func healthSamples() ([]metrics.Sample, []string) {
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	var samples []metrics.Sample
+	var gauges []string
+	for _, hg := range healthGauges {
+		if known[hg.runtime] {
+			samples = append(samples, metrics.Sample{Name: hg.runtime})
+			gauges = append(gauges, hg.gauge)
+		}
+	}
+	return samples, gauges
+}
+
+// SampleHealth reads the process-health metrics once and stores them as
+// registry gauges: goroutine count, heap and total memory, GC cycle
+// count, and p50/max GC pause plus p50/p99 scheduling latency derived
+// from the runtime's cumulative distributions. The health sampler calls
+// it periodically; tests and one-shot snapshots may call it directly.
+func SampleHealth(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	samples, gauges := healthSamples()
+	metrics.Read(samples)
+	for i, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			reg.Gauge(gauges[i]).Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			reg.Gauge(gauges[i]).Set(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			switch gauges[i] {
+			case "process.gc_pause":
+				reg.Gauge("process.gc_pause_p50_seconds").Set(histQuantile(h, 0.5))
+				reg.Gauge("process.gc_pause_max_seconds").Set(histMax(h))
+			case "process.sched_latency":
+				reg.Gauge("process.sched_latency_p50_seconds").Set(histQuantile(h, 0.5))
+				reg.Gauge("process.sched_latency_p99_seconds").Set(histQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+// histQuantile returns the q-quantile of a runtime/metrics cumulative
+// histogram as the upper boundary of the bucket the quantile falls in
+// (0 for an empty histogram). Infinite boundaries are clamped to the
+// nearest finite one.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return finiteBoundary(h, i+1)
+		}
+	}
+	return finiteBoundary(h, len(h.Buckets)-1)
+}
+
+// histMax returns the upper boundary of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return finiteBoundary(h, i+1)
+		}
+	}
+	return 0
+}
+
+// finiteBoundary returns the bucket boundary at index i, walking inward
+// past ±Inf edges.
+func finiteBoundary(h *metrics.Float64Histogram, i int) float64 {
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	b := h.Buckets[i]
+	if math.IsInf(b, +1) && i > 0 {
+		b = h.Buckets[i-1]
+	}
+	if math.IsInf(b, -1) && i+1 < len(h.Buckets) {
+		b = h.Buckets[i+1]
+	}
+	if math.IsInf(b, 0) {
+		return 0
+	}
+	return b
+}
+
+// HealthSampler periodically feeds process-health gauges into a
+// registry. Construct with StartHealthSampler; Stop halts the loop.
+type HealthSampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// DefaultHealthInterval is the sampling period StartHealthSampler uses
+// when given a non-positive interval.
+const DefaultHealthInterval = 5 * time.Second
+
+// StartHealthSampler samples immediately, then every interval, until
+// Stop. The immediate sample means even a short-lived CLI process
+// carries process-health gauges in its final -telemetry-json snapshot.
+func StartHealthSampler(reg *Registry, interval time.Duration) *HealthSampler {
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	s := &HealthSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	SampleHealth(reg)
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				SampleHealth(reg)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampling loop and waits for it to exit. Safe to call
+// once; a nil receiver is a no-op.
+func (s *HealthSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+// TestSampleHealth checks one sampling pass populates the core process
+// gauges with plausible values.
+func TestSampleHealth(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	SampleHealth(reg)
+	snap := reg.Snapshot()
+
+	if g := snap.Gauges["process.goroutines"]; g < 1 {
+		t.Errorf("process.goroutines = %v, want >= 1", g)
+	}
+	if g := snap.Gauges["process.memory_total_bytes"]; g <= 0 {
+		t.Errorf("process.memory_total_bytes = %v, want > 0", g)
+	}
+	if _, ok := snap.Gauges["process.heap_bytes"]; !ok {
+		t.Error("process.heap_bytes gauge missing")
+	}
+	if _, ok := snap.Gauges["process.gc_cycles"]; !ok {
+		t.Error("process.gc_cycles gauge missing")
+	}
+	// The derived distribution gauges exist whenever the runtime exports
+	// the source histograms (it does on supported toolchains).
+	for _, name := range []string{
+		"process.gc_pause_p50_seconds", "process.gc_pause_max_seconds",
+		"process.sched_latency_p50_seconds", "process.sched_latency_p99_seconds",
+	} {
+		if v, ok := snap.Gauges[name]; !ok || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v (present %v), want finite non-negative", name, v, ok)
+		}
+	}
+}
+
+// TestHealthSamplerLifecycle starts a fast sampler, waits for at least
+// one tick past the immediate sample, and checks Stop terminates.
+func TestHealthSamplerLifecycle(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	s := StartHealthSampler(reg, 5*time.Millisecond)
+	if g := reg.Snapshot().Gauges["process.goroutines"]; g < 1 {
+		t.Errorf("immediate sample missing: goroutines = %v", g)
+	}
+	time.Sleep(25 * time.Millisecond)
+	s.Stop() // must not hang
+	var nilS *HealthSampler
+	nilS.Stop() // nil-safe
+}
+
+// TestHistQuantile pins the quantile extraction on a hand-built
+// cumulative histogram, including ±Inf boundary clamping.
+func TestHistQuantile(t *testing.T) {
+	t.Parallel()
+
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 6, 2},
+		Buckets: []float64{math.Inf(-1), 0.001, 0.01, math.Inf(+1)},
+	}
+	if got := histQuantile(h, 0.5); got != 0.01 {
+		t.Errorf("p50 = %v, want 0.01 (second bucket's upper bound)", got)
+	}
+	if got := histQuantile(h, 0.1); got != 0.001 {
+		t.Errorf("p10 = %v, want 0.001", got)
+	}
+	// p99 lands in the last bucket whose upper bound is +Inf; the
+	// boundary clamps inward to 0.01.
+	if got := histQuantile(h, 0.99); got != 0.01 {
+		t.Errorf("p99 = %v, want clamped 0.01", got)
+	}
+	if got := histMax(h); got != 0.01 {
+		t.Errorf("max = %v, want clamped 0.01", got)
+	}
+
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+	if got := histMax(empty); got != 0 {
+		t.Errorf("empty max = %v, want 0", got)
+	}
+}

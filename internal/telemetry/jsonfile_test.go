@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONFileAtomic checks the snapshot file is written via a
+// temp-and-rename: the published file is complete valid JSON, carries
+// regular file permissions, and no temporary file is left behind —
+// including when overwriting an existing snapshot.
+func TestWriteJSONFileAtomic(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.json")
+	reg := NewRegistry()
+	reg.Counter("c").Add(7)
+
+	for round := 0; round < 2; round++ { // second round overwrites
+		reg.Counter("c").Inc()
+		if err := reg.WriteJSONFile(path); err != nil {
+			t.Fatalf("round %d: WriteJSONFile: %v", round, err)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["c"] != 9 {
+		t.Errorf("counter in snapshot = %d, want 9 (latest write wins)", snap.Counters["c"])
+	}
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("snapshot permissions = %o, want 644", perm)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temporary file: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the snapshot", len(entries))
+	}
+}
+
+// TestWriteJSONFileErrorCleanup checks a failed write (unwritable
+// directory) does not publish a partial file.
+func TestWriteJSONFileErrorCleanup(t *testing.T) {
+	t.Parallel()
+
+	dir := filepath.Join(t.TempDir(), "missing")
+	path := filepath.Join(dir, "telemetry.json")
+	if err := NewRegistry().WriteJSONFile(path); err == nil {
+		t.Fatal("WriteJSONFile into a missing directory succeeded, want error")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("partial snapshot published: stat err = %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the content type of the Prometheus text exposition
+// format WriteProm produces, served by the /metrics endpoint.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promFamily maps one dotted-name family onto a Prometheus metric family
+// with labels: registry names matching prefix have their remainder split
+// on "." into the label values. The table mirrors the metric naming
+// contract in docs/METRICS.md; cmd/docscheck cross-checks the two.
+type promFamily struct {
+	prefix string   // dotted prefix, including the trailing dot
+	name   string   // exposition family name
+	labels []string // label keys, one per dot-separated remainder segment
+	help   string
+}
+
+// promFamilies lists every dotted family whose trailing segments are
+// label values rather than part of the metric name. Longest prefixes are
+// matched first, so "montecarlo.replications_total.<adjudicator>" wins
+// over the plain "montecarlo.replications_total" counter.
+//
+// The "experiments.wall_time_seconds.<ID>" gauges take a distinct family
+// name (suffix "_latest") because the unsuffixed name is already a
+// histogram, and one exposition family cannot carry two types.
+var promFamilies = []promFamily{
+	{
+		prefix: "engine.job_duration_seconds.",
+		name:   "engine_job_duration_seconds",
+		labels: []string{"kind"},
+		help:   "Wall time of each executed engine job, by job kind.",
+	},
+	{
+		prefix: "server.request_duration_seconds.",
+		name:   "server_request_duration_seconds",
+		labels: []string{"route", "status"},
+		help:   "HTTP request latency by route and status code.",
+	},
+	{
+		prefix: "server.rejected_total.",
+		name:   "server_rejected_total",
+		labels: []string{"reason"},
+		help:   "Submissions shed at the edge, by rejection reason.",
+	},
+	{
+		prefix: "server.jobs_total.",
+		name:   "server_jobs_total",
+		labels: []string{"status"},
+		help:   "Jobs reaching a terminal state, by final status.",
+	},
+	{
+		prefix: "montecarlo.replications_total.",
+		name:   "montecarlo_replications_total",
+		labels: []string{"adjudicator"},
+		help:   "Replications completed, by voting rule.",
+	},
+	{
+		prefix: "montecarlo.replications_per_second.",
+		name:   "montecarlo_replications_per_second",
+		labels: []string{"mode"},
+		help:   "Throughput of the latest run, by development kernel.",
+	},
+	{
+		prefix: "experiments.wall_time_seconds.",
+		name:   "experiments_wall_time_seconds_latest",
+		labels: []string{"experiment"},
+		help:   "Latest wall time of each experiment.",
+	},
+}
+
+// promName converts a dotted registry name to a Prometheus family name
+// plus rendered labels. Names outside the family table map by replacing
+// every invalid character with an underscore, label-free.
+func promName(dotted string) (name, labels string) {
+	for _, f := range promFamilies {
+		rest, ok := strings.CutPrefix(dotted, f.prefix)
+		if !ok || rest == "" {
+			continue
+		}
+		values := strings.Split(rest, ".")
+		if len(values) != len(f.labels) {
+			continue
+		}
+		pairs := make([]string, len(values))
+		for i, v := range values {
+			pairs[i] = f.labels[i] + `="` + escapeLabel(v) + `"`
+		}
+		return f.name, "{" + strings.Join(pairs, ",") + "}"
+	}
+	return sanitizeName(dotted), ""
+}
+
+// sanitizeName maps an arbitrary dotted name into the Prometheus name
+// charset [a-zA-Z0-9_:], prefixing an underscore when the first
+// character would otherwise be a digit.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// promValue formats a sample value. The 'g' format round-trips float64
+// exactly and renders +Inf/-Inf/NaN in the spelling the format expects.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one (labels, value) sample of a family.
+type promSeries struct {
+	labels  string
+	counter int64
+	gauge   float64
+	hist    *HistogramSnapshot
+}
+
+// promGroup collects every series of one exposition family.
+type promGroup struct {
+	name   string
+	typ    string // "counter", "gauge" or "histogram"
+	help   string
+	series []promSeries
+}
+
+// helpFor returns the family-table help string for an exposition name.
+func helpFor(name string) string {
+	for _, f := range promFamilies {
+		if f.name == name {
+			return f.help
+		}
+	}
+	return ""
+}
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): dotted registry names become
+// underscore names, the families in the docs/METRICS.md mapping carry
+// their trailing segments as labels, counters gain a `_total` suffix
+// when they lack one, and histograms expose cumulative `le` buckets with
+// `_sum` and `_count`. Output is deterministic: families sort by name,
+// series by label string.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	groups := make(map[string]*promGroup)
+	add := func(name, typ string, s promSeries) {
+		g, ok := groups[name]
+		if !ok {
+			g = &promGroup{name: name, typ: typ, help: helpFor(name)}
+			groups[name] = g
+		}
+		g.series = append(g.series, s)
+	}
+
+	for dotted, v := range snap.Counters {
+		name, labels := promName(dotted)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		add(name, "counter", promSeries{labels: labels, counter: v})
+	}
+	for dotted, v := range snap.Gauges {
+		name, labels := promName(dotted)
+		add(name, "gauge", promSeries{labels: labels, gauge: v})
+	}
+	for dotted := range snap.Histograms {
+		h := snap.Histograms[dotted]
+		name, labels := promName(dotted)
+		add(name, "histogram", promSeries{labels: labels, hist: &h})
+	}
+
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		g := groups[name]
+		sort.Slice(g.series, func(i, j int) bool { return g.series[i].labels < g.series[j].labels })
+		if g.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", g.name, g.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", g.name, g.typ)
+		for _, s := range g.series {
+			switch g.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", g.name, s.labels, s.counter)
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", g.name, s.labels, promValue(s.gauge))
+			case "histogram":
+				writePromHistogram(&b, g.name, s.labels, s.hist)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets
+// (the registry stores per-bucket counts) ending in le="+Inf", then
+// _sum and _count.
+func writePromHistogram(b *strings.Builder, name, labels string, h *HistogramSnapshot) {
+	// Merge the family labels with the le label: strip the closing brace
+	// and continue the pair list.
+	open := "{"
+	if labels != "" {
+		open = strings.TrimSuffix(labels, "}") + ","
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%sle=%q} %d\n", name, open, promValue(bound), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, h.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, promValue(h.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.Count)
+}

@@ -1,0 +1,417 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures")
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string
+	labels string // raw label block, "{...}" or ""
+	value  float64
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parseProm is a strict parser for the subset of the text exposition
+// format (version 0.0.4) WriteProm produces. It fails the test on any
+// lint violation: malformed lines, bad name or label charsets, samples
+// before their TYPE line, duplicate TYPE lines, duplicate series,
+// non-cumulative histogram buckets, or missing _sum/_count/+Inf.
+func parseProm(t *testing.T, text string) []promSample {
+	t.Helper()
+	typed := make(map[string]string) // family -> type
+	seen := make(map[string]bool)    // name+labels -> dup check
+	var samples []promSample
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP line: %q", lineNo, line)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed TYPE line: %q", lineNo, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %s", lineNo, name)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment line: %q", lineNo, line)
+		}
+
+		// Sample line: name[{labels}] value
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd < 0 {
+			t.Fatalf("line %d: malformed sample line: %q", lineNo, line)
+		}
+		name := line[:nameEnd]
+		if !promNameRe.MatchString(name) {
+			t.Fatalf("line %d: invalid metric name %q", lineNo, name)
+		}
+		rest := line[nameEnd:]
+		labels := ""
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				t.Fatalf("line %d: unterminated label block: %q", lineNo, line)
+			}
+			labels = rest[:end+1]
+			rest = rest[end+1:]
+			lintLabels(t, lineNo, labels)
+		}
+		valueStr := strings.TrimPrefix(rest, " ")
+		if valueStr == rest || strings.Contains(valueStr, " ") {
+			t.Fatalf("line %d: malformed sample value in %q", lineNo, line)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: unparsable value %q: %v", lineNo, valueStr, err)
+		}
+
+		// Samples of a family must follow its TYPE line. Histogram series
+		// use the family name plus _bucket/_sum/_count suffixes.
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		typ, ok := typed[family]
+		if !ok {
+			t.Fatalf("line %d: sample %s before TYPE line", lineNo, name)
+		}
+		if typ == "counter" && !strings.HasSuffix(family, "_total") {
+			t.Errorf("line %d: counter family %s does not end in _total", lineNo, family)
+		}
+		if typ == "counter" && value < 0 {
+			t.Errorf("line %d: negative counter value %v", lineNo, value)
+		}
+		key := name + labels
+		if seen[key] {
+			t.Fatalf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		samples = append(samples, promSample{name: name, labels: labels, value: value})
+	}
+
+	lintHistograms(t, typed, samples)
+	return samples
+}
+
+// lintLabels checks one rendered label block: valid key charset and
+// properly quoted, escaped values.
+func lintLabels(t *testing.T, lineNo int, block string) {
+	t.Helper()
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for _, pair := range splitLabelPairs(inner) {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok || !promLabelRe.MatchString(key) {
+			t.Fatalf("line %d: malformed label pair %q", lineNo, pair)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			t.Fatalf("line %d: label value not quoted: %q", lineNo, pair)
+		}
+		body := val[1 : len(val)-1]
+		for i := 0; i < len(body); i++ {
+			switch body[i] {
+			case '\\':
+				if i+1 >= len(body) || (body[i+1] != '\\' && body[i+1] != '"' && body[i+1] != 'n') {
+					t.Fatalf("line %d: bad escape in label value %q", lineNo, val)
+				}
+				i++
+			case '"', '\n':
+				t.Fatalf("line %d: unescaped %q in label value %q", lineNo, body[i], val)
+			}
+		}
+	}
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var pairs []string
+	start, inQuotes := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && inQuotes:
+			i++
+		case s[i] == '"':
+			inQuotes = !inQuotes
+		case s[i] == ',' && !inQuotes:
+			pairs = append(pairs, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		pairs = append(pairs, s[start:])
+	}
+	return pairs
+}
+
+// lintHistograms checks every histogram series for cumulative buckets,
+// a +Inf bucket, and _count agreeing with the +Inf bucket.
+func lintHistograms(t *testing.T, typed map[string]string, samples []promSample) {
+	t.Helper()
+	type hist struct {
+		buckets []float64 // cumulative counts in line order
+		inf     *float64
+		count   *float64
+		hasSum  bool
+	}
+	hists := make(map[string]*hist) // family+baseLabels -> state
+	get := func(key string) *hist {
+		h, ok := hists[key]
+		if !ok {
+			h = &hist{}
+			hists[key] = h
+		}
+		return h
+	}
+	for _, s := range samples {
+		for family, typ := range typed {
+			if typ != "histogram" {
+				continue
+			}
+			switch s.name {
+			case family + "_bucket":
+				le := labelValue(s.labels, "le")
+				base := stripLabel(s.labels, "le")
+				h := get(family + base)
+				if le == "+Inf" {
+					v := s.value
+					h.inf = &v
+				} else {
+					h.buckets = append(h.buckets, s.value)
+				}
+			case family + "_sum":
+				get(family + s.labels).hasSum = true
+			case family + "_count":
+				v := s.value
+				get(family + s.labels).count = &v
+			}
+		}
+	}
+	for key, h := range hists {
+		if h.inf == nil {
+			t.Errorf("histogram %s: no le=\"+Inf\" bucket", key)
+			continue
+		}
+		if h.count == nil || h.hasSum == false {
+			t.Errorf("histogram %s: missing _sum or _count", key)
+			continue
+		}
+		if *h.count != *h.inf {
+			t.Errorf("histogram %s: _count %v != +Inf bucket %v", key, *h.count, *h.inf)
+		}
+		for i := 1; i < len(h.buckets); i++ {
+			if h.buckets[i] < h.buckets[i-1] {
+				t.Errorf("histogram %s: buckets not cumulative at index %d: %v", key, i, h.buckets)
+			}
+		}
+		if len(h.buckets) > 0 && *h.inf < h.buckets[len(h.buckets)-1] {
+			t.Errorf("histogram %s: +Inf bucket %v below last bound bucket %v", key, *h.inf, h.buckets[len(h.buckets)-1])
+		}
+	}
+}
+
+// labelValue extracts one label's (unescaped-enough for "le") value.
+func labelValue(block, key string) string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for _, pair := range splitLabelPairs(inner) {
+		k, v, _ := strings.Cut(pair, "=")
+		if k == key {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+// stripLabel removes one label pair from a rendered block, returning the
+// block without it ("" when it was the only pair).
+func stripLabel(block, key string) string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if k, _, _ := strings.Cut(pair, "="); k != key {
+			kept = append(kept, pair)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// promTestRegistry builds a registry covering every exposition shape:
+// labeled and unlabeled counters and gauges, a labeled histogram, a
+// family-table miss that needs sanitising, and a label value needing
+// escaping.
+func promTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("engine.cache.hits").Add(3)
+	reg.Counter("montecarlo.replications_total").Add(500)
+	reg.Counter("montecarlo.replications_total.majority").Add(300)
+	reg.Counter("montecarlo.replications_total.1oon").Add(200)
+	reg.Counter("server.rejected_total.queue_full").Add(2)
+	reg.Gauge("montecarlo.replications_per_second").Set(125000.5)
+	reg.Gauge("montecarlo.replications_per_second.sparse").Set(2.5e6)
+	reg.Gauge("experiments.wall_time_seconds.E01").Set(0.25)
+	reg.Gauge("process.goroutines").Set(12)
+	reg.Gauge(`weird.name.with"quote\and-dash`).Set(1)
+	h := reg.Histogram("engine.job_duration_seconds.montecarlo", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // overflow
+	rh := reg.Histogram("server.request_duration_seconds.jobs_submit.202", []float64{0.01, 0.1, 1})
+	rh.Observe(0.002)
+	rh.Observe(0.02)
+	return reg
+}
+
+// TestWritePromLint renders a registry exercising every shape and runs
+// the full exposition lint over it.
+func TestWritePromLint(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, promTestRegistry().Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	samples := parseProm(t, buf.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+
+	want := map[string]float64{
+		`montecarlo_replications_total{adjudicator="majority"}`:                   300,
+		`montecarlo_replications_total{adjudicator="1oon"}`:                       200,
+		`montecarlo_replications_total`:                                           500,
+		`engine_cache_hits_total`:                                                 3,
+		`server_rejected_total{reason="queue_full"}`:                              2,
+		`montecarlo_replications_per_second{mode="sparse"}`:                       2.5e6,
+		`experiments_wall_time_seconds_latest{experiment="E01"}`:                  0.25,
+		`process_goroutines`:                                                      12,
+		`engine_job_duration_seconds_count{kind="montecarlo"}`:                    4,
+		`server_request_duration_seconds_count{route="jobs_submit",status="202"}`: 2,
+	}
+	got := make(map[string]float64)
+	for _, s := range samples {
+		got[s.name+s.labels] = s.value
+	}
+	for series, value := range want {
+		if got[series] != value {
+			t.Errorf("series %s = %v, want %v", series, got[series], value)
+		}
+	}
+
+	// The escaped-label gauge survives as a sanitised, label-free name.
+	if _, ok := got[`weird_name_with_quote_and_dash`]; !ok {
+		t.Errorf("sanitised fallback series missing; got %v", keysOf(got))
+	}
+
+	// Cumulative bucket check for the engine histogram: 1, 2, 3 then
+	// +Inf = 4 (the overflow observation).
+	for i, wantCum := range []float64{1, 2, 3} {
+		series := fmt.Sprintf(`engine_job_duration_seconds_bucket{kind="montecarlo",le="%s"}`, promValue([]float64{0.01, 0.1, 1}[i]))
+		if got[series] != wantCum {
+			t.Errorf("bucket %s = %v, want %v", series, got[series], wantCum)
+		}
+	}
+	if got[`engine_job_duration_seconds_bucket{kind="montecarlo",le="+Inf"}`] != 4 {
+		t.Errorf("+Inf bucket = %v, want 4", got[`engine_job_duration_seconds_bucket{kind="montecarlo",le="+Inf"}`])
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TestWritePromGolden pins the full rendered exposition byte-for-byte
+// against testdata/prom_golden.txt. Regenerate with -update-golden after
+// an intentional format change.
+func TestWritePromGolden(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, promTestRegistry().Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden (regenerate with -update-golden):\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromNameMapping pins the family-table mapping rules, including the
+// mismatched-arity fallback and the histogram/gauge family split.
+func TestPromNameMapping(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct {
+		dotted     string
+		wantName   string
+		wantLabels string
+	}{
+		{"engine.job_duration_seconds.montecarlo", "engine_job_duration_seconds", `{kind="montecarlo"}`},
+		{"server.request_duration_seconds.jobs_submit.202", "server_request_duration_seconds", `{route="jobs_submit",status="202"}`},
+		{"server.rejected_total.rate_limited", "server_rejected_total", `{reason="rate_limited"}`},
+		{"experiments.wall_time_seconds.E07", "experiments_wall_time_seconds_latest", `{experiment="E07"}`},
+		{"experiments.wall_time_seconds", "experiments_wall_time_seconds", ""},
+		{"montecarlo.replications_total", "montecarlo_replications_total", ""},
+		{"engine.cache.hits", "engine_cache_hits", ""},
+		// Arity mismatch (three trailing segments for a two-label family)
+		// falls back to sanitising the whole name.
+		{"server.request_duration_seconds.a.b.c", "server_request_duration_seconds_a_b_c", ""},
+		{"9starts.with.digit", "_9starts_with_digit", ""},
+	}
+	for _, tc := range cases {
+		name, labels := promName(tc.dotted)
+		if name != tc.wantName || labels != tc.wantLabels {
+			t.Errorf("promName(%q) = %q, %q; want %q, %q", tc.dotted, name, labels, tc.wantName, tc.wantLabels)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package telemetry
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -26,6 +27,7 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -112,24 +114,55 @@ var DurationBuckets = []float64{
 // NewRegistry. Metric lookups are get-or-create and goroutine-safe;
 // observing an existing metric takes no registry lock.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	traces   []*Trace
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	traces    []*Trace
+	maxTraces int
+	events    *EventLog
 }
 
-// maxTraces caps the number of recent run traces a registry retains;
-// older traces are dropped first.
-const maxTraces = 16
+// DefaultMaxTraces is the number of recent run traces a registry retains
+// unless reconfigured with SetMaxTraces; older traces are dropped first.
+const DefaultMaxTraces = 16
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default trace retention
+// and flight-recorder capacity.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		maxTraces: DefaultMaxTraces,
+		events:    NewEventLog(DefaultEventCapacity),
 	}
+}
+
+// SetMaxTraces reconfigures how many recent run traces the registry
+// retains (minimum 1), trimming immediately when shrinking.
+func (r *Registry) SetMaxTraces(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxTraces = n
+	if len(r.traces) > n {
+		r.traces = append([]*Trace(nil), r.traces[len(r.traces)-n:]...)
+	}
+}
+
+// Events returns the registry's flight recorder.
+func (r *Registry) Events() *EventLog { return r.events }
+
+// Event records a flight-recorder event; a nil registry is a no-op, so
+// instrumented code paths need no telemetry guard.
+func (r *Registry) Event(kind, run string, fields map[string]string) {
+	if r == nil {
+		return
+	}
+	r.events.Record(kind, run, fields)
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -180,9 +213,22 @@ func (r *Registry) RecordTrace(t *Trace) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.traces = append(r.traces, t)
-	if len(r.traces) > maxTraces {
-		r.traces = r.traces[len(r.traces)-maxTraces:]
+	if len(r.traces) > r.maxTraces {
+		r.traces = r.traces[len(r.traces)-r.maxTraces:]
 	}
+}
+
+// Traces returns snapshots of the retained run traces, oldest first —
+// what the /debug/traces endpoint serves.
+func (r *Registry) Traces() []TraceSnapshot {
+	r.mu.Lock()
+	traces := append([]*Trace(nil), r.traces...)
+	r.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.Snapshot())
+	}
+	return out
 }
 
 // HistogramSnapshot is the serialisable state of a histogram. Bounds are
@@ -203,6 +249,10 @@ type Snapshot struct {
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Runs       []TraceSnapshot              `json:"runs,omitempty"`
+	// Events is the flight recorder's retained ring, oldest first, so a
+	// -telemetry-json snapshot carries the recent lifecycle history a
+	// postmortem needs.
+	Events []Event `json:"events,omitempty"`
 }
 
 // Snapshot returns a consistent copy of every metric and retained trace.
@@ -239,6 +289,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, t := range r.traces {
 		snap.Runs = append(snap.Runs, t.Snapshot())
 	}
+	snap.Events = r.events.Snapshot()
 	return snap
 }
 
@@ -255,20 +306,45 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// WriteJSONFile writes the registry snapshot to path ("-" means stderr).
+// WriteJSONFile writes the registry snapshot to path ("-" means
+// stderr). The write is atomic: the snapshot lands in a temporary file
+// in the target directory and is renamed into place only once fully
+// written and synced, so a signal arriving mid-write can tear the
+// temporary file but never the published snapshot.
 func (r *Registry) WriteJSONFile(path string) error {
 	if path == "-" {
 		return r.WriteJSON(os.Stderr)
 	}
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("telemetry: %w", err)
 	}
-	if err := r.WriteJSON(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		return cleanup(err)
+	}
+	// Match os.Create's permissions: CreateTemp opens 0600.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(fmt.Errorf("telemetry: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("telemetry: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
 }
 
 // expvarMu guards the process-global expvar namespace, where Publish
@@ -302,6 +378,51 @@ func NewRunID() string {
 	return "run-" + hex.EncodeToString(b[:])
 }
 
+// runIDKey is the context key run/request IDs travel under.
+type runIDKey struct{}
+
+// ContextWithRunID returns a context carrying the given run/request ID.
+// The engine threads it to trace IDs and the RunIDHandler stamps it onto
+// every log line, which is what correlates one submission across the
+// access log, slog lines, SSE stream, flight recorder and trace
+// snapshot.
+func ContextWithRunID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, runIDKey{}, id)
+}
+
+// RunIDFromContext returns the run/request ID carried by ctx, if any.
+func RunIDFromContext(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(runIDKey{}).(string)
+	return id, ok && id != ""
+}
+
+// runIDHandler is a slog.Handler wrapper that stamps the context's run
+// ID (see ContextWithRunID) onto every record as a "run" attribute, so
+// call sites log through plain InfoContext and correlation happens in
+// one place.
+type runIDHandler struct {
+	slog.Handler
+}
+
+// RunIDHandler wraps h so records logged with a run-ID-carrying context
+// gain a "run" attribute. NewLogger applies it by default.
+func RunIDHandler(h slog.Handler) slog.Handler { return &runIDHandler{Handler: h} }
+
+func (h *runIDHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id, ok := RunIDFromContext(ctx); ok {
+		rec.AddAttrs(slog.String("run", id))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h *runIDHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &runIDHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+func (h *runIDHandler) WithGroup(name string) slog.Handler {
+	return &runIDHandler{Handler: h.Handler.WithGroup(name)}
+}
+
 // ParseLevel maps a -log-level flag value to a slog level.
 func ParseLevel(name string) (slog.Level, error) {
 	switch name {
@@ -320,11 +441,13 @@ func ParseLevel(name string) (slog.Level, error) {
 
 // NewLogger returns a text-format slog logger writing to w at the given
 // level name — the CLIs' structured replacement for ad-hoc stderr
-// prints.
+// prints. The handler is wrapped with RunIDHandler, so records logged
+// through the *Context methods with a run-ID-carrying context (see
+// ContextWithRunID) are stamped with their run attribute automatically.
 func NewLogger(w io.Writer, levelName string) (*slog.Logger, error) {
 	level, err := ParseLevel(levelName)
 	if err != nil {
 		return nil, err
 	}
-	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})), nil
+	return slog.New(RunIDHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))), nil
 }

@@ -164,13 +164,29 @@ func TestTraceRetention(t *testing.T) {
 	t.Parallel()
 
 	reg := NewRegistry()
-	for i := 0; i < maxTraces+5; i++ {
+	for i := 0; i < DefaultMaxTraces+5; i++ {
 		tr := NewTrace(NewRunID(), "job")
 		tr.End()
 		reg.RecordTrace(tr)
 	}
-	if got := len(reg.Snapshot().Runs); got != maxTraces {
-		t.Errorf("retained %d traces, want %d", got, maxTraces)
+	if got := len(reg.Snapshot().Runs); got != DefaultMaxTraces {
+		t.Errorf("retained %d traces, want %d", got, DefaultMaxTraces)
+	}
+
+	// Retention is configurable both ways: shrinking trims immediately,
+	// growing lets more accumulate.
+	reg.SetMaxTraces(4)
+	if got := len(reg.Traces()); got != 4 {
+		t.Errorf("after SetMaxTraces(4): retained %d traces, want 4", got)
+	}
+	reg.SetMaxTraces(32)
+	for i := 0; i < 30; i++ {
+		tr := NewTrace(NewRunID(), "job")
+		tr.End()
+		reg.RecordTrace(tr)
+	}
+	if got := len(reg.Traces()); got != 32 {
+		t.Errorf("after SetMaxTraces(32): retained %d traces, want 32", got)
 	}
 }
 
