@@ -3,7 +3,8 @@ package main
 // The metrics gate cross-checks docs/METRICS.md against the telemetry
 // the code actually emits. A small in-process workload (engine runs in
 // every mode, a quick experiment, a cancelled Monte-Carlo run, server
-// construction, one health sample) populates a live registry; then
+// construction, a durable-store journal round trip, one health sample)
+// populates a live registry; then
 // every documented metric row must match at least one live metric of
 // the same type, every live metric must be documented, and every row's
 // Prometheus column must name a family the exposition really renders.
@@ -25,6 +26,7 @@ import (
 	"diversity/internal/montecarlo"
 	"diversity/internal/scenario"
 	"diversity/internal/server"
+	"diversity/internal/store"
 	"diversity/internal/telemetry"
 )
 
@@ -180,9 +182,54 @@ func buildLiveRegistry() (*telemetry.Registry, error) {
 	// Server construction pre-registers the serving-layer series.
 	server.New(server.Config{Registry: reg, Logger: logger})
 
+	// The durable job store: journal a couple of records, compact, and
+	// reopen so every store.* series carries real traffic, including the
+	// replay counter.
+	if err := exerciseStore(reg); err != nil {
+		return nil, fmt.Errorf("building live registry: %w", err)
+	}
+
 	// One health sample feeds the process.* gauges.
 	telemetry.SampleHealth(reg)
 	return reg, nil
+}
+
+// exerciseStore drives the durable job ledger through its whole metric
+// surface in a throwaway directory: appends (with the always-fsync
+// policy), a compaction, and a reopen that replays the compacted state.
+func exerciseStore(reg *telemetry.Registry) error {
+	dir, err := os.MkdirTemp("", "docscheck-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(store.Options{Dir: dir, Registry: reg})
+	if err != nil {
+		return err
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := st.Put(store.JobRecord{ID: fmt.Sprintf("j-%06d-doc", seq), Seq: seq, Kind: "analytic", Status: "queued"}); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	if err := st.Update(store.Update{ID: "j-000001-doc", Status: "done"}); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Compact(); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	st, err = store.Open(store.Options{Dir: dir, Registry: reg})
+	if err != nil {
+		return err
+	}
+	return st.Close()
 }
 
 // checkMetrics is the METRICS.md gate: documented rows must be emitted,

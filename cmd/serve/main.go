@@ -30,9 +30,18 @@
 // SIGTERM drains gracefully — in-flight jobs complete (up to
 // -drain-timeout), queued jobs are rejected, then the listener closes.
 //
+// With -store-dir set, the job ledger is durable: every submission and
+// lifecycle transition is journaled to a crash-safe append-only log
+// (fsync policy via -fsync, compaction cadence via -compact-every), and
+// a restart replays it — finished results are fetchable again under
+// their original IDs, resubmitting a pre-restart spec hits the warmed
+// result cache, and jobs that were queued or running at the crash
+// surface as failed with a restart reason. docs/OPERATIONS.md is the
+// operator handbook.
+//
 // Usage:
 //
-//	serve -addr localhost:8080 -workers 2 -queue-depth 64 -rate 10 -max-reps 1000000
+//	serve -addr localhost:8080 -workers 2 -queue-depth 64 -rate 10 -max-reps 1000000 -store-dir /var/lib/diversity/jobs
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 
 	"diversity/internal/cliutil"
 	"diversity/internal/server"
+	"diversity/internal/store"
 )
 
 func main() {
@@ -68,8 +78,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	rate := flags.Float64("rate", 0, "per-client submissions per second (0 = unlimited); over-budget clients get 429")
 	burst := flags.Int("burst", 0, "per-client burst size (0 = 2*rate, min 1)")
 	maxReps := flags.Int("max-reps", 0, "largest replication count a single job may ask for (0 = uncapped)")
-	retainJobs := flags.Int("retain-jobs", 1024, "finished jobs kept for polling before the oldest are forgotten")
+	retainJobs := flags.Int("retain-jobs", 1024, "retained-job cap: the oldest terminal jobs beyond it are evicted from the ledger (including the durable store) — a retention policy, not a crash-loss bound")
 	cacheSize := flags.Int("cache-size", 0, "engine result-cache entries (0 = engine default)")
+	storeDir := flags.String("store-dir", "", "durable job-ledger directory; empty serves from memory only (results do not survive restarts)")
+	fsyncPolicy := flags.String("fsync", store.FsyncAlways, "journal fsync policy: \"always\" syncs every record, \"off\" leaves flushing to the OS")
+	compactEvery := flags.Int("compact-every", 4096, "journal records appended before the ledger is compacted into a snapshot (0 = default)")
 	drainTimeout := flags.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown; when exceeded they are cancelled")
 	tf := cliutil.RegisterTelemetryFlags(flags)
 	if err := flags.Parse(args); err != nil {
@@ -88,6 +101,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer tel.Shutdown()
 
+	// The durable job ledger. Opening replays the journal (the server
+	// picks the replayed state up through Config.Store), and closing
+	// after the drain syncs the final records.
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(store.Options{
+			Dir:          *storeDir,
+			Fsync:        *fsyncPolicy,
+			CompactEvery: *compactEvery,
+			Registry:     tel.Registry,
+			Logger:       tel.Logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+
 	srv := server.New(server.Config{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
@@ -96,6 +127,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxReps:    *maxReps,
 		RetainJobs: *retainJobs,
 		CacheSize:  *cacheSize,
+		Store:      st,
 		Registry:   tel.Registry,
 		Logger:     tel.Logger,
 	})

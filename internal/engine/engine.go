@@ -355,6 +355,21 @@ func (e *Engine) RunWithProgress(ctx context.Context, job Job, progress func(Pro
 	return res, nil
 }
 
+// WarmCache primes the result cache with a previously computed result
+// under its canonical job hash. The serving layer replays persisted
+// results through it on startup, so resubmitting a pre-restart spec is a
+// cache hit rather than a recomputation. The result is stored as-is and
+// shared with every future hit — treat it as immutable. Nil results,
+// empty hashes and cache-disabled engines are no-ops.
+func (e *Engine) WarmCache(hash string, res *Result) {
+	if e.cache == nil || res == nil || hash == "" {
+		return
+	}
+	if evicted := e.cache.put(hash, res); evicted > 0 && e.tele != nil {
+		e.tele.Counter("engine.cache.evictions").Add(int64(evicted))
+	}
+}
+
 // RunConfig executes a raw Monte-Carlo configuration through the engine's
 // execution core. The facade's MonteCarlo helpers delegate here: an opaque
 // Process cannot be canonically hashed, so these runs get cancellation and

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"encoding/json"
+	"time"
+
+	"diversity/internal/engine"
+	"diversity/internal/experiments"
+	"diversity/internal/faultmodel"
+	"diversity/internal/montecarlo"
+	"diversity/internal/store"
+)
+
+// restartReason marks jobs that were queued or running when the process
+// died. The word "restart" is contractual (docs/API.md): clients tell
+// interrupted jobs from genuine failures by it.
+const restartReason = "interrupted by server restart"
+
+// storedResult is the persisted form of an engine result: the envelope
+// minus the resolved fault set, which is rebuilt from the job spec on
+// replay — journaling a million-fault scenario's parameters with every
+// result would dominate the ledger.
+type storedResult struct {
+	Kind        engine.JobKind          `json:"kind"`
+	Hash        string                  `json:"hash"`
+	ID          string                  `json:"id"`
+	FromCache   bool                    `json:"fromCache,omitempty"`
+	RunID       string                  `json:"runId,omitempty"`
+	ModelName   string                  `json:"model,omitempty"`
+	MonteCarlo  *montecarlo.Result      `json:"montecarlo,omitempty"`
+	RareEvent   *engine.RareEventResult `json:"rareEvent,omitempty"`
+	Experiments []*experiments.Result   `json:"experiments,omitempty"`
+	Analytic    *engine.AnalyticResult  `json:"analytic,omitempty"`
+}
+
+// encodeResult maps an engine result to its persisted form.
+func encodeResult(res *engine.Result) (json.RawMessage, error) {
+	return json.Marshal(storedResult{
+		Kind:        res.Kind,
+		Hash:        res.Hash,
+		ID:          res.ID,
+		FromCache:   res.FromCache,
+		RunID:       res.RunID,
+		ModelName:   res.ModelName,
+		MonteCarlo:  res.MonteCarlo,
+		RareEvent:   res.RareEvent,
+		Experiments: res.Experiments,
+		Analytic:    res.Analytic,
+	})
+}
+
+// modelResolver memoises fault-set resolution across one replay, so a
+// ledger full of jobs over the same scenario resolves it once.
+type modelResolver struct {
+	cache map[string]*faultmodel.FaultSet
+}
+
+func newModelResolver() *modelResolver {
+	return &modelResolver{cache: make(map[string]*faultmodel.FaultSet)}
+}
+
+// resolve rebuilds the fault set of the job's model spec, best effort:
+// a spec that no longer resolves (a scenario renamed across versions)
+// yields nil, and the replayed result simply omits the model fault
+// count.
+func (r *modelResolver) resolve(job engine.Job) *faultmodel.FaultSet {
+	var spec *engine.ModelSpec
+	switch {
+	case job.MonteCarlo != nil:
+		spec = &job.MonteCarlo.Model
+	case job.RareEvent != nil:
+		spec = &job.RareEvent.Model
+	case job.Analytic != nil:
+		spec = &job.Analytic.Model
+	default:
+		return nil // experiment suites sweep their own populations
+	}
+	key, err := json.Marshal(spec)
+	if err != nil {
+		return nil
+	}
+	if fs, ok := r.cache[string(key)]; ok {
+		return fs
+	}
+	fs, _, err := spec.Resolve()
+	if err != nil {
+		fs = nil
+	}
+	r.cache[string(key)] = fs
+	return fs
+}
+
+// decodeResult rebuilds an engine result from its persisted form,
+// reattaching the fault set resolved from the job spec.
+func (r *modelResolver) decodeResult(raw json.RawMessage, job engine.Job) (*engine.Result, error) {
+	var sr storedResult
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return nil, err
+	}
+	return &engine.Result{
+		Kind:        sr.Kind,
+		Hash:        sr.Hash,
+		ID:          sr.ID,
+		FromCache:   sr.FromCache,
+		RunID:       sr.RunID,
+		ModelName:   sr.ModelName,
+		FaultSet:    r.resolve(job),
+		MonteCarlo:  sr.MonteCarlo,
+		RareEvent:   sr.RareEvent,
+		Experiments: sr.Experiments,
+		Analytic:    sr.Analytic,
+	}, nil
+}
+
+// storePut journals a fresh submission. Called with s.mu held, before
+// the queue send, so every admitted job is journaled — a failure here
+// fails the submission (the client sees a 500 and can retry), because
+// acknowledging a job the ledger never saw would silently downgrade the
+// durability contract.
+func (s *Server) storePut(js *jobState, seq uint64) error {
+	if s.store == nil {
+		return nil
+	}
+	spec, err := json.Marshal(js.job)
+	if err != nil {
+		return err
+	}
+	return s.store.Put(store.JobRecord{
+		ID:        js.id,
+		Seq:       seq,
+		EngineID:  js.engineID,
+		RunID:     js.runID,
+		Kind:      string(js.job.Kind),
+		Spec:      spec,
+		Status:    string(statusQueued),
+		Submitted: js.submitted,
+	})
+}
+
+// storeUpdate journals a lifecycle transition, best effort: the client
+// already holds the job and its state is authoritative in memory, and a
+// record whose terminal transition never landed is re-marked
+// failed/restart on the next startup. An update carrying a result that
+// the store rejects (an oversized record) is retried without the
+// result, so at least the terminal status is durable.
+func (s *Server) storeUpdate(u store.Update) {
+	if s.store == nil {
+		return
+	}
+	err := s.store.Update(u)
+	if err != nil && len(u.Result) > 0 {
+		if s.log != nil {
+			s.log.Warn("persisting job result failed; retrying status-only", "id", u.ID, "error", err)
+		}
+		u.Result = nil
+		err = s.store.Update(u)
+	}
+	if err != nil && s.log != nil {
+		s.log.Warn("persisting job transition failed", "id", u.ID, "status", u.Status, "error", err)
+	}
+}
+
+// storeEvict journals a ledger eviction, best effort. Called with s.mu
+// held.
+func (s *Server) storeEvict(id string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Evict(id); err != nil && s.log != nil {
+		s.log.Warn("persisting job eviction failed", "id", id, "error", err)
+	}
+}
+
+// replayFromStore rebuilds the in-memory ledger from the durable store:
+// finished results become fetchable under their original submission IDs
+// again, jobs that were queued or running when the process died are
+// re-marked failed/restart (and the re-mark is journaled, so the next
+// restart replays it instead of re-deciding), the engine result cache
+// is warmed so resubmitting a pre-restart spec is a cache hit, and
+// submission numbering resumes past the highest replayed sequence.
+// Called from New, before the worker pool exists.
+func (s *Server) replayFromStore() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	records := s.store.Jobs()
+	s.seq = s.store.MaxSeq()
+	resolver := newModelResolver()
+	var interrupted, warmed int
+	for i := range records {
+		rec := &records[i]
+		js := &jobState{
+			id:        rec.ID,
+			engineID:  rec.EngineID,
+			runID:     rec.RunID,
+			tracker:   newProgressTracker(),
+			status:    jobStatus(rec.Status),
+			errMsg:    rec.Error,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			finished:  rec.Finished,
+		}
+		if len(rec.Spec) > 0 {
+			if err := json.Unmarshal(rec.Spec, &js.job); err != nil && s.log != nil {
+				s.log.Warn("replayed job has an undecodable spec", "id", rec.ID, "error", err)
+			}
+		}
+		if js.job.Kind == "" {
+			js.job.Kind = engine.JobKind(rec.Kind)
+		}
+		switch js.status {
+		case statusQueued, statusRunning:
+			js.status = statusFailed
+			js.errMsg = restartReason
+			js.finished = time.Now()
+			s.storeUpdate(store.Update{
+				ID:       js.id,
+				Status:   string(statusFailed),
+				Error:    restartReason,
+				Finished: js.finished,
+			})
+			s.reg.Counter("server.jobs_total." + string(statusFailed)).Inc()
+			s.reg.Event("job.failed", js.runID, map[string]string{"id": js.id, "reason": "restart"})
+			interrupted++
+		case statusDone:
+			if len(rec.Result) > 0 {
+				res, err := resolver.decodeResult(rec.Result, js.job)
+				if err != nil {
+					if s.log != nil {
+						s.log.Warn("replayed job has an undecodable result", "id", rec.ID, "error", err)
+					}
+					break
+				}
+				js.result = res
+				// Warm the LRU with FromCache unset: the hit path copies
+				// the entry and flags its own copies.
+				warm := *res
+				warm.FromCache = false
+				s.eng.WarmCache(res.Hash, &warm)
+				warmed++
+			}
+		}
+		js.tracker.finish() // every replayed job is terminal
+		s.jobs[js.id] = js
+		s.order = append(s.order, js.id)
+	}
+	s.evictOldestLocked()
+	if s.log != nil {
+		s.log.Info("job ledger replayed",
+			"jobs", len(records), "interrupted", interrupted, "cache_warmed", warmed, "next_seq", s.seq+1)
+	}
+}

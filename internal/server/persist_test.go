@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diversity/internal/engine"
+	"diversity/internal/store"
+)
+
+// openStore opens a ledger in dir with test-friendly defaults.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+// stopServer drains s and closes its test listener mid-test, so a
+// second server can be brought up against the same store directory.
+func stopServer(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("draining first server: %v", err)
+	}
+	ts.Close()
+}
+
+func fetchJob(t *testing.T, ts *httptest.Server, id string) (int, jobView) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decoding job view: %v", err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+// TestRestartRecoversFinishedJobs is the durability contract at the
+// package level: finished results survive a restart under their
+// original submission IDs, list order is preserved, the engine cache is
+// warmed from replayed results, and submission numbering continues past
+// the replayed sequence.
+func TestRestartRecoversFinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	s1, ts1 := newTestServer(t, Config{Workers: 2, Store: st}, nil)
+
+	_, a := postJob(t, ts1, analyticJobJSON)
+	_, m := postJob(t, ts1, mcJobJSON)
+	va := pollUntilTerminal(t, ts1, a.ID)
+	vm := pollUntilTerminal(t, ts1, m.ID)
+	if va.Status != "done" || vm.Status != "done" {
+		t.Fatalf("pre-restart jobs: %q / %q", va.Status, vm.Status)
+	}
+	stopServer(t, s1, ts1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	_, ts2 := newTestServer(t, Config{Workers: 2, Store: st2}, nil)
+
+	// Original IDs answer with the full result.
+	code, ra := fetchJob(t, ts2, a.ID)
+	if code != http.StatusOK || ra.Status != "done" || ra.Result == nil {
+		t.Fatalf("replayed analytic job: code %d status %q result %v", code, ra.Status, ra.Result)
+	}
+	if ra.Result.Analytic == nil || ra.Result.JobID != va.Result.JobID {
+		t.Fatalf("replayed analytic result = %+v, want payload with jobId %s", ra.Result, va.Result.JobID)
+	}
+	if ra.Result.ModelFaults == 0 {
+		t.Fatal("replayed result lost the resolved model fault count")
+	}
+	code, rm := fetchJob(t, ts2, m.ID)
+	if code != http.StatusOK || rm.Status != "done" || rm.Result == nil || rm.Result.MonteCarlo == nil {
+		t.Fatalf("replayed montecarlo job: code %d status %q", code, rm.Status)
+	}
+	if rm.Result.MonteCarlo.Version.Mean != vm.Result.MonteCarlo.Version.Mean {
+		t.Fatal("replayed montecarlo summary differs from the pre-restart one")
+	}
+
+	// Listing preserves submission order across the restart.
+	resp, err := http.Get(ts2.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 2 || listing.Jobs[0].ID != a.ID || listing.Jobs[1].ID != m.ID {
+		t.Fatalf("replayed listing = %+v, want [%s %s]", listing.Jobs, a.ID, m.ID)
+	}
+
+	// A pre-restart spec resubmitted is a warmed-cache hit with the same
+	// stable job ID, and its fresh submission ID continues the sequence.
+	_, re := postJob(t, ts2, analyticJobJSON)
+	if !strings.HasPrefix(re.ID, "j-000003-") {
+		t.Fatalf("post-restart submission ID %q does not continue the replayed sequence", re.ID)
+	}
+	rv := pollUntilTerminal(t, ts2, re.ID)
+	if rv.Status != "done" || rv.Result == nil {
+		t.Fatalf("post-restart resubmission: %q", rv.Status)
+	}
+	if !rv.Result.FromCache {
+		t.Fatal("resubmitted pre-restart spec was recomputed instead of hitting the warmed cache")
+	}
+	if rv.Result.JobID != va.Result.JobID {
+		t.Fatalf("stable job ID changed across restart: %q vs %q", rv.Result.JobID, va.Result.JobID)
+	}
+}
+
+// TestRestartMarksInterruptedJobsFailed: jobs that were queued or
+// running when the process died surface as failed with the restart
+// reason after replay.
+func TestRestartMarksInterruptedJobsFailed(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	block := make(chan struct{})
+	runStub := func(ctx context.Context, job engine.Job, progress func(engine.Progress)) (*engine.Result, error) {
+		<-block
+		return &engine.Result{Kind: job.Kind}, nil
+	}
+	_, ts1 := newTestServer(t, Config{Workers: 1, Store: st}, runStub)
+
+	_, running := postJob(t, ts1, mcJobJSON)
+	_, queued := postJob(t, ts1, analyticJobJSON)
+	waitForStatus(t, ts1, running.ID, statusRunning)
+
+	// Simulate the crash: the journal stops taking transitions mid-run.
+	// Everything after this point is the doomed process unwinding.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+
+	st2 := openStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	_, ts2 := newTestServer(t, Config{Workers: 1, Store: st2}, runStub)
+
+	for _, id := range []string{running.ID, queued.ID} {
+		code, v := fetchJob(t, ts2, id)
+		if code != http.StatusOK || v.Status != "failed" {
+			t.Fatalf("interrupted job %s: code %d status %q", id, code, v.Status)
+		}
+		if !strings.Contains(v.Error, "restart") {
+			t.Fatalf("interrupted job %s error = %q, want a restart reason", id, v.Error)
+		}
+		if v.Finished == nil {
+			t.Fatalf("interrupted job %s has no finished timestamp", id)
+		}
+	}
+
+	// The re-mark itself was journaled: a third open replays failed
+	// states without re-deciding.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openStore(t, dir)
+	defer st3.Close()
+	for _, rec := range st3.Jobs() {
+		if rec.Status != "failed" || !strings.Contains(rec.Error, "restart") {
+			t.Fatalf("journaled re-mark missing: %+v", rec)
+		}
+	}
+}
+
+// TestEvictionPersistsAcrossRestart: the RetainJobs cap is a retention
+// policy that the durable ledger follows — an evicted job stays gone
+// after a restart.
+func TestEvictionPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	runStub := func(ctx context.Context, job engine.Job, progress func(engine.Progress)) (*engine.Result, error) {
+		return &engine.Result{Kind: job.Kind}, nil
+	}
+	s1, ts1 := newTestServer(t, Config{Workers: 1, RetainJobs: 2, Store: st}, runStub)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, v := postJob(t, ts1, mcJobJSON)
+		pollUntilTerminal(t, ts1, v.ID)
+		ids = append(ids, v.ID)
+	}
+	if code, _ := fetchJob(t, ts1, ids[0]); code != http.StatusNotFound {
+		t.Fatalf("oldest job still served after eviction: %d", code)
+	}
+	stopServer(t, s1, ts1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	_, ts2 := newTestServer(t, Config{Workers: 1, RetainJobs: 2, Store: st2}, runStub)
+	if code, _ := fetchJob(t, ts2, ids[0]); code != http.StatusNotFound {
+		t.Fatalf("evicted job resurrected by replay: %d", code)
+	}
+	for _, id := range ids[1:] {
+		if code, v := fetchJob(t, ts2, id); code != http.StatusOK || v.Status != "done" {
+			t.Fatalf("retained job %s: code %d status %q", id, code, v.Status)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"diversity/internal/engine"
+	"diversity/internal/store"
 	"diversity/internal/telemetry"
 )
 
@@ -51,13 +52,20 @@ type Config struct {
 	// turns a pathological 10^12-replication submission into a 400
 	// instead of a wedged worker.
 	MaxReps int
-	// RetainJobs bounds the finished-job ledger; <= 0 selects 1024.
-	// When exceeded, the oldest terminal jobs are forgotten (queued and
-	// running jobs are never evicted).
+	// RetainJobs bounds the job ledger; <= 0 selects 1024. When
+	// exceeded, the oldest terminal jobs are evicted — from memory and,
+	// when a Store is configured, from the durable ledger too, so it is
+	// a retention policy, not a crash-loss bound: restarts lose nothing
+	// that is retained. Queued and running jobs are never evicted.
 	RetainJobs int
 	// CacheSize is the engine result-cache size (<= 0 selects the
 	// engine default of 128).
 	CacheSize int
+	// Store, when non-nil, is the durable job ledger: submissions and
+	// lifecycle transitions are journaled through it, and New replays it
+	// so finished results survive restarts (see docs/OPERATIONS.md). Nil
+	// keeps the ledger purely in memory — the pre-store behavior.
+	Store *store.Store
 	// Registry receives the server's metrics; nil creates a private
 	// registry. Pass the process registry so the queue gauges appear on
 	// the same expvar endpoint as the engine metrics.
@@ -111,6 +119,7 @@ type Server struct {
 	reg     *telemetry.Registry
 	log     *slog.Logger
 	eng     *engine.Engine
+	store   *store.Store // nil = in-memory ledger only
 	limiter *rateLimiter
 
 	// runJob executes one job; it defaults to the engine's
@@ -154,6 +163,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		reg:     reg,
 		log:     cfg.Logger,
+		store:   cfg.Store,
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst, nil),
 		queue:   make(chan *jobState, cfg.QueueDepth),
 		jobs:    make(map[string]*jobState),
@@ -178,6 +188,9 @@ func New(cfg Config) *Server {
 	}
 	for _, route := range apiRoutes {
 		reg.Histogram("server.request_duration_seconds."+route.name+"."+route.status, telemetry.DurationBuckets)
+	}
+	if s.store != nil {
+		s.replayFromStore()
 	}
 	return s
 }
@@ -225,9 +238,15 @@ func (s *Server) submit(job engine.Job, engineID, runID string) (*jobState, erro
 		status:    statusQueued,
 		submitted: time.Now(),
 	}
+	// Journal before the queue send: a job the client sees accepted is a
+	// job the ledger can replay. A journal failure fails the submission.
+	if err := s.storePut(js, s.seq); err != nil {
+		return nil, fmt.Errorf("persisting submission: %w", err)
+	}
 	select {
 	case s.queue <- js:
 	default:
+		s.storeEvict(js.id) // journaled but never admitted
 		return nil, errQueueFull
 	}
 	s.jobs[js.id] = js
@@ -281,6 +300,7 @@ func (s *Server) evictOldestLocked() {
 		js.mu.Unlock()
 		if excess > 0 && evictable {
 			delete(s.jobs, id)
+			s.storeEvict(id)
 			excess--
 			continue
 		}
@@ -356,7 +376,9 @@ func (s *Server) execute(js *jobState) {
 	js.status = statusRunning
 	js.started = time.Now()
 	js.cancel = cancel
+	started := js.started
 	js.mu.Unlock()
+	s.storeUpdate(store.Update{ID: js.id, Status: string(statusRunning), Started: started})
 
 	s.reg.Gauge("server.jobs_inflight").Set(float64(s.inflight.Add(1)))
 	res, err := s.runJob(ctx, js.job, js.tracker.publish)
@@ -376,7 +398,19 @@ func (s *Server) execute(js *jobState) {
 		js.errMsg = err.Error()
 	}
 	final := js.status
+	update := store.Update{ID: js.id, Status: string(final), Error: js.errMsg, Finished: js.finished}
 	js.mu.Unlock()
+	if s.store != nil && final == statusDone && res != nil {
+		raw, encErr := encodeResult(res)
+		if encErr != nil {
+			if s.log != nil {
+				s.log.Warn("encoding job result for the ledger failed", "id", js.id, "error", encErr)
+			}
+		} else {
+			update.Result = raw
+		}
+	}
+	s.storeUpdate(update)
 	s.reg.Counter("server.jobs_total." + string(final)).Inc()
 	s.reg.Event("job."+string(final), js.runID, map[string]string{"id": js.id, "job": js.engineID})
 	if s.log != nil {
@@ -395,8 +429,10 @@ func (s *Server) reject(js *jobState, reason string) {
 	}
 	js.status = statusFailed
 	js.errMsg = reason
-	js.finished = time.Now()
+	finished := time.Now()
+	js.finished = finished
 	js.mu.Unlock()
+	s.storeUpdate(store.Update{ID: js.id, Status: string(statusFailed), Error: reason, Finished: finished})
 	s.reg.Counter("server.jobs_total." + string(statusFailed)).Inc()
 	s.reg.Event("job.failed", js.runID, map[string]string{"id": js.id, "reason": reason})
 	if s.log != nil {
@@ -415,8 +451,10 @@ func (s *Server) requestCancel(js *jobState) {
 	case statusQueued:
 		js.status = statusCancelled
 		js.errMsg = "cancelled before start"
-		js.finished = time.Now()
+		finished := time.Now()
+		js.finished = finished
 		js.mu.Unlock()
+		s.storeUpdate(store.Update{ID: js.id, Status: string(statusCancelled), Error: "cancelled before start", Finished: finished})
 		s.reg.Counter("server.jobs_total." + string(statusCancelled)).Inc()
 		s.reg.Event("job.cancelled", js.runID, map[string]string{"id": js.id, "detail": "cancelled before start"})
 		js.tracker.finish()

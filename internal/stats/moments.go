@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -118,4 +119,33 @@ func (m *Moments) Kurtosis() float64 {
 	n := float64(m.n)
 	pm2 := m.m2 / n
 	return (m.m4/n)/(pm2*pm2) - 3
+}
+
+// momentsJSON is the persisted wire form of Moments: the five
+// accumulator fields, verbatim. Go's JSON encoding round-trips float64
+// values exactly, so marshal/unmarshal reproduces the accumulator
+// bit-for-bit.
+type momentsJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	M3   float64 `json:"m3"`
+	M4   float64 `json:"m4"`
+}
+
+// MarshalJSON encodes the accumulator state, so streaming aggregates can
+// be persisted (the serving layer's durable job ledger stores results
+// that embed Moments).
+func (m Moments) MarshalJSON() ([]byte, error) {
+	return json.Marshal(momentsJSON{N: m.n, Mean: m.mean, M2: m.m2, M3: m.m3, M4: m.m4})
+}
+
+// UnmarshalJSON restores an accumulator encoded by MarshalJSON.
+func (m *Moments) UnmarshalJSON(data []byte) error {
+	var w momentsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*m = Moments{n: w.N, mean: w.Mean, m2: w.M2, m3: w.M3, m4: w.M4}
+	return nil
 }

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -168,4 +170,36 @@ func TestMomentsMatchesAccumulator(t *testing.T) {
 		t.Fatalf("Moments.Variance: %v", err)
 	}
 	momentsClose(t, "variance vs Accumulator", av, mv)
+}
+
+func TestMomentsJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var m Moments
+	for i := 0; i < 1000; i++ {
+		m.Add(math.Exp(rng.NormFloat64() * 10)) // wide dynamic range
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Moments
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round-trip changed the accumulator:\n got %+v\nwant %+v", back, m)
+	}
+	// The restored accumulator keeps accumulating identically.
+	m.Add(0.5)
+	back.Add(0.5)
+	if back != m {
+		t.Fatalf("post-round-trip Add diverged:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestMomentsJSONRejectsGarbage(t *testing.T) {
+	var m Moments
+	if err := json.Unmarshal([]byte(`{"n":"three"}`), &m); err == nil {
+		t.Fatal("unmarshal of malformed moments succeeded")
+	}
 }

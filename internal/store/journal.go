@@ -1,0 +1,146 @@
+// Package store is the durable job ledger behind cmd/serve: a
+// stdlib-only, crash-safe, append-only JSON journal plus periodic
+// compaction to a snapshot and a fresh segment.
+//
+// Layout inside the store directory (generation G is a monotonically
+// increasing integer):
+//
+//	snapshot-<G>.json   materialised ledger state at the last compaction
+//	journal-<G>.log     framed operation records appended since then
+//
+// Each journal record is framed as an 8-byte header — uint32
+// little-endian payload length, then uint32 little-endian CRC-32C
+// (Castagnoli) of the payload — followed by the JSON payload itself.
+// Replay reads records until the first frame that is incomplete or
+// fails its checksum; everything from that point on is treated as a
+// torn tail from a crash mid-append, truncated away, and appending
+// resumes at the last good offset. A snapshot is written to a
+// temporary file, fsynced and renamed into place before the fresh
+// journal segment starts, so every crash window leaves either the old
+// generation or the new one fully intact — never a half state.
+//
+// The store knows the shape of job records (JobRecord) but nothing
+// about the engine: specs and results travel as opaque
+// json.RawMessage, so the package has no dependency on the layers it
+// persists.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// frameHeaderLen is the framed-record header size: uint32 payload
+// length plus uint32 CRC-32C, both little-endian.
+const frameHeaderLen = 8
+
+// maxRecordLen bounds a single record's payload so a corrupt length
+// field cannot ask replay for an absurd allocation.
+const maxRecordLen = 64 << 20
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame appends the framed encoding of payload to buf and returns it.
+func frame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// replayResult reports what replaying one journal read: the decoded
+// payloads of every intact record, the byte offset the last of them
+// ends at, and how many trailing bytes were discarded as a torn tail.
+type replayResult struct {
+	payloads  [][]byte
+	goodBytes int64
+	tornBytes int64
+}
+
+// replayJournal reads framed records from r until EOF or the first
+// frame that is incomplete, oversized or checksum-corrupt. It never
+// fails on a damaged tail — that is the normal aftermath of a crash
+// mid-append — and only returns an error for I/O failures on the
+// underlying reader.
+func replayJournal(r io.Reader) (replayResult, error) {
+	var res replayResult
+	br := newByteCounter(r)
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // clean end, or a torn header
+			}
+			return res, fmt.Errorf("store: reading journal header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordLen {
+			break // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn payload
+			}
+			return res, fmt.Errorf("store: reading journal payload: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // corrupt payload: stop at the last good record
+		}
+		res.payloads = append(res.payloads, payload)
+		res.goodBytes = br.n
+	}
+	// Drain whatever remains so tornBytes counts the full damaged tail.
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		return res, fmt.Errorf("store: draining journal tail: %w", err)
+	}
+	res.tornBytes = br.n - res.goodBytes
+	return res, nil
+}
+
+// byteCounter counts bytes read through it.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// decodeOp unmarshals one journal payload. A payload that passed its
+// CRC but does not decode indicates a writer bug or cross-version
+// schema break, not a torn tail; the caller decides whether to skip or
+// stop.
+func decodeOp(payload []byte) (op, error) {
+	var o op
+	if err := json.Unmarshal(payload, &o); err != nil {
+		return op{}, fmt.Errorf("store: decoding journal record: %w", err)
+	}
+	return o, nil
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it
+// are durable. Best effort on filesystems that reject directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}
