@@ -32,7 +32,8 @@ func TestBenchMatrix(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var stdout strings.Builder
 	err := run(context.Background(), []string{
-		"-reps", "3000", "-workers", "1", "-sparse-n", "", "-pools", "", "-out", out, "-seed", "5",
+		"-reps", "3000", "-workers", "1", "-sparse-n", "", "-pools", "",
+		"-batch-widths", "", "-out", out, "-seed", "5",
 	}, &stdout)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -105,12 +106,12 @@ func TestBenchSparseMatrix(t *testing.T) {
 	}
 	var kernel []Row
 	for _, row := range rep.Rows {
-		if row.Scenario == "large-universe" {
+		if row.Scenario == "large-universe" && row.BatchWidth == 0 {
 			kernel = append(kernel, row)
 		}
 	}
 	if len(kernel) != 4 {
-		t.Fatalf("got %d kernel-matrix rows, want 4 (2 sizes × dense/sparse): %+v", len(kernel), rep.Rows)
+		t.Fatalf("got %d plain kernel-matrix rows, want 4 (2 sizes × dense/sparse): %+v", len(kernel), rep.Rows)
 	}
 	for i := 0; i < len(kernel); i += 2 {
 		dense, sparse := kernel[i], kernel[i+1]
@@ -132,6 +133,33 @@ func TestBenchSparseMatrix(t *testing.T) {
 				sparse.N, sparse.NSPerRep, dense.NSPerRep)
 		}
 	}
+	// Quick mode also runs the batch matrix at widths {1, 64}: the width-1
+	// baseline row must record no batching, the active rows must have
+	// engaged the batched kernel (runCell errors otherwise) and measured.
+	var batch []Row
+	for _, row := range rep.Rows {
+		if row.BatchWidth != 0 {
+			batch = append(batch, row)
+		}
+	}
+	if len(batch) == 0 {
+		t.Fatal("quick matrix recorded no batch rows")
+	}
+	sawBaseline, sawActive := false, false
+	for _, row := range batch {
+		switch {
+		case row.BatchWidth == 1:
+			sawBaseline = true
+		case row.BatchWidth >= 2:
+			sawActive = true
+		}
+		if row.NSPerRep <= 0 || row.RepsPerSecond <= 0 {
+			t.Errorf("batch row missing timing measurements: %+v", row)
+		}
+	}
+	if !sawBaseline || !sawActive {
+		t.Errorf("batch rows missing baseline or active widths: %+v", batch)
+	}
 }
 
 // TestBenchPoolMatrix pins the N-version matrix: one row per requested
@@ -145,7 +173,7 @@ func TestBenchPoolMatrix(t *testing.T) {
 
 	var stdout strings.Builder
 	err := run(context.Background(), []string{
-		"-reps", "2000", "-workers", "1", "-sparse-n", "",
+		"-reps", "2000", "-workers", "1", "-sparse-n", "", "-batch-widths", "",
 		"-pools", "3:majority,3:2oo3", "-out", "-", "-seed", "5",
 	}, &stdout)
 	if err != nil {
@@ -187,7 +215,8 @@ func TestBenchStdout(t *testing.T) {
 
 	var stdout strings.Builder
 	if err := run(context.Background(), []string{
-		"-reps", "1000", "-workers", "1", "-sparse-n", "", "-pools", "", "-out", "-",
+		"-reps", "1000", "-workers", "1", "-sparse-n", "", "-pools", "",
+		"-batch-widths", "", "-out", "-",
 	}, &stdout); err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -90,7 +90,12 @@ type (
 	// Setting its Sparse field selects the sparse development kernel
 	// (geometric skip-sampling over bitset fault masks), which makes
 	// replication cost O(faults present) rather than O(universe size) —
-	// the same distribution from a different variate sequence.
+	// the same distribution from a different variate sequence. Setting
+	// its BatchWidth field (>= 2) selects the batched replication
+	// kernel, which tiles that many replications per inner loop so each
+	// fault's Bernoulli draws come from one bulk RNG fill and the
+	// columns evaluate through the bitset popcount kernels — again the
+	// same distribution from a different variate sequence.
 	MonteCarloConfig = montecarlo.Config
 	// MonteCarloResult holds simulated PFD populations — raw samples for
 	// buffered runs, streaming aggregates for Streaming runs; its

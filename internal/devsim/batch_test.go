@@ -1,0 +1,283 @@
+package devsim
+
+import (
+	"math"
+	"testing"
+
+	"diversity/internal/faultmodel"
+	"diversity/internal/randx"
+)
+
+// refDevelopBatch is the naive []bool reference for DevelopBatch: it
+// consumes a same-seeded stream in the exact same fault-major order, so
+// the kernel's branchless masks and 64×64 transpose must yield
+// bit-identical columns. The correlated processes replay
+// Stream.Float64() < p comparisons (exactly equivalent to the kernel's
+// integer thresholds — see FuzzBernoulliThreshold); the independent
+// process replays the paired 32-bit lane scheme of Stream.Hits with
+// branchy scalar code, since Hits deliberately consumes the stream
+// differently from element-wise draws.
+func refDevelopBatch(t *testing.T, proc Process, r *randx.Stream, width int) [][]bool {
+	t.Helper()
+	n := proc.FaultSet().N()
+	cols := make([][]bool, width)
+	for j := range cols {
+		cols[j] = make([]bool, n)
+	}
+	bernoulli := func(p float64) []bool {
+		hit := make([]bool, width)
+		for j := range hit {
+			hit[j] = r.Float64() < p
+		}
+		return hit
+	}
+	// pairedBernoulli mirrors Source.Hits: each 64-bit draw supplies two
+	// 32-bit coarse lanes (high half first) compared against T>>21, and
+	// an exact coarse tie draws one refinement word whose low 21 bits
+	// settle the outcome against T's low 21 bits.
+	pairedBernoulli := func(p float64) []bool {
+		thr := BernoulliThreshold(p)
+		t32, tRef := thr>>21, thr&(1<<21-1)
+		hit := make([]bool, width)
+		for j := 0; j < width; {
+			u := r.Uint64()
+			for _, lane := range []uint64{u >> 32, u & 0xFFFFFFFF} {
+				if j >= width {
+					break
+				}
+				switch {
+				case lane < t32:
+					hit[j] = true
+				case lane == t32:
+					hit[j] = r.Uint64()&(1<<21-1) < tRef
+				}
+				j++
+			}
+		}
+		return hit
+	}
+	switch p := proc.(type) {
+	case *IndependentProcess:
+		for i := 0; i < n; i++ {
+			pi := p.fs.Fault(i).P
+			if pi == 0 {
+				continue
+			}
+			for j, hit := range pairedBernoulli(pi) {
+				cols[j][i] = hit
+			}
+		}
+	case *CommonCauseProcess:
+		bad := make([]bool, width)
+		if p.rho > 0 {
+			bad = bernoulli(p.rho)
+		}
+		for i := 0; i < n; i++ {
+			if p.hi[i] == 0 {
+				continue
+			}
+			for j := 0; j < width; j++ {
+				pi := p.lo[i]
+				if bad[j] {
+					pi = p.hi[i]
+				}
+				cols[j][i] = r.Float64() < pi
+			}
+		}
+	case *ResourceShiftProcess:
+		for pair := 0; pair+1 < n; pair += 2 {
+			favourFirst := bernoulli(0.5)
+			for offset := 0; offset < 2; offset++ {
+				i := pair + offset
+				pi := p.fs.Fault(i).P
+				if pi*(1+p.shift) == 0 {
+					continue
+				}
+				for j := 0; j < width; j++ {
+					pj := pi * (1 + p.shift)
+					if favourFirst[j] == (offset == 0) {
+						pj = pi * (1 - p.shift)
+					}
+					cols[j][i] = r.Float64() < pj
+				}
+			}
+		}
+		if n%2 == 1 {
+			i := n - 1
+			if pi := p.fs.Fault(i).P; pi != 0 {
+				for j, hit := range bernoulli(pi) {
+					cols[j][i] = hit
+				}
+			}
+		}
+	case *TiedPairsProcess:
+		for i := 0; i < n; i++ {
+			partner := p.pairOf[i]
+			if partner >= 0 && partner < i {
+				continue
+			}
+			pi := p.fs.Fault(i).P
+			if pi == 0 {
+				continue
+			}
+			for j, hit := range bernoulli(pi) {
+				if hit {
+					cols[j][i] = true
+					if partner > i {
+						cols[j][partner] = true
+					}
+				}
+			}
+		}
+	default:
+		t.Fatalf("no reference for %T", proc)
+	}
+	return cols
+}
+
+// assertBatchMatchesReference runs DevelopBatch and the float reference
+// on same-seeded streams and requires bit-identical columns.
+func assertBatchMatchesReference(t *testing.T, name string, proc Process, seed uint64, width int) {
+	t.Helper()
+	bd, ok := proc.(BatchDeveloper)
+	if !ok {
+		t.Fatalf("%s: %T does not implement BatchDeveloper", name, proc)
+	}
+	n := proc.FaultSet().N()
+	cols := make([]*Bitset, width)
+	for j := range cols {
+		cols[j] = NewBitset(n)
+		cols[j].Set(j % n) // stale state: DevelopBatch must clear it
+	}
+	scratch := make([]uint64, BatchScratchLen(width, n))
+	bd.DevelopBatch(randx.NewStream(seed), cols, scratch)
+	want := refDevelopBatch(t, proc, randx.NewStream(seed), width)
+	for j := 0; j < width; j++ {
+		for i := 0; i < n; i++ {
+			if cols[j].Test(i) != want[j][i] {
+				t.Fatalf("%s seed=%d width=%d: column %d fault %d batch=%v reference=%v",
+					name, seed, width, j, i, cols[j].Test(i), want[j][i])
+			}
+		}
+	}
+}
+
+// TestDevelopBatchMatchesFloatReference: every process's batched kernel
+// must reproduce the scalar reference draw for draw, including
+// degenerate p = 0 / p = 1 faults, odd universes, and width-1 tiles.
+func TestDevelopBatchMatchesFloatReference(t *testing.T) {
+	t.Parallel()
+
+	fs := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.2, Q: 0.01}, {P: 0.2, Q: 0.01}, {P: 0, Q: 0.02},
+		{P: 1, Q: 0.02}, {P: 0.35, Q: 0.01}, {P: 1e-9, Q: 0.01},
+		{P: 0.5, Q: 0.01},
+	})
+	common, err := NewCommonCauseProcess(fs, 0.25, 1.5)
+	if err != nil {
+		t.Fatalf("NewCommonCauseProcess: %v", err)
+	}
+	// Resource shift requires p·(1+shift) <= 1, so use a scaled-down set.
+	smallFS := mustFaultSet(t, []faultmodel.Fault{
+		{P: 0.2, Q: 0.01}, {P: 0.2, Q: 0.01}, {P: 0, Q: 0.02},
+		{P: 0.4, Q: 0.02}, {P: 0.35, Q: 0.01}, {P: 1e-9, Q: 0.01},
+		{P: 0.5, Q: 0.01},
+	})
+	shift, err := NewResourceShiftProcess(smallFS, 0.5)
+	if err != nil {
+		t.Fatalf("NewResourceShiftProcess: %v", err)
+	}
+	tied, err := NewTiedPairsProcess(fs, [][2]int{{0, 4}, {1, 6}})
+	if err != nil {
+		t.Fatalf("NewTiedPairsProcess: %v", err)
+	}
+	procs := map[string]Process{
+		"independent":    NewIndependentProcess(fs),
+		"common-cause":   common,
+		"no-common":      mustNoCommonCause(t, fs),
+		"resource-shift": shift,
+		"tied-pairs":     tied,
+	}
+	for name, proc := range procs {
+		for _, width := range []int{1, 3, 64} {
+			for seed := uint64(1); seed <= 25; seed++ {
+				assertBatchMatchesReference(t, name, proc, seed, width)
+			}
+		}
+	}
+}
+
+// mustNoCommonCause builds a CommonCauseProcess with rho = 0 — the
+// degenerate "never a bad day" case that must skip the day coins.
+func mustNoCommonCause(t *testing.T, fs *faultmodel.FaultSet) *CommonCauseProcess {
+	t.Helper()
+	p, err := NewCommonCauseProcess(fs, 0, 1)
+	if err != nil {
+		t.Fatalf("NewCommonCauseProcess(rho=0): %v", err)
+	}
+	return p
+}
+
+// TestBernoulliThresholdEdges pins the degenerate thresholds the kernel
+// relies on.
+func TestBernoulliThresholdEdges(t *testing.T) {
+	t.Parallel()
+
+	if got := BernoulliThreshold(0); got != 0 {
+		t.Errorf("BernoulliThreshold(0) = %d, want 0", got)
+	}
+	if got := BernoulliThreshold(1); got != 1<<53 {
+		t.Errorf("BernoulliThreshold(1) = %d, want 2^53", got)
+	}
+	if got := BernoulliThreshold(0.5); got != halfThreshold {
+		t.Errorf("BernoulliThreshold(0.5) = %d, want %d", got, uint64(halfThreshold))
+	}
+	if got := BernoulliThreshold(5e-324); got != 1 {
+		t.Errorf("BernoulliThreshold(min subnormal) = %d, want 1", got)
+	}
+}
+
+// FuzzBernoulliThreshold: the integer compare must agree with the float
+// compare Stream.Float64() < p for every 64-bit draw and probability.
+func FuzzBernoulliThreshold(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(1<<63), uint64(1<<62))
+	f.Fuzz(func(t *testing.T, u, pBits uint64) {
+		p := float64(pBits) / float64(math.MaxUint64) // in [0, 1]
+		intHit := u>>11 < BernoulliThreshold(p)
+		floatHit := float64(u>>11)*0x1p-53 < p
+		if intHit != floatHit {
+			t.Fatalf("u=%d p=%v: integer compare %v, float compare %v", u, p, intHit, floatHit)
+		}
+	})
+}
+
+// FuzzDevelopBatchMatchesFloatReference drives the independent and
+// common-cause batched kernels against the scalar []bool reference over
+// fuzzed probabilities, widths, and seeds.
+func FuzzDevelopBatchMatchesFloatReference(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint16(6553), uint16(32767), uint16(0), uint16(65535))
+	f.Add(uint64(42), uint8(1), uint16(1), uint16(2), uint16(3), uint16(4))
+	f.Fuzz(func(t *testing.T, seed uint64, width uint8, a, b, rhoBits, c uint16) {
+		w := int(width%64) + 1
+		ps := []float64{
+			float64(a) / 65535,
+			float64(b) / 65535,
+			float64(c) / 65535,
+		}
+		faults := make([]faultmodel.Fault, 0, 9)
+		for i := 0; i < 9; i++ {
+			faults = append(faults, faultmodel.Fault{P: ps[i%3], Q: 1e-3})
+		}
+		fs, err := faultmodel.New(faults)
+		if err != nil {
+			t.Skip()
+		}
+		assertBatchMatchesReference(t, "independent", NewIndependentProcess(fs), seed, w)
+		rho := float64(rhoBits) / 65536 // in [0, 1)
+		if common, err := NewCommonCauseProcess(fs, rho, 1.25); err == nil {
+			assertBatchMatchesReference(t, "common-cause", common, seed, w)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package devsim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
@@ -23,6 +24,12 @@ type CommonCauseProcess struct {
 	// good days respectively.
 	hi []float64
 	lo []float64
+
+	// Batched-kernel state, built lazily on first DevelopBatch: integer
+	// Bernoulli thresholds for hi and lo (see bernoulliThreshold).
+	batchOnce sync.Once
+	thrHi     []uint64
+	thrLo     []uint64
 }
 
 var _ Process = (*CommonCauseProcess)(nil)
@@ -114,6 +121,12 @@ func (p *CommonCauseProcess) FaultSet() *faultmodel.FaultSet { return p.fs }
 type ResourceShiftProcess struct {
 	fs    *faultmodel.FaultSet
 	shift float64
+
+	// Batched-kernel state, built lazily on first DevelopBatch: integer
+	// Bernoulli thresholds at p·(1−shift) and p·(1+shift).
+	batchOnce sync.Once
+	thrFav    []uint64
+	thrNeg    []uint64
 }
 
 var _ Process = (*ResourceShiftProcess)(nil)

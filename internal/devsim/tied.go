@@ -2,6 +2,7 @@ package devsim
 
 import (
 	"fmt"
+	"sync"
 
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
@@ -20,6 +21,11 @@ type TiedPairsProcess struct {
 	// pairOf[i] is the partner index of fault i, or -1 for untied faults.
 	// Only the smaller index of each pair drives the coin.
 	pairOf []int
+
+	// Batched-kernel state, built lazily on first DevelopBatch: one
+	// integer Bernoulli threshold per driver fault.
+	batchOnce  sync.Once
+	thresholds []uint64
 }
 
 var _ Process = (*TiedPairsProcess)(nil)

@@ -168,6 +168,11 @@ type IndependentProcess struct {
 	// geometric skip sampler.
 	sparseOnce sync.Once
 	groups     []faultGroup
+
+	// Batched-kernel state, built lazily on first DevelopBatch: one
+	// integer Bernoulli threshold per fault (see bernoulliThreshold).
+	batchOnce  sync.Once
+	thresholds []uint64
 }
 
 // minGeometricGroup is the smallest group size worth skip-sampling: below

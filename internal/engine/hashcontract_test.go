@@ -70,3 +70,75 @@ func TestLegacySpecHashContract(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchWidthHashContract proves the batchWidth field's hash rules:
+// unset, 0, and 1 all hash identically to the legacy spec (width 1 is
+// the same computation as off, and omitempty keeps the legacy document
+// byte-identical), while an active width >= 2 — which draws a different
+// variate sequence — hashes differently.
+func TestBatchWidthHashContract(t *testing.T) {
+	for name, base := range legacySpecs() {
+		withWidth := func(j Job, w int) Job {
+			switch j.Kind {
+			case JobMonteCarlo:
+				spec := *j.MonteCarlo
+				spec.BatchWidth = w
+				j.MonteCarlo = &spec
+			case JobRareEvent:
+				spec := *j.RareEvent
+				spec.BatchWidth = w
+				j.RareEvent = &spec
+			case JobExperiments:
+				spec := *j.Experiments
+				spec.BatchWidth = w
+				j.Experiments = &spec
+			}
+			return j
+		}
+		legacy := legacyHashes[name]
+		for _, w := range []int{0, 1} {
+			got, err := withWidth(base, w).Hash()
+			if err != nil {
+				t.Fatalf("%s width %d: Hash: %v", name, w, err)
+			}
+			if got != legacy {
+				t.Errorf("%s: BatchWidth %d moved the legacy hash:\n got  %s\n want %s", name, w, got, legacy)
+			}
+		}
+		if base.Kind == JobAnalytic {
+			continue // analytic jobs have no batch width
+		}
+		got, err := withWidth(base, 64).Hash()
+		if err != nil {
+			t.Fatalf("%s width 64: Hash: %v", name, err)
+		}
+		if got == legacy {
+			t.Errorf("%s: BatchWidth 64 did not change the hash — batched results would poison the dense cache", name)
+		}
+	}
+}
+
+// TestBatchWidthValidation: the spec-level bounds are enforced before
+// any work or cache access.
+func TestBatchWidthValidation(t *testing.T) {
+	for _, w := range []int{-1, maxBatchWidth + 1} {
+		job := NewMonteCarloJob(MonteCarloSpec{
+			Model:    ModelSpec{Scenario: "commercial-grade", ScenarioSeed: 1},
+			Versions: 2, Reps: 100, Seed: 1, BatchWidth: w,
+		})
+		if err := job.Validate(); err == nil {
+			t.Errorf("montecarlo spec accepted batch width %d", w)
+		}
+		rare := NewRareEventJob(RareEventSpec{
+			Model:    ModelSpec{Scenario: "safety-grade", ScenarioSeed: 1},
+			Versions: 2, Reps: 100, Seed: 1, BatchWidth: w,
+		})
+		if err := rare.Validate(); err == nil {
+			t.Errorf("rare-event spec accepted batch width %d", w)
+		}
+		exp := NewExperimentsJob(ExperimentsSpec{Seed: 1, Quick: true, BatchWidth: w})
+		if err := exp.Validate(); err == nil {
+			t.Errorf("experiments spec accepted batch width %d", w)
+		}
+	}
+}

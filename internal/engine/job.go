@@ -148,6 +148,14 @@ type MonteCarloSpec struct {
 	// results differ numerically from dense runs — and the omitempty
 	// encoding keeps every pre-existing dense-job hash unchanged.
 	Sparse bool `json:"sparse,omitempty"`
+	// BatchWidth >= 2 selects the batched replication kernel with the
+	// given tile width (montecarlo Config.BatchWidth). Like Sparse it
+	// participates in the job hash — batched dense runs consume the
+	// variate stream in a different order for the same seed — and the
+	// omitempty encoding keeps every pre-existing unbatched hash and
+	// cache key unchanged. A width of 1 describes the same computation
+	// as 0 and is normalised to 0 before hashing.
+	BatchWidth int `json:"batchWidth,omitempty"`
 }
 
 // RareEventSpec parameterises an importance-sampling estimation job.
@@ -168,6 +176,11 @@ type RareEventSpec struct {
 	// 1-out-of-m, bit for bit the historical estimator; omitempty keeps
 	// pre-existing job hashes unchanged.
 	Adjudicator string `json:"adjudicator,omitempty"`
+	// BatchWidth >= 2 tiles both estimators' dense loops (montecarlo
+	// RareOptions.BatchWidth); ignored when Sparse is set. Participates
+	// in the job hash with the same omitempty / 1→0 normalisation rules
+	// as MonteCarloSpec.BatchWidth.
+	BatchWidth int `json:"batchWidth,omitempty"`
 }
 
 // ExperimentsSpec parameterises a paper-experiment suite job.
@@ -184,6 +197,11 @@ type ExperimentsSpec struct {
 	// Sparse runs the suite's Monte-Carlo passes with the geometric
 	// skip-sampling kernel; omitempty keeps dense-job hashes unchanged.
 	Sparse bool `json:"sparse,omitempty"`
+	// BatchWidth >= 2 runs the suite's Monte-Carlo passes with the
+	// batched replication kernel at the given tile width. Participates
+	// in the job hash with the same omitempty / 1→0 normalisation rules
+	// as MonteCarloSpec.BatchWidth.
+	BatchWidth int `json:"batchWidth,omitempty"`
 	// Versions and Adjudicator, when set together, ask the N-version
 	// experiments (E19) to evaluate one extra arrangement: an N-version
 	// pool under the given voting rule, closed form against Monte Carlo.
@@ -231,6 +249,23 @@ func NewExperimentsJob(spec ExperimentsSpec) Job {
 // NewAnalyticJob wraps an analytic spec as a Job.
 func NewAnalyticJob(spec AnalyticSpec) Job {
 	return Job{Kind: JobAnalytic, Analytic: &spec}
+}
+
+// maxBatchWidth caps the batch width a job spec may request. The runtime
+// would clamp absurd widths to its arena budget anyway, but jobs are
+// hashed and cached on their spec, so an unexecutable request is better
+// rejected up front (the serve layer surfaces it as HTTP 400).
+const maxBatchWidth = 65536
+
+// validateBatchWidth checks a spec's requested tile width.
+func validateBatchWidth(width int) error {
+	if width < 0 {
+		return fmt.Errorf("engine: batch width %d must not be negative", width)
+	}
+	if width > maxBatchWidth {
+		return fmt.Errorf("engine: batch width %d exceeds the maximum of %d", width, maxBatchWidth)
+	}
+	return nil
 }
 
 // ParseArch maps a spec architecture name to the system architecture; the
@@ -314,6 +349,9 @@ func (j Job) Validate() error {
 		if spec.Correlation < 0 || spec.Correlation > 1 {
 			return fmt.Errorf("engine: correlation %v must be a probability", spec.Correlation)
 		}
+		if err := validateBatchWidth(spec.BatchWidth); err != nil {
+			return err
+		}
 	case JobRareEvent:
 		spec := j.RareEvent
 		if spec == nil {
@@ -334,6 +372,9 @@ func (j Job) Validate() error {
 		if _, err := ResolveAdjudicator("", spec.Adjudicator, spec.Versions); err != nil {
 			return err
 		}
+		if err := validateBatchWidth(spec.BatchWidth); err != nil {
+			return err
+		}
 	case JobExperiments:
 		spec := j.Experiments
 		if spec == nil {
@@ -346,6 +387,9 @@ func (j Job) Validate() error {
 			if _, err := ResolveAdjudicator("", spec.Adjudicator, spec.Versions); err != nil {
 				return err
 			}
+		}
+		if err := validateBatchWidth(spec.BatchWidth); err != nil {
+			return err
 		}
 	case JobAnalytic:
 		spec := j.Analytic
@@ -370,7 +414,10 @@ func (j Job) Validate() error {
 // replication count (the shard split, and hence the sampled streams,
 // depends on the effective worker count); a zero rare-event tilt becomes
 // the 0.3 default; an empty experiment selection becomes the full suite;
-// an empty architecture becomes the explicit 1oom default.
+// an empty architecture becomes the explicit 1oom default; a batch width
+// of 1 (which computes exactly what width 0 does — the batched kernel
+// only activates from 2 up) becomes 0, so both encodings share one hash
+// and cache entry.
 func (j Job) normalized() Job {
 	switch j.Kind {
 	case JobMonteCarlo:
@@ -380,6 +427,9 @@ func (j Job) normalized() Job {
 		}
 		if spec.Workers > spec.Reps {
 			spec.Workers = spec.Reps
+		}
+		if spec.BatchWidth == 1 {
+			spec.BatchWidth = 0
 		}
 		// The explicit-arch normalisation predates adjudicators; it only
 		// applies when the legacy field is in play. An adjudicator spec
@@ -399,11 +449,17 @@ func (j Job) normalized() Job {
 		if spec.TiltTarget == 0 {
 			spec.TiltTarget = 0.3
 		}
+		if spec.BatchWidth == 1 {
+			spec.BatchWidth = 0
+		}
 		j.RareEvent = &spec
 	case JobExperiments:
 		spec := *j.Experiments
 		if len(spec.IDs) == 0 {
 			spec.IDs = experiments.IDs()
+		}
+		if spec.BatchWidth == 1 {
+			spec.BatchWidth = 0
 		}
 		j.Experiments = &spec
 	}

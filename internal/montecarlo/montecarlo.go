@@ -86,6 +86,24 @@ type Config struct {
 	// PFD population. Processes without the SparseDeveloper extension
 	// fall back to the dense path.
 	Sparse bool
+	// BatchWidth, when at least 2, selects the batched replication kernel:
+	// each worker tiles its replications into columns of up to BatchWidth
+	// bitsets and develops a tile fault-major, drawing every fault's
+	// Bernoulli variates for the whole tile from one randx FillUint64
+	// batch and comparing them against precomputed integer thresholds
+	// (devsim.BatchDeveloper). Draw and column buffers are arena-reused
+	// per worker shard, so the steady state performs no allocations. Like
+	// the sparse kernel, the batched path consumes a different (but
+	// distributionally identical) variate sequence from the dense
+	// default, so it ships opt-in: 0 or 1 leaves the existing paths
+	// untouched byte for byte. It composes with both aggregation modes
+	// and with Sparse (sparse draws stay per-replication — identical to
+	// the unbatched sparse sequence — and only the evaluation is tiled).
+	// Processes without the BatchDeveloper extension fall back to the
+	// dense path. Wide tiles over large fault universes are clamped to a
+	// fixed per-worker arena budget; Result.BatchWidth reports the width
+	// actually used.
+	BatchWidth int
 	// Progress, when non-nil, is called as replications complete with the
 	// total completed so far and the configured total. It is invoked from
 	// worker goroutines at shard-chunk granularity (never per sample) and
@@ -123,6 +141,14 @@ type Result struct {
 	// SparseSkips is the total number of geometric skip draws the sparse
 	// kernel consumed (0 for dense runs and dense-replay fallbacks).
 	SparseSkips int64
+	// Batched reports whether the batched replication kernel actually ran
+	// — false when Config.BatchWidth was set but the process supports
+	// neither bitset kernel and the run fell back to the dense path.
+	Batched bool
+	// BatchWidth is the tile width the batched kernel used
+	// (Config.BatchWidth clamped to the replication count and the
+	// per-worker arena budget). It is 0 for unbatched runs.
+	BatchWidth int
 	// VersionPFD holds the PFD of the first version of each replication.
 	// It is nil for streaming runs.
 	VersionPFD []float64
@@ -206,6 +232,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Reps < 1 {
 		return nil, fmt.Errorf("montecarlo: replication count %d must be at least 1", cfg.Reps)
 	}
+	if cfg.BatchWidth < 0 {
+		return nil, fmt.Errorf("montecarlo: batch width %d must not be negative", cfg.BatchWidth)
+	}
 	adj := cfg.Adjudicator
 	if adj == nil {
 		arch := cfg.Arch
@@ -240,9 +269,30 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	fs := cfg.Process.FaultSet()
+
+	// The batched kernel tiles replications into bitset columns, which
+	// the sparse kernel always produces and the dense path gets from the
+	// BatchDeveloper extension; a process with neither falls back to the
+	// unbatched dense path.
+	batchWidth := 0
+	var batchDev devsim.BatchDeveloper
+	if cfg.BatchWidth > 1 {
+		if sparseDev == nil {
+			batchDev, _ = cfg.Process.(devsim.BatchDeveloper)
+		}
+		if sparseDev != nil || batchDev != nil {
+			batchWidth = cfg.BatchWidth
+			if batchWidth > cfg.Reps {
+				batchWidth = cfg.Reps
+			}
+			batchWidth = effectiveBatchWidth(batchWidth, cfg.Versions, fs.N())
+		}
+	}
+
 	res := &Result{
 		Reps: cfg.Reps, Versions: cfg.Versions, Adjudicator: adj.Name(),
 		Streaming: cfg.Streaming, Sparse: sparseDev != nil,
+		Batched: batchWidth > 0, BatchWidth: batchWidth,
 	}
 	var vAggs, sAggs []Agg
 	if cfg.Streaming {
@@ -309,16 +359,28 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			defer func() { shardElapsed[w] = time.Since(shardStart) }()
 			r := streams[w]
 
-			// Each mode supplies one simulate(rep) step; the chunk loop
-			// below (context checks, progress) is shared. The streaming
-			// fast path reuses per-worker presence masks through
-			// devsim.MaskDeveloper, so a replication performs no
+			// Each mode supplies one simulate(rep) step — or, for the
+			// batched kernel, one simulateBatch(lo, hi) tile step — and
+			// the chunk loop below (context checks, progress) is shared.
+			// The streaming fast path reuses per-worker presence masks
+			// through devsim.MaskDeveloper, so a replication performs no
 			// allocations at all; processes without that extension fall
 			// back to Develop, still at constant memory in Reps. The
 			// sparse kernel likewise reuses per-worker Bitset masks, in
 			// either aggregation mode, allocation-free per replication.
 			var simulate func(rep int) error
+			var simulateBatch func(lo, hi int) error
 			switch {
+			case res.Batched:
+				bw := newBatchWorker(fs, adj, r, cfg.Versions, batchWidth, batchDev, sparseDev)
+				bw.skips = &workerSkips[w]
+				bw.counts = &counts[w]
+				if cfg.Streaming {
+					bw.vAgg, bw.sAgg = &vAggs[w], &sAggs[w]
+				} else {
+					bw.versionPFD, bw.systemPFD = res.VersionPFD, res.SystemPFD
+				}
+				simulateBatch = bw.run
 			case sparseDev != nil:
 				masks := make([]*devsim.Bitset, cfg.Versions)
 				for i := range masks {
@@ -430,22 +492,39 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				}
 			}
 
-			for lo := shards[w].lo; lo < shards[w].hi; lo += ctxCheckEvery {
+			// A chunk is never smaller than a tile, so batched tiles only
+			// shrink at the shard tail, not at every context check.
+			chunk := ctxCheckEvery
+			if batchWidth > chunk {
+				chunk = batchWidth
+			}
+			for lo := shards[w].lo; lo < shards[w].hi; lo += chunk {
 				if ctx.Err() != nil {
 					return
 				}
-				hi := lo + ctxCheckEvery
+				hi := lo + chunk
 				if hi > shards[w].hi {
 					hi = shards[w].hi
 				}
-				for rep := lo; rep < hi; rep++ {
-					if err := simulate(rep); err != nil {
+				if simulateBatch != nil {
+					if err := simulateBatch(lo, hi); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err
 						}
 						mu.Unlock()
 						return
+					}
+				} else {
+					for rep := lo; rep < hi; rep++ {
+						if err := simulate(rep); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
 					}
 				}
 				completed := done.Add(int64(hi - lo))
@@ -461,7 +540,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.Metrics != nil {
 		close(watcherStop)
-		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load(), res.Sparse, res.SparseSkips, res.Adjudicator)
+		recordRunMetrics(cfg.Metrics, runStart, done.Load(), shardElapsed, cancelledAt.Load(), res.Sparse, res.SparseSkips, res.Batched, res.BatchWidth, res.Adjudicator)
 		if cfg.Streaming {
 			cfg.Metrics.Counter("montecarlo.streaming_runs_total").Add(1)
 		}
@@ -500,6 +579,8 @@ func PreRegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("montecarlo.sparse_skips_total")
 	reg.Gauge("montecarlo.replications_per_second.dense")
 	reg.Gauge("montecarlo.replications_per_second.sparse")
+	reg.Gauge("montecarlo.replications_per_second.batched")
+	reg.Gauge("montecarlo.batch_width")
 	// Per-adjudicator replication counters for the built-in voting rules;
 	// k-of-N rules appear under their own names after their first run.
 	reg.Counter("montecarlo.replications_total." + system.OneOutOfN{}.Name())
@@ -511,20 +592,29 @@ func PreRegisterMetrics(reg *telemetry.Registry) {
 // (montecarlo.replications_total.<adjudicator>), so mixed workloads
 // expose how much simulation each voting rule consumed:
 // replications completed, replications per second over the whole run
-// (both unlabelled and under the kernel-mode suffix .dense/.sparse),
-// shard imbalance ((max-min)/max shard wall time — 0 means perfectly
-// balanced), sparse-kernel skip draws, and, for cancelled runs, the
-// latency between cancellation and the last worker draining.
-func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64, sparse bool, sparseSkips int64, adjudicator string) {
+// (both unlabelled and under the kernel-mode suffix
+// .dense/.sparse/.batched — sparse wins the label when the two kernels
+// compose, since the sparse kernel does the drawing), the tile width of
+// the latest batched run, shard imbalance ((max-min)/max shard wall
+// time — 0 means perfectly balanced), sparse-kernel skip draws, and,
+// for cancelled runs, the latency between cancellation and the last
+// worker draining.
+func recordRunMetrics(reg *telemetry.Registry, runStart time.Time, completed int64, shardElapsed []time.Duration, cancelledNanos int64, sparse bool, sparseSkips int64, batched bool, batchWidth int, adjudicator string) {
 	elapsed := time.Since(runStart)
 	reg.Counter("montecarlo.replications_total").Add(completed)
 	if adjudicator != "" {
 		reg.Counter("montecarlo.replications_total." + adjudicator).Add(completed)
 	}
 	mode := "dense"
-	if sparse {
+	switch {
+	case sparse:
 		mode = "sparse"
 		reg.Counter("montecarlo.sparse_skips_total").Add(sparseSkips)
+	case batched:
+		mode = "batched"
+	}
+	if batched {
+		reg.Gauge("montecarlo.batch_width").Set(float64(batchWidth))
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rate := float64(completed) / secs

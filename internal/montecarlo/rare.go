@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"diversity/internal/devsim"
 	"diversity/internal/faultmodel"
 	"diversity/internal/randx"
 	"diversity/internal/stats"
@@ -44,6 +45,16 @@ type RareOptions struct {
 	// estimator (the defeat probability reduces to math.Pow(p, m)
 	// exactly).
 	Adjudicator system.Adjudicator
+	// BatchWidth, when at least 2, tiles the dense estimators'
+	// replication loops: each active fault's Bernoulli draws for a tile
+	// of replications come from one randx FillUint64 batch compared
+	// against a precomputed integer threshold (devsim.BernoulliThreshold),
+	// amortizing RNG overhead exactly like the batched Monte-Carlo
+	// kernel. The estimator is unchanged in distribution; like Sparse it
+	// changes the variate sequence drawn for a given seed. It is ignored
+	// when Sparse is set — the sparse kernel's geometric gaps are
+	// inherently sequential per replication and already o(n).
+	BatchWidth int
 }
 
 // defeatProb resolves a fault's system-level presence probability under
@@ -122,6 +133,9 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 	if math.IsNaN(tiltTarget) || tiltTarget <= 0 || tiltTarget >= 1 {
 		return RareEventEstimate{}, fmt.Errorf("montecarlo: tilt target %v must be in (0, 1)", tiltTarget)
 	}
+	if opts.BatchWidth < 0 {
+		return RareEventEstimate{}, fmt.Errorf("montecarlo: batch width %d must not be negative", opts.BatchWidth)
+	}
 
 	n := fs.N()
 	natural := make([]float64, n) // the fault's system-level defeat probability (p_i^m for 1oom)
@@ -180,45 +194,52 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 	var mom stats.Moments
 	hits := 0
 	var skips int64
-	for rep := 0; rep < reps; rep++ {
-		if rep%ctxCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return RareEventEstimate{}, fmt.Errorf("montecarlo: rare-event estimation cancelled after %d of %d replications: %w", rep, reps, err)
-			}
-			opts.report(rep, reps)
+	if !opts.Sparse && opts.BatchWidth > 1 {
+		var err error
+		if hits, err = rareTiltedBatched(ctx, r, &mom, reps, opts.BatchWidth, tilted, logHit, logStay, opts); err != nil {
+			return RareEventEstimate{}, err
 		}
-		logW := 0.0
-		event := false
-		if opts.Sparse {
-			logW = baseLogW
-			for gi := range groups {
-				g := &groups[gi]
-				for pos := g.sampler.Next(r); pos < g.size; pos += 1 + g.sampler.Next(r) {
-					event = true
-					logW += g.logDelta
+	} else {
+		for rep := 0; rep < reps; rep++ {
+			if rep%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return RareEventEstimate{}, fmt.Errorf("montecarlo: rare-event estimation cancelled after %d of %d replications: %w", rep, reps, err)
+				}
+				opts.report(rep, reps)
+			}
+			logW := 0.0
+			event := false
+			if opts.Sparse {
+				logW = baseLogW
+				for gi := range groups {
+					g := &groups[gi]
+					for pos := g.sampler.Next(r); pos < g.size; pos += 1 + g.sampler.Next(r) {
+						event = true
+						logW += g.logDelta
+						skips++
+					}
 					skips++
 				}
-				skips++
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				if tilted[i] == 0 {
-					continue
+			} else {
+				for i := 0; i < n; i++ {
+					if tilted[i] == 0 {
+						continue
+					}
+					if r.Bernoulli(tilted[i]) {
+						event = true
+						logW += logHit[i]
+					} else {
+						logW += logStay[i]
+					}
 				}
-				if r.Bernoulli(tilted[i]) {
-					event = true
-					logW += logHit[i]
-				} else {
-					logW += logStay[i]
-				}
 			}
+			w := 0.0
+			if event {
+				hits++
+				w = math.Exp(logW)
+			}
+			mom.Add(w)
 		}
-		w := 0.0
-		if event {
-			hits++
-			w = math.Exp(logW)
-		}
-		mom.Add(w)
 	}
 	opts.report(reps, reps)
 	if opts.Metrics != nil {
@@ -232,6 +253,122 @@ func EstimateRareSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, m
 		StdErr:      math.Sqrt(mom.PopulationVariance() / float64(reps)),
 		HitFraction: float64(hits) / float64(reps),
 	}, nil
+}
+
+// rareTiltedBatched is the batched inner loop of the importance-sampled
+// estimator: active faults are compacted into parallel threshold/weight
+// arrays and each fault's draws for a whole tile of replications come
+// from one FillUint64 batch. Per replication it applies exactly the
+// dense loop's arithmetic — logHit on a hit, logStay on a miss — so the
+// estimate's distribution is identical; only the draw order (fault-major
+// within a tile) differs.
+func rareTiltedBatched(ctx context.Context, r *randx.Stream, mom *stats.Moments, reps, width int, tilted, logHit, logStay []float64, opts RareOptions) (hits int, err error) {
+	if width > reps {
+		width = reps
+	}
+	var thr []uint64
+	var hitW, stayW []float64
+	for i := range tilted {
+		if tilted[i] == 0 {
+			continue
+		}
+		thr = append(thr, devsim.BernoulliThreshold(tilted[i]))
+		hitW = append(hitW, logHit[i])
+		stayW = append(stayW, logStay[i])
+	}
+	draws := make([]uint64, width)
+	logW := make([]float64, width)
+	event := make([]bool, width)
+	nextCheck := 0
+	for base := 0; base < reps; base += width {
+		if base >= nextCheck {
+			if err := ctx.Err(); err != nil {
+				return hits, fmt.Errorf("montecarlo: rare-event estimation cancelled after %d of %d replications: %w", base, reps, err)
+			}
+			opts.report(base, reps)
+			nextCheck += ctxCheckEvery
+		}
+		b := width
+		if base+b > reps {
+			b = reps - base
+		}
+		d := draws[:b]
+		for j := 0; j < b; j++ {
+			logW[j] = 0
+			event[j] = false
+		}
+		for k, t := range thr {
+			r.FillUint64(d)
+			for j, u := range d {
+				if u>>11 < t {
+					event[j] = true
+					logW[j] += hitW[k]
+				} else {
+					logW[j] += stayW[k]
+				}
+			}
+		}
+		for j := 0; j < b; j++ {
+			w := 0.0
+			if event[j] {
+				hits++
+				w = math.Exp(logW[j])
+			}
+			mom.Add(w)
+		}
+	}
+	return hits, nil
+}
+
+// rareNaiveBatched is the batched inner loop of the naive estimator.
+// Unlike the dense scan it cannot break out of a replication at its
+// first hit — every active fault draws for the whole tile — but the
+// per-replication hit indicator is the same OR of independent
+// Bernoullis, so the estimate's distribution is unchanged.
+func rareNaiveBatched(ctx context.Context, r *randx.Stream, reps, width int, probs []float64, opts RareOptions) (hits int, err error) {
+	if width > reps {
+		width = reps
+	}
+	var thr []uint64
+	for _, p := range probs {
+		if p > 0 {
+			thr = append(thr, devsim.BernoulliThreshold(p))
+		}
+	}
+	draws := make([]uint64, width)
+	event := make([]bool, width)
+	nextCheck := 0
+	for base := 0; base < reps; base += width {
+		if base >= nextCheck {
+			if err := ctx.Err(); err != nil {
+				return hits, fmt.Errorf("montecarlo: naive estimation cancelled after %d of %d replications: %w", base, reps, err)
+			}
+			opts.report(base, reps)
+			nextCheck += ctxCheckEvery
+		}
+		b := width
+		if base+b > reps {
+			b = reps - base
+		}
+		d := draws[:b]
+		for j := 0; j < b; j++ {
+			event[j] = false
+		}
+		for _, t := range thr {
+			r.FillUint64(d)
+			for j, u := range d {
+				if u>>11 < t {
+					event[j] = true
+				}
+			}
+		}
+		for j := 0; j < b; j++ {
+			if event[j] {
+				hits++
+			}
+		}
+	}
+	return hits, nil
 }
 
 // tiltGroup is a set of faults sharing one tilted presence probability
@@ -271,6 +408,9 @@ func EstimateNaiveSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, 
 	if reps < 2 {
 		return RareEventEstimate{}, fmt.Errorf("montecarlo: replication count %d must be at least 2", reps)
 	}
+	if opts.BatchWidth < 0 {
+		return RareEventEstimate{}, fmt.Errorf("montecarlo: batch width %d must not be negative", opts.BatchWidth)
+	}
 	n := fs.N()
 	probs := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -299,26 +439,33 @@ func EstimateNaiveSystemFaultOpts(ctx context.Context, fs *faultmodel.FaultSet, 
 	r := randx.NewStream(seed)
 	hits := 0
 	var skips int64
-	for rep := 0; rep < reps; rep++ {
-		if rep%ctxCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return RareEventEstimate{}, fmt.Errorf("montecarlo: naive estimation cancelled after %d of %d replications: %w", rep, reps, err)
-			}
-			opts.report(rep, reps)
+	if !opts.Sparse && opts.BatchWidth > 1 {
+		var err error
+		if hits, err = rareNaiveBatched(ctx, r, reps, opts.BatchWidth, probs, opts); err != nil {
+			return RareEventEstimate{}, err
 		}
-		if opts.Sparse {
-			for gi := range groups {
-				skips++
-				if groups[gi].sampler.Next(r) < groups[gi].size {
-					hits++
-					break
+	} else {
+		for rep := 0; rep < reps; rep++ {
+			if rep%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return RareEventEstimate{}, fmt.Errorf("montecarlo: naive estimation cancelled after %d of %d replications: %w", rep, reps, err)
 				}
+				opts.report(rep, reps)
 			}
-		} else {
-			for i := 0; i < n; i++ {
-				if r.Bernoulli(probs[i]) {
-					hits++
-					break
+			if opts.Sparse {
+				for gi := range groups {
+					skips++
+					if groups[gi].sampler.Next(r) < groups[gi].size {
+						hits++
+						break
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					if r.Bernoulli(probs[i]) {
+						hits++
+						break
+					}
 				}
 			}
 		}

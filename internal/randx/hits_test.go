@@ -1,0 +1,127 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// refHits replays the paired 32-bit lane scheme of Source.Hits with
+// branchy scalar code on the same source: two coarse lanes per draw
+// (high half first) against t>>21, one refinement word per exact coarse
+// tie settling the outcome with t's low 21 bits.
+func refHits(s *Source, t uint64, n int) uint64 {
+	t32, tRef := t>>21, t&hitsRefineMask
+	var m uint64
+	for j := 0; j < n; {
+		u := s.Uint64()
+		for _, lane := range []uint64{u >> 32, u & 0xFFFFFFFF} {
+			if j >= n {
+				break
+			}
+			switch {
+			case lane < t32:
+				m |= 1 << uint(j)
+			case lane == t32:
+				if s.Uint64()&hitsRefineMask < tRef {
+					m |= 1 << uint(j)
+				}
+			}
+			j++
+		}
+	}
+	return m
+}
+
+// TestHitsMatchesScalarReference: the register-resident kernel must
+// agree with the scalar replay bit for bit and leave the source in the
+// same state, across thresholds, widths, and seeds.
+func TestHitsMatchesScalarReference(t *testing.T) {
+	t.Parallel()
+
+	thresholds := []uint64{
+		0, 1, 1 << 20, 1<<21 - 1, 1 << 21, 1 << 32, 1 << 52, 1<<53 - 1, 1 << 53,
+		uint64(math.Ceil(0.3 * 0x1p53)),
+		uint64(math.Ceil(1e-9 * 0x1p53)),
+	}
+	for _, thr := range thresholds {
+		for _, n := range []int{1, 2, 3, 31, 32, 33, 64} {
+			for seed := uint64(1); seed <= 20; seed++ {
+				a, b := NewSource(seed), NewSource(seed)
+				got := a.Hits(thr, n)
+				want := refHits(b, thr, n)
+				if got != want {
+					t.Fatalf("Hits(%d, %d) seed %d = %#x, reference %#x", thr, n, seed, got, want)
+				}
+				if ga, gb := a.Uint64(), b.Uint64(); ga != gb {
+					t.Fatalf("Hits(%d, %d) seed %d left diverged state: next draws %d vs %d", thr, n, seed, ga, gb)
+				}
+			}
+		}
+	}
+}
+
+// TestHitsDegenerateThresholds: t = 2^53 (p = 1) always hits with no
+// tie possible, t = 0 (p = 0) never hits.
+func TestHitsDegenerateThresholds(t *testing.T) {
+	t.Parallel()
+
+	for seed := uint64(1); seed <= 10; seed++ {
+		if got := NewSource(seed).Hits(1<<53, 64); got != ^uint64(0) {
+			t.Fatalf("Hits(2^53, 64) seed %d = %#x, want all ones", seed, got)
+		}
+		if got := NewSource(seed).Hits(0, 64); got != 0 {
+			t.Fatalf("Hits(0, 64) seed %d = %#x, want 0", seed, got)
+		}
+	}
+}
+
+// TestHitsRefinementPath forces the probability-2^-32 coarse-tie branch
+// by building the threshold from a seed's actual first draw: with
+// t>>21 equal to the first high lane, the first lane's outcome must
+// come from the refinement word, exactly t's low 21 bits out of 2^21.
+func TestHitsRefinementPath(t *testing.T) {
+	t.Parallel()
+
+	for seed := uint64(1); seed <= 50; seed++ {
+		first := NewSource(seed).Uint64()
+		refine := NewSource(seed) // replays: first word, then the refinement word
+		refine.Uint64()
+		refineWord := refine.Uint64()
+		for _, tRef := range []uint64{0, 1, 1 << 10, hitsRefineMask} {
+			thr := (first>>32)<<21 | tRef
+			got := NewSource(seed).Hits(thr, 1) & 1
+			want := uint64(0)
+			if refineWord&hitsRefineMask < tRef {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("seed %d tRef %d: refined lane = %d, want %d", seed, tRef, got, want)
+			}
+		}
+	}
+}
+
+// TestHitsFrequency: lane hit rates over many tiles must track t·2^-53
+// within binomial noise — the end-to-end check that pairing lanes kept
+// the distribution exact.
+func TestHitsFrequency(t *testing.T) {
+	t.Parallel()
+
+	src := NewSource(7)
+	for _, p := range []float64{0.01, 0.3, 0.5, 0.97} {
+		thr := uint64(math.Ceil(p * 0x1p53))
+		const tiles = 4000
+		hits := 0
+		for i := 0; i < tiles; i++ {
+			m := src.Hits(thr, 64)
+			for ; m != 0; m &= m - 1 {
+				hits++
+			}
+		}
+		n := float64(tiles * 64)
+		se := math.Sqrt(p * (1 - p) / n)
+		if diff := math.Abs(float64(hits)/n - p); diff > 5*se {
+			t.Errorf("p=%v: hit rate %v off by %v (> 5 SE = %v)", p, float64(hits)/n, diff, 5*se)
+		}
+	}
+}

@@ -102,15 +102,32 @@ func (r *Stream) BernoulliValidated(p float64) bool {
 
 // FillUint64 overwrites dst with uniform 64-bit values, drawing them in
 // the same order as repeated Uint64 calls — a batched fill produces
-// exactly the sequence the element-wise calls would.
+// exactly the sequence the element-wise calls would, so switching a
+// consumer between the two never changes its variates for a given seed.
+// The point of the batch is cost amortization: one call crosses the
+// method boundary once and runs the generator with its state held in
+// registers (Source.Fill), instead of reloading it per draw. BenchmarkFill measures the per-variate saving against
+// element-wise Uint64/Float64 calls; the batched replication kernel
+// (montecarlo Config.BatchWidth) is built on this primitive.
 func (r *Stream) FillUint64(dst []uint64) {
-	for i := range dst {
-		dst[i] = r.src.Uint64()
-	}
+	r.src.Fill(dst)
+}
+
+// Hits draws n (at most 64) Bernoulli outcomes with probability exactly
+// t * 2^-53 (t = ceil(p * 2^53)) and packs them into the returned
+// mask's low n bits; see Source.Hits for the paired 32-bit lane scheme.
+// Unlike FillUint64 it does not consume the stream like element-wise
+// calls: it draws ceil(n/2) words plus a rare refinement word per
+// coarse tie.
+func (r *Stream) Hits(t uint64, n int) uint64 {
+	return r.src.Hits(t, n)
 }
 
 // FillFloat64 overwrites dst with uniform variates in [0, 1), drawing
-// them in the same order as repeated Float64 calls.
+// them in the same order — and from the same underlying 64-bit values —
+// as repeated Float64 calls. See FillUint64 for the amortization
+// rationale; prefer FillUint64 plus an integer threshold compare when
+// the floats would only feed Bernoulli decisions.
 func (r *Stream) FillFloat64(dst []float64) {
 	for i := range dst {
 		dst[i] = float64(r.src.Uint64()>>11) * 0x1p-53

@@ -496,6 +496,8 @@ func TestBadRequests(t *testing.T) {
 		{"unknown adjudicator", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":3,"adjudicator":"sideways","reps":100,"seed":1}}`},
 		{"adjudicator pool too small", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":2,"adjudicator":"2oo3","reps":100,"seed":1}}`},
 		{"arch and adjudicator both set", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":3,"arch":"majority","adjudicator":"2oo3","reps":100,"seed":1}}`},
+		{"negative batch width", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":2,"reps":100,"seed":1,"batchWidth":-1}}`},
+		{"batch width over cap", `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade"},"versions":2,"reps":100,"seed":1,"batchWidth":100000}}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(tc.body)))
@@ -544,6 +546,30 @@ func TestAdjudicatedJob(t *testing.T) {
 	}
 	if mc.Versions != 3 || mc.Adjudicator != "2oo3" {
 		t.Fatalf("result pool = %d versions, adjudicator %q; want 3 and 2oo3", mc.Versions, mc.Adjudicator)
+	}
+}
+
+// TestBatchedJob runs a batched-kernel job end to end through the HTTP
+// API and checks the result view reports the kernel and its tile width.
+func TestBatchedJob(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, nil)
+
+	body := `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade","scenarioSeed":1},"versions":2,"reps":2000,"workers":1,"seed":1,"batchWidth":64}}`
+	resp, v := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	final := pollUntilTerminal(t, ts, v.ID)
+	if final.Status != string(statusDone) {
+		t.Fatalf("final status = %q (error %q), want done", final.Status, final.Error)
+	}
+	mc := final.Result.MonteCarlo
+	if mc == nil {
+		t.Fatal("final view carries no Monte-Carlo result")
+	}
+	if !mc.Batched || mc.BatchWidth != 64 {
+		t.Fatalf("result reports batched=%v width=%d, want the batched kernel at width 64", mc.Batched, mc.BatchWidth)
 	}
 }
 

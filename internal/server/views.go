@@ -75,6 +75,8 @@ type mcResultView struct {
 	Adjudicator      string      `json:"adjudicator,omitempty"`
 	Streaming        bool        `json:"streaming,omitempty"`
 	Sparse           bool        `json:"sparse,omitempty"`
+	Batched          bool        `json:"batched,omitempty"`
+	BatchWidth       int         `json:"batchWidth,omitempty"`
 	Version          summaryView `json:"version"`
 	System           summaryView `json:"system"`
 	VersionFaultFree int         `json:"versionFaultFree"`
@@ -188,6 +190,8 @@ func resultViewOf(res *engine.Result) *resultView {
 			Adjudicator:      mc.Adjudicator,
 			Streaming:        mc.Streaming,
 			Sparse:           mc.Sparse,
+			Batched:          mc.Batched,
+			BatchWidth:       mc.BatchWidth,
 			VersionFaultFree: mc.VersionFaultFree,
 			SystemFaultFree:  mc.SystemFaultFree,
 		}
