@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diversity/internal/server"
+	"diversity/internal/telemetry"
+)
+
+func TestNodesFlagRequired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-addr", "localhost:0"}, io.Discard); err == nil {
+		t.Fatal("run without -nodes succeeded")
+	}
+	if err := run(ctx, []string{"-addr", "localhost:0", "-nodes", " , "}, io.Discard); err == nil {
+		t.Fatal("run with a blank -nodes list succeeded")
+	}
+	if err := run(ctx, []string{"-addr", "localhost:0", "-nodes", "not-a-url"}, io.Discard); err == nil {
+		t.Fatal("run with a malformed node URL succeeded")
+	}
+}
+
+// startCoord runs the CLI in-process on a kernel-picked port, mirroring
+// cmd/serve's test harness: it returns the base URL, the context cancel
+// (standing in for SIGTERM) and the channel run's error lands on.
+func startCoord(t *testing.T, nodes string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	args := []string{"-addr", "localhost:0", "-nodes", nodes,
+		"-probe-interval", "25ms", "-drain-timeout", "30s"}
+	go func() {
+		err := run(ctx, args, pw)
+		pw.Close()
+		done <- err
+	}()
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		cancel()
+		t.Fatalf("reading listen line: %v (run error: %v)", err, <-done)
+	}
+	go io.Copy(io.Discard, pr)
+	base := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "coordinating on "))
+	if !strings.HasPrefix(base, "http://") {
+		cancel()
+		t.Fatalf("unexpected listen line %q", line)
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Error("coordinator did not shut down")
+		}
+	})
+	return base, cancel, done
+}
+
+// TestCoordinatorSmoke runs the CLI against one in-process node: submit
+// through the coordinator, poll to done, check the debug surface, then
+// drain cleanly.
+func TestCoordinatorSmoke(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, Registry: telemetry.NewRegistry()})
+	srv.Start()
+	node := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		node.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	base, cancel, done := startCoord(t, node.URL)
+
+	// Wait for the probe to see the node.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	spec := `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade","scenarioSeed":7},"versions":2,"reps":100000,"workers":2,"seed":42}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit = %d id %q, want 202 with an ID", resp.StatusCode, sub.ID)
+	}
+
+	var status string
+	for end := time.Now().Add(60 * time.Second); time.Now().Before(end); {
+		r, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var v struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		status = v.Status
+		if status == "done" || status == "failed" || status == "cancelled" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status != "done" {
+		t.Fatalf("job through coordinator ended %q, want done", status)
+	}
+
+	// The coordinator's own debug surface exports the fabric series.
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{"fabric_node_up", "fabric_request_duration_seconds"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics does not export %s", want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+		done <- err // re-arm for the startCoord cleanup, which waits too
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not drain")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"diversity/internal/devsim"
 	"diversity/internal/engine"
 	"diversity/internal/experiments"
+	"diversity/internal/fabric"
 	"diversity/internal/montecarlo"
 	"diversity/internal/scenario"
 	"diversity/internal/server"
@@ -181,6 +182,17 @@ func buildLiveRegistry() (*telemetry.Registry, error) {
 
 	// Server construction pre-registers the serving-layer series.
 	server.New(server.Config{Registry: reg, Logger: logger})
+
+	// Coordinator construction pre-registers the whole fabric.* surface
+	// (per-route histograms, node gauges, reroute and rejection counters)
+	// without probing the placeholder nodes.
+	if _, err := fabric.New(fabric.Config{
+		Nodes:    []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		Registry: reg,
+		Logger:   logger,
+	}); err != nil {
+		return nil, fmt.Errorf("building live registry: %w", err)
+	}
 
 	// The durable job store: journal a couple of records, compact, and
 	// reopen so every store.* series carries real traffic, including the

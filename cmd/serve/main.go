@@ -39,6 +39,11 @@
 // surface as failed with a restart reason. docs/OPERATIONS.md is the
 // operator handbook.
 //
+// To scale past one node's worker pool, run several serve nodes behind
+// cmd/coord: the coordinator exposes this same API and shards requests
+// across nodes by the stable spec-hash job ID (see docs/API.md
+// "Fabric").
+//
 // Usage:
 //
 //	serve -addr localhost:8080 -workers 2 -queue-depth 64 -rate 10 -max-reps 1000000 -store-dir /var/lib/diversity/jobs

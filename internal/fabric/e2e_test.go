@@ -1,0 +1,267 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diversity/internal/server"
+	"diversity/internal/telemetry"
+)
+
+// e2eSpec is a fixed-seed Monte-Carlo job: identical submissions share
+// the stable spec-hash job ID, which is what the fabric routes on.
+const e2eSpec = `{"kind":"montecarlo","montecarlo":{"model":{"scenario":"safety-grade","scenarioSeed":7},"versions":2,"reps":200000,"workers":2,"seed":42}}`
+
+// e2eView is the slice of the job view the e2e assertions need, plus
+// the raw result payload for byte-identity checks.
+type e2eView struct {
+	ID     string `json:"id"`
+	JobID  string `json:"jobId"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Result *struct {
+		FromCache bool `json:"fromCache"`
+	} `json:"result"`
+	RawResult json.RawMessage `json:"-"`
+}
+
+func decodeView(t *testing.T, data []byte) e2eView {
+	t.Helper()
+	var v e2eView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("decoding job view: %v\n%s", err, data)
+	}
+	var raw struct {
+		Result json.RawMessage `json:"result"`
+	}
+	json.Unmarshal(data, &raw)
+	v.RawResult = raw.Result
+	return v
+}
+
+// startNode runs an in-process serve node behind an httptest listener.
+func startNode(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, Registry: telemetry.NewRegistry()})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ts
+}
+
+func submitSpec(t *testing.T, base string) e2eView {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(e2eSpec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	return decodeView(t, body)
+}
+
+// fetch GETs a job view, returning the HTTP status and raw body.
+func fetch(t *testing.T, base, id string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func pollDone(t *testing.T, base, id string) e2eView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		status, body := fetch(t, base, id)
+		if status == http.StatusOK {
+			v := decodeView(t, body)
+			switch v.Status {
+			case "done", "failed", "cancelled":
+				return v
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return e2eView{}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFabricEndToEnd drives the full contract through a coordinator over
+// two live nodes: routing affinity (same spec, same node), node-local
+// cache hits observable through the proxy (fromCache on resubmit),
+// byte-identical results vs a direct node submission, SSE through the
+// proxy, and failover with the reroute counter when the home node dies.
+func TestFabricEndToEnd(t *testing.T) {
+	nodes := []*httptest.Server{startNode(t), startNode(t)}
+
+	reg := telemetry.NewRegistry()
+	c, err := New(Config{
+		Nodes:            []string{nodes[0].URL, nodes[1].URL},
+		ProbeInterval:    25 * time.Millisecond,
+		RecoveryInterval: 25 * time.Millisecond,
+		Registry:         reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	})
+	front := httptest.NewServer(c.Handler())
+	t.Cleanup(front.Close)
+
+	waitFor(t, "coordinator ready", func() bool {
+		resp, err := http.Get(front.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// First submission through the coordinator: fresh compute.
+	v1 := submitSpec(t, front.URL)
+	fin1 := pollDone(t, front.URL, v1.ID)
+	if fin1.Status != "done" || fin1.Result == nil || fin1.Result.FromCache {
+		t.Fatalf("first run: status %q result %+v, want done and not fromCache", fin1.Status, fin1.Result)
+	}
+
+	// Locate the owning node by asking each node directly.
+	owner := -1
+	for i, ts := range nodes {
+		if status, _ := fetch(t, ts.URL, v1.ID); status == http.StatusOK {
+			owner = i
+			break
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no node holds the submitted job")
+	}
+
+	// The view through the coordinator is byte-identical to the owning
+	// node's own answer.
+	_, viaFabric := fetch(t, front.URL, v1.ID)
+	_, direct := fetch(t, nodes[owner].URL, v1.ID)
+	if !bytes.Equal(viaFabric, direct) {
+		t.Errorf("job view differs through the coordinator:\nfabric: %s\ndirect: %s", viaFabric, direct)
+	}
+
+	// Determinism across nodes: the same fixed-seed spec submitted
+	// directly to the OTHER node computes fresh and must produce a
+	// byte-identical result payload.
+	other := 1 - owner
+	dv := submitSpec(t, nodes[other].URL)
+	dfin := pollDone(t, nodes[other].URL, dv.ID)
+	if dfin.Status != "done" || dfin.Result.FromCache {
+		t.Fatalf("direct run on other node: status %q fromCache %v", dfin.Status, dfin.Result != nil && dfin.Result.FromCache)
+	}
+	if !bytes.Equal(fin1.RawResult, dfin.RawResult) {
+		t.Errorf("fixed-seed result differs between nodes:\nvia fabric: %s\ndirect:     %s", fin1.RawResult, dfin.RawResult)
+	}
+
+	// Resubmitting the identical spec through the coordinator routes to
+	// the same node and hits its engine cache.
+	v2 := submitSpec(t, front.URL)
+	if v2.JobID != v1.JobID {
+		t.Fatalf("resubmit jobId = %q, want %q", v2.JobID, v1.JobID)
+	}
+	fin2 := pollDone(t, front.URL, v2.ID)
+	if fin2.Status != "done" || fin2.Result == nil || !fin2.Result.FromCache {
+		t.Fatalf("resubmit: status %q result %+v, want done fromCache", fin2.Status, fin2.Result)
+	}
+	if status, _ := fetch(t, nodes[owner].URL, v2.ID); status != http.StatusOK {
+		t.Errorf("resubmit did not land on the owning node (direct fetch = %d)", status)
+	}
+
+	// SSE through the coordinator: a finished job's stream is a
+	// late-subscriber snapshot followed by the done event.
+	resp, err := http.Get(front.URL + "/v1/jobs/" + v2.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	sawDone := false
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if strings.HasPrefix(scanner.Text(), "event: done") {
+			sawDone = true
+			break
+		}
+	}
+	resp.Body.Close()
+	if !sawDone {
+		t.Fatal("SSE stream through coordinator carried no done event")
+	}
+
+	// A well-formed but never-minted ID, while every node is up, is an
+	// honest 404 after the full sweep.
+	ghost := "j-009999-" + strings.TrimPrefix(v1.JobID, "job-")[:8]
+	if status, _ := fetch(t, front.URL, ghost); status != http.StatusNotFound {
+		t.Errorf("fetch of unknown job with all nodes up = %d, want 404", status)
+	}
+
+	// Kill the owning node: the next identical submission reroutes to
+	// the surviving node in hash order and the reroute counter moves.
+	before := reg.Snapshot().Counters["fabric.node_reroutes_total"]
+	nodes[owner].Close()
+	waitFor(t, "owner probed down", func() bool {
+		return reg.Snapshot().Gauges["fabric.node_up.node"+string(rune('0'+owner))] == 0
+	})
+	v3 := submitSpec(t, front.URL)
+	fin3 := pollDone(t, front.URL, v3.ID)
+	if fin3.Status != "done" {
+		t.Fatalf("rerouted job: status %q error %q", fin3.Status, fin3.Error)
+	}
+	if status, _ := fetch(t, nodes[other].URL, v3.ID); status != http.StatusOK {
+		t.Errorf("rerouted job not on surviving node (direct fetch = %d)", status)
+	}
+	after := reg.Snapshot().Counters["fabric.node_reroutes_total"]
+	if after <= before {
+		t.Errorf("fabric.node_reroutes_total = %d, want > %d after failover", after, before)
+	}
+
+	// With the owner down, the same unknown ID answers 503 (the job may
+	// live on the dead node) rather than a lying 404.
+	status, _ := fetch(t, front.URL, ghost)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("fetch of dead node's job = %d, want 503", status)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -15,10 +16,11 @@ import (
 	"diversity/internal/telemetry"
 )
 
-// maxBodyBytes bounds a submission body; inline model specs carrying a
+// MaxBodyBytes bounds a submission body; inline model specs carrying a
 // few thousand faults fit comfortably, while a multi-megabyte payload is
-// rejected before decoding.
-const maxBodyBytes = 4 << 20
+// rejected before decoding. The fabric coordinator applies the same cap,
+// so a body the coordinator accepts is a body a node accepts.
+const MaxBodyBytes = 4 << 20
 
 // Register mounts the API on mux. Conventionally mux is
 // cliutil.NewDebugMux's, so one listener serves the job API next to
@@ -42,28 +44,44 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter records the response status while preserving the
-// Flusher behaviour SSE needs.
-type statusWriter struct {
+// StatusRecorder wraps a ResponseWriter recording the response status
+// while preserving the Flusher behaviour SSE needs. It is exported for
+// the fabric coordinator, whose instrumentation middleware records
+// per-route/status latency exactly like this package's.
+type StatusRecorder struct {
 	http.ResponseWriter
 	status int
 }
 
-func (w *statusWriter) WriteHeader(code int) {
+// NewStatusRecorder wraps w.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+// Status returns the recorded status, defaulting to 200 when the
+// handler never wrote one.
+func (w *StatusRecorder) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func (w *StatusRecorder) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (w *statusWriter) Write(b []byte) (int, error) {
+func (w *StatusRecorder) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
 }
 
-func (w *statusWriter) Flush() {
+func (w *StatusRecorder) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
@@ -89,11 +107,13 @@ var apiRoutes = []struct{ name, status string }{
 // unusable) client values are replaced with a generated ID.
 const maxRequestIDLen = 64
 
-// requestID returns the request's correlation ID: the client's
+// RequestID returns the request's correlation ID: the client's
 // X-Request-ID header when it is printable and reasonably sized (so a
 // hostile value cannot inject log lines or unbounded label text),
-// otherwise a freshly generated run ID.
-func requestID(r *http.Request) string {
+// otherwise a freshly generated run ID. The fabric coordinator applies
+// the same sanitizer, so an ID it forwards is an ID a node accepts
+// verbatim — one correlation ID survives the whole proxy chain.
+func RequestID(r *http.Request) string {
 	id := r.Header.Get("X-Request-ID")
 	if id == "" || len(id) > maxRequestIDLen {
 		return telemetry.NewRunID()
@@ -116,29 +136,27 @@ func requestID(r *http.Request) string {
 // and one structured access-log line per request.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := requestID(r)
+		reqID := RequestID(r)
 		w.Header().Set("X-Request-ID", reqID)
 		ctx := telemetry.ContextWithRunID(r.Context(), reqID)
 		r = r.WithContext(ctx)
-		sw := &statusWriter{ResponseWriter: w}
+		sw := NewStatusRecorder(w)
 		start := time.Now()
 		h(sw, r)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
 		elapsed := time.Since(start)
-		name := "server.request_duration_seconds." + route + "." + strconv.Itoa(sw.status)
+		name := "server.request_duration_seconds." + route + "." + strconv.Itoa(sw.Status())
 		s.reg.Histogram(name, telemetry.DurationBuckets).Observe(elapsed.Seconds())
 		if s.log != nil {
 			s.log.InfoContext(ctx, "http request",
 				"route", route, "method", r.Method, "path", r.URL.Path,
-				"status", sw.status, "duration", elapsed, "client", clientKey(r))
+				"status", sw.Status(), "duration", elapsed, "client", clientKey(r))
 		}
 	})
 }
 
-// writeJSON writes v as JSON with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as JSON with the given status. Exported so the
+// fabric coordinator answers in exactly this package's response shape.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -151,8 +169,33 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// WriteError writes the uniform error envelope {"error": "..."}.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// DecodeJobSpec decodes one submission body into an engine job: unknown
+// fields are rejected, the spec is validated, and the stable spec-hash
+// engine ID is computed. It is the submission-side parse both the node's
+// submit handler and the fabric coordinator run, so a spec the
+// coordinator routes is byte-for-byte a spec the node accepts — and the
+// returned engine ID is the routing key that gives identical specs
+// node-local cache affinity.
+func DecodeJobSpec(r io.Reader) (engine.Job, string, error) {
+	var job engine.Job
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		return engine.Job{}, "", fmt.Errorf("decoding job spec: %w", err)
+	}
+	if err := job.Validate(); err != nil {
+		return engine.Job{}, "", err
+	}
+	engineID, err := job.ID()
+	if err != nil {
+		return engine.Job{}, "", err
+	}
+	return job, engineID, nil
 }
 
 // clientKey identifies the submitting client for rate limiting: the
@@ -166,15 +209,15 @@ func clientKey(r *http.Request) string {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // scenarioView is one row of the discovery listing.
@@ -207,7 +250,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	})
-	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenarioList})
+	WriteJSON(w, http.StatusOK, map[string]any{"scenarios": scenarioList})
 }
 
 // specReps returns the replication count of job kinds that have one.
@@ -229,31 +272,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("server.rejected_total.rate_limited").Inc()
 		s.reg.Event("submit.rejected", runID, map[string]string{"reason": "rate_limited", "client": key})
 		w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfter(key)))
-		writeError(w, http.StatusTooManyRequests, "rate limit exceeded: client %s is over %g requests/second (burst %d)", key, s.cfg.RatePerSec, s.cfg.Burst)
+		WriteError(w, http.StatusTooManyRequests, "rate limit exceeded: client %s is over %g requests/second (burst %d)", key, s.cfg.RatePerSec, s.cfg.Burst)
 		return
 	}
 
-	var job engine.Job
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&job); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
-		return
-	}
-	if err := job.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	job, engineID, err := DecodeJobSpec(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if s.cfg.MaxReps > 0 {
 		if reps := specReps(job); reps > s.cfg.MaxReps {
-			writeError(w, http.StatusBadRequest, "replication count %d exceeds this server's cap of %d", reps, s.cfg.MaxReps)
+			WriteError(w, http.StatusBadRequest, "replication count %d exceeds this server's cap of %d", reps, s.cfg.MaxReps)
 			return
 		}
-	}
-	engineID, err := job.ID()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
 	}
 
 	js, err := s.submit(job, engineID, runID)
@@ -263,20 +295,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("server.rejected_total.queue_full").Inc()
 		s.reg.Event("submit.rejected", runID, map[string]string{"reason": "queue_full", "job": engineID})
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "job queue full (depth %d): retry shortly", s.cfg.QueueDepth)
+		WriteError(w, http.StatusServiceUnavailable, "job queue full (depth %d): retry shortly", s.cfg.QueueDepth)
 		return
 	case errors.Is(err, errDraining):
 		s.reg.Counter("server.rejected_total.draining").Inc()
 		s.reg.Event("submit.rejected", runID, map[string]string{"reason": "draining", "job": engineID})
 		w.Header().Set("Retry-After", "10")
-		writeError(w, http.StatusServiceUnavailable, "server is draining and accepts no new jobs")
+		WriteError(w, http.StatusServiceUnavailable, "server is draining and accepts no new jobs")
 		return
 	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		WriteError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+js.id)
-	writeJSON(w, http.StatusAccepted, s.viewOf(js, false))
+	WriteJSON(w, http.StatusAccepted, s.viewOf(js, false))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -285,26 +317,26 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, js := range jobs {
 		views = append(views, s.viewOf(js, false))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	WriteJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.viewOf(js, true))
+	WriteJSON(w, http.StatusOK, s.viewOf(js, true))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	s.requestCancel(js)
-	writeJSON(w, http.StatusAccepted, s.viewOf(js, false))
+	WriteJSON(w, http.StatusAccepted, s.viewOf(js, false))
 }
 
 // handleEvents streams a job's progress as Server-Sent Events: one
@@ -315,12 +347,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	js, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		WriteError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -57,6 +57,24 @@ var promFamilies = []promFamily{
 		help:   "Jobs reaching a terminal state, by final status.",
 	},
 	{
+		prefix: "fabric.request_duration_seconds.",
+		name:   "fabric_request_duration_seconds",
+		labels: []string{"route", "status"},
+		help:   "Coordinator proxy latency by route and status code.",
+	},
+	{
+		prefix: "fabric.rejected_total.",
+		name:   "fabric_rejected_total",
+		labels: []string{"reason"},
+		help:   "Requests the fabric rejected itself, by reason.",
+	},
+	{
+		prefix: "fabric.node_up.",
+		name:   "fabric_node_up",
+		labels: []string{"node"},
+		help:   "Probed liveness of each serve node (1 up, 0 down).",
+	},
+	{
 		prefix: "montecarlo.replications_total.",
 		name:   "montecarlo_replications_total",
 		labels: []string{"adjudicator"},
